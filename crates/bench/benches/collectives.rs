@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the message runtime: real (wall-clock) cost of
+//! the five broadcast algorithms and the allreduce at small rank counts.
+//! These measure the *simulator's* throughput, which bounds how large an
+//! emergent timing run is practical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mxp_msgsim::{BcastAlgo, CollectiveTuning, Group, WorldSpec};
+use mxp_netsim::frontier_network;
+use std::hint::black_box;
+
+fn world(p: usize) -> WorldSpec {
+    let mut w = WorldSpec::cluster(p, 1, frontier_network());
+    w.tuning = CollectiveTuning::frontier();
+    w
+}
+
+fn bench_bcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcast_wallclock");
+    g.sample_size(20);
+    let p = 8;
+    for algo in BcastAlgo::ALL {
+        g.bench_with_input(BenchmarkId::new(algo.label(), p), &p, |b, &p| {
+            let w = world(p);
+            b.iter(|| {
+                let clocks = w.run::<Vec<u8>, _, _>(|mut comm| {
+                    let mut grp = Group::new(comm.rank(), (0..p).collect(), 1).unwrap();
+                    let payload = if comm.rank() == 0 {
+                        Some(vec![0u8; 1 << 16])
+                    } else {
+                        None
+                    };
+                    grp.bcast(&mut comm, 0, payload, 8 << 20, algo);
+                    comm.now()
+                });
+                black_box(clocks)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_wallclock");
+    g.sample_size(20);
+    for &p in &[4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("sum_f64x1024", p), &p, |b, &p| {
+            let w = world(p);
+            b.iter(|| {
+                let out = w.run::<Vec<f64>, _, _>(|mut comm| {
+                    let mut grp = Group::new(comm.rank(), (0..p).collect(), 1).unwrap();
+                    grp.allreduce(&mut comm, vec![1.0f64; 1024], 8 * 1024, |mut a, bb| {
+                        for (x, y) in a.iter_mut().zip(bb) {
+                            *x += y;
+                        }
+                        a
+                    })
+                });
+                black_box(out)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bcast, bench_allreduce);
+criterion_main!(benches);

@@ -1,0 +1,213 @@
+//! Criterion microbenchmarks of the BLAS substrate: the mixed-precision
+//! GEMM against full-precision controls, the panel kernels, and the casts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mxp_blas::{
+    cast_f32_to_low, gemm, gemm_mixed, getrf_nopiv, getrf_pivoted, trans_cast_f32_to_low, trsm,
+    trsv, Diag, Side, Trans, Uplo,
+};
+use mxp_precision::{B16, F16};
+use std::hint::black_box;
+
+fn rand_f32(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / 9.007199254740992e15) as f32 - 0.5
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    g.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        let flops = 2 * n * n * n;
+        g.throughput(Throughput::Elements(flops as u64));
+        let a32 = rand_f32(n * n, 1);
+        let b32 = rand_f32(n * n, 2);
+        let a16: Vec<F16> = a32.iter().map(|&v| F16::from_f32(v)).collect();
+        let b16: Vec<F16> = b32.iter().map(|&v| F16::from_f32(v)).collect();
+        let ab16: Vec<B16> = a32.iter().map(|&v| B16::from_f32(v)).collect();
+        let bb16: Vec<B16> = b32.iter().map(|&v| B16::from_f32(v)).collect();
+        let a64: Vec<f64> = a32.iter().map(|&v| v as f64).collect();
+        let b64: Vec<f64> = b32.iter().map(|&v| v as f64).collect();
+
+        g.bench_with_input(BenchmarkId::new("mixed_f16", n), &n, |bch, &n| {
+            let mut cc = vec![0.0f32; n * n];
+            bch.iter(|| {
+                gemm_mixed(
+                    Trans::No,
+                    Trans::No,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    black_box(&a16),
+                    n,
+                    black_box(&b16),
+                    n,
+                    0.0,
+                    &mut cc,
+                    n,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("mixed_bf16", n), &n, |bch, &n| {
+            let mut cc = vec![0.0f32; n * n];
+            bch.iter(|| {
+                gemm_mixed(
+                    Trans::No,
+                    Trans::No,
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    black_box(&ab16),
+                    n,
+                    black_box(&bb16),
+                    n,
+                    0.0,
+                    &mut cc,
+                    n,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("f32", n), &n, |bch, &n| {
+            let mut cc = vec![0.0f32; n * n];
+            bch.iter(|| {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    n,
+                    n,
+                    n,
+                    1.0f32,
+                    black_box(&a32),
+                    n,
+                    black_box(&b32),
+                    n,
+                    0.0,
+                    &mut cc,
+                    n,
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("f64", n), &n, |bch, &n| {
+            let mut cc = vec![0.0f64; n * n];
+            bch.iter(|| {
+                gemm(
+                    Trans::No,
+                    Trans::No,
+                    n,
+                    n,
+                    n,
+                    1.0f64,
+                    black_box(&a64),
+                    n,
+                    black_box(&b64),
+                    n,
+                    0.0,
+                    &mut cc,
+                    n,
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn dominant_f32(n: usize, seed: u64) -> Vec<f32> {
+    let mut a = rand_f32(n * n, seed);
+    for i in 0..n {
+        a[i * n + i] = n as f32;
+    }
+    a
+}
+
+fn bench_factor_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("factor_kernels");
+    g.sample_size(10);
+    for &n in &[128usize, 256] {
+        let a = dominant_f32(n, 3);
+        g.bench_with_input(BenchmarkId::new("getrf_nopiv_f32", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut lu = a.clone();
+                getrf_nopiv(n, black_box(&mut lu), n).unwrap();
+            });
+        });
+        let a64: Vec<f64> = a.iter().map(|&v| v as f64).collect();
+        g.bench_with_input(BenchmarkId::new("getrf_pivoted_f64", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut lu = a64.clone();
+                getrf_pivoted(n, black_box(&mut lu), n).unwrap();
+            });
+        });
+        // Panel TRSM: the TRSM_L_LOW shape (B x trailing).
+        let b = 64;
+        let panel = rand_f32(b * n, 4);
+        let tri = dominant_f32(b, 5);
+        g.bench_with_input(BenchmarkId::new("trsm_l_low", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut p = panel.clone();
+                trsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Diag::Unit,
+                    b,
+                    n,
+                    1.0,
+                    black_box(&tri),
+                    b,
+                    &mut p,
+                    b,
+                );
+            });
+        });
+        let mut lu = a64.clone();
+        getrf_nopiv(n, &mut lu, n).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("trsv_pair", n), &n, |bch, &n| {
+            bch.iter(|| {
+                let mut x = rhs.clone();
+                trsv(Uplo::Lower, Diag::Unit, n, black_box(&lu), n, &mut x);
+                trsv(Uplo::Upper, Diag::NonUnit, n, &lu, n, &mut x);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_casts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("casts");
+    g.sample_size(20);
+    for &elems in &[1usize << 14, 1 << 18] {
+        let src = rand_f32(elems, 9);
+        let rows = 1 << 7;
+        let cols = elems / rows;
+        g.throughput(Throughput::Elements(elems as u64));
+        g.bench_with_input(
+            BenchmarkId::new("cast_f32_to_f16", elems),
+            &elems,
+            |bch, _| {
+                let mut dst = vec![F16::ZERO; elems];
+                bch.iter(|| cast_f32_to_low(rows, cols, black_box(&src), rows, &mut dst));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("trans_cast_f32_to_f16", elems),
+            &elems,
+            |bch, _| {
+                let mut dst = vec![F16::ZERO; elems];
+                bch.iter(|| trans_cast_f32_to_low(rows, cols, black_box(&src), rows, &mut dst));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_factor_kernels, bench_casts);
+criterion_main!(benches);

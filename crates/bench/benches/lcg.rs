@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the jump-ahead LCG — the regeneration rate
+//! matters because iterative refinement regenerates `A` on the fly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mxp_lcg::{Lcg, MatrixGen, MatrixKind};
+use std::hint::black_box;
+
+fn bench_lcg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcg");
+    g.bench_function("next_u64", |b| {
+        let mut l = Lcg::new(1);
+        b.iter(|| black_box(l.next_u64()));
+    });
+    g.bench_function("next_unit", |b| {
+        let mut l = Lcg::new(1);
+        b.iter(|| black_box(l.next_unit()));
+    });
+    for &n in &[1u128 << 20, 1 << 40, 1 << 52] {
+        g.bench_with_input(
+            BenchmarkId::new("skip", format!("2^{}", n.ilog2())),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut l = Lcg::new(7);
+                    l.skip(black_box(n));
+                    black_box(l.state())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix_generation");
+    g.sample_size(20);
+    let gen = MatrixGen::new(42, 1 << 20, MatrixKind::DiagDominant);
+    g.bench_function("entry_random_access", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 2862933555777941757 + 3037000493) % (1 << 20);
+            black_box(gen.entry(i, (i * 7) % (1 << 20)))
+        });
+    });
+    for &side in &[256usize, 1024] {
+        g.throughput(Throughput::Elements((side * side) as u64));
+        g.bench_with_input(BenchmarkId::new("fill_tile", side), &side, |b, &side| {
+            let mut buf = vec![0.0f64; side * side];
+            b.iter(|| gen.fill_tile(0..side, 0..side, side, black_box(&mut buf)));
+        });
+        g.bench_with_input(
+            BenchmarkId::new("fill_tile_f32", side),
+            &side,
+            |b, &side| {
+                let mut buf = vec![0.0f32; side * side];
+                b.iter(|| gen.fill_tile_f32(0..side, 0..side, side, black_box(&mut buf)));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lcg, bench_generation);
+criterion_main!(benches);

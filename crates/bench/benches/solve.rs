@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the end-to-end drivers: a real functional solve,
+//! an emergent timing run, and the critical-path estimator at headline
+//! scale (which must stay fast enough to power parameter sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::{run, testbed, Fidelity, ProcessGrid, RunConfig};
+use mxp_msgsim::BcastAlgo;
+use std::hint::black_box;
+
+fn bench_functional_solve(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    g.bench_function("functional_solve_n256_p4", |b| {
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let cfg = RunConfig::functional(testbed(1, 4), grid, 256, 32);
+        b.iter(|| black_box(run(&cfg).converged));
+    });
+    g.bench_function("timing_run_n4096_p16", |b| {
+        let grid = ProcessGrid::node_local(4, 4, 2, 2);
+        let mut cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256);
+        cfg.fidelity = Fidelity::Timing;
+        b.iter(|| black_box(run(&cfg).runtime));
+    });
+    g.finish();
+}
+
+fn bench_distributed_hpl(c: &mut Criterion) {
+    use hplai_core::hpl_dist::hpl_dist_solve;
+    use hplai_core::msg::PanelMsg;
+    use mxp_lcg::MatrixKind;
+    use mxp_msgsim::WorldSpec;
+    let mut g = c.benchmark_group("hpl_baseline");
+    g.sample_size(10);
+    g.bench_function("hpl_dist_n128_p4_uniform", |b| {
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let sys = testbed(1, 4);
+        b.iter(|| {
+            let mut spec = WorldSpec::cluster(1, 4, sys.net);
+            spec.locs = grid.locs();
+            spec.tuning = sys.tuning;
+            let outs = spec.run::<PanelMsg, _, _>(|mut comm| {
+                hpl_dist_solve(&mut comm, &grid, &sys, 128, 16, 7, MatrixKind::Uniform, 1.0)
+                    .scaled_residual
+            });
+            black_box(outs)
+        });
+    });
+    g.finish();
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("critical_path");
+    g.bench_function("frontier_headline_29584gcds", |b| {
+        let sys = hplai_core::frontier();
+        let cfg = CriticalConfig::new(
+            20_606_976,
+            3072,
+            ProcessGrid::node_local(172, 172, 4, 2),
+            BcastAlgo::Ring2M,
+        );
+        b.iter(|| black_box(critical_time(&sys, &cfg).eflops));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_functional_solve, bench_distributed_hpl, bench_critical_path);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Fig. 4: total performance (GFLOPS/GCD) relative to block size `B` with
+//! distinct communication layouts, at the paper's tuning scales —
+//! Summit 2916 GCDs (P_r = 54) and Frontier 1024 GCDs (P_r = 32).
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::{frontier, summit, ProcessGrid, SystemSpec};
+use mxp_bench::{gflops, Table};
+use mxp_msgsim::BcastAlgo;
+
+#[allow(clippy::too_many_arguments)]
+fn sweep(
+    t: &mut Table,
+    sys: &SystemSpec,
+    label: &str,
+    p: usize,
+    n_l: usize,
+    grid: ProcessGrid,
+    algo: BcastAlgo,
+    bs: &[usize],
+) {
+    for &b in bs {
+        if !n_l.is_multiple_of(b) {
+            continue;
+        }
+        let out = critical_time(
+            sys,
+            &CriticalConfig {
+                slowest: 1.0,
+                ..CriticalConfig::new(n_l * p, b, grid, algo)
+            },
+        );
+        t.row(&[&label, &(p * p), &b, &gflops(out.gflops_per_gcd)]);
+    }
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Total performance vs B with distinct communication layouts",
+        "Fig. 4",
+        &["config", "GCDs", "B", "GFLOPS/GCD"],
+    );
+
+    let s = summit();
+    let bs_summit = [256usize, 384, 512, 768, 1024, 1536, 2048, 3072];
+    sweep(
+        &mut t,
+        &s,
+        "Summit Bcast col-major",
+        54,
+        61440,
+        ProcessGrid::col_major(54, 54, 6),
+        BcastAlgo::Lib,
+        &bs_summit,
+    );
+    sweep(
+        &mut t,
+        &s,
+        "Summit Bcast 3x2",
+        54,
+        61440,
+        ProcessGrid::node_local(54, 54, 3, 2),
+        BcastAlgo::Lib,
+        &bs_summit,
+    );
+
+    let f = frontier();
+    let bs_frontier = [512usize, 1024, 1536, 2048, 3072, 4096, 6144];
+    sweep(
+        &mut t,
+        &f,
+        "Frontier Ring2M col-major",
+        32,
+        119808,
+        ProcessGrid::col_major(32, 32, 8),
+        BcastAlgo::Ring2M,
+        &bs_frontier,
+    );
+    sweep(
+        &mut t,
+        &f,
+        "Frontier Ring2M 2x4",
+        32,
+        119808,
+        ProcessGrid::node_local(32, 32, 2, 4),
+        BcastAlgo::Ring2M,
+        &bs_frontier,
+    );
+    t.emit("fig4");
+
+    // Highlight the optima.
+    for config in ["Summit Bcast 3x2", "Frontier Ring2M 2x4"] {
+        let best = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == config)
+            .max_by(|a, b| {
+                a[3].parse::<f64>()
+                    .unwrap()
+                    .partial_cmp(&b[3].parse::<f64>().unwrap())
+                    .unwrap()
+            })
+            .unwrap();
+        println!("best B for {config}: {} ({} GFLOPS/GCD)", best[2], best[3]);
+    }
+}

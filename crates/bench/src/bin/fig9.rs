@@ -1,0 +1,87 @@
+//! Fig. 9: memory-weak scaling — GFLOPS/GCD vs GCD count at constant
+//! per-GCD memory, with different node-local grid settings, plus the
+//! parallel-efficiency numbers of §VI-A (Summit baseline 36 GCDs, Frontier
+//! baseline 64 GCDs).
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::metrics::parallel_efficiency;
+use hplai_core::{frontier, summit, ProcessGrid, SystemSpec};
+use mxp_bench::{gflops, Table};
+use mxp_msgsim::BcastAlgo;
+
+type GridMapping = (&'static str, fn(usize) -> ProcessGrid);
+
+fn perf(sys: &SystemSpec, grid: ProcessGrid, n_l: usize, b: usize, algo: BcastAlgo) -> f64 {
+    critical_time(
+        sys,
+        &CriticalConfig {
+            slowest: 1.0,
+            ..CriticalConfig::new(n_l * grid.p_r, b, grid, algo)
+        },
+    )
+    .gflops_per_gcd
+}
+
+fn main() {
+    let mut t = Table::new(
+        "Memory-weak scaling: GFLOPS/GCD vs GCD count",
+        "Fig. 9",
+        &[
+            "system",
+            "mapping",
+            "GCDs",
+            "P_r",
+            "GFLOPS/GCD",
+            "efficiency %",
+        ],
+    );
+
+    // Summit: 36 GCD baseline (P_r = 6) up to 2916 (P_r = 54).
+    let s = summit();
+    let summit_mappings: [GridMapping; 2] = [
+        ("col-major", |p| ProcessGrid::col_major(p, p, 6)),
+        ("3x2", |p| ProcessGrid::node_local(p, p, 3, 2)),
+    ];
+    for (mapping, mk) in summit_mappings {
+        let base = perf(&s, mk(6), 61440, 768, BcastAlgo::Lib);
+        for p in [6usize, 12, 18, 24, 36, 54] {
+            let g = perf(&s, mk(p), 61440, 768, BcastAlgo::Lib);
+            let eff = parallel_efficiency(g, base) * 100.0;
+            t.row(&[
+                &"Summit",
+                &mapping,
+                &(p * p),
+                &p,
+                &gflops(g),
+                &format!("{eff:.1}"),
+            ]);
+        }
+    }
+
+    // Frontier: 64 GCD baseline (P_r = 8) up to 16384 (P_r = 128).
+    let f = frontier();
+    let frontier_mappings: [GridMapping; 2] = [
+        ("col-major", |p| ProcessGrid::col_major(p, p, 8)),
+        ("2x4", |p| ProcessGrid::node_local(p, p, 2, 4)),
+    ];
+    for (mapping, mk) in frontier_mappings {
+        let base = perf(&f, mk(8), 119808, 3072, BcastAlgo::Ring2M);
+        for p in [8usize, 16, 32, 64, 128] {
+            let g = perf(&f, mk(p), 119808, 3072, BcastAlgo::Ring2M);
+            let eff = parallel_efficiency(g, base) * 100.0;
+            t.row(&[
+                &"Frontier",
+                &mapping,
+                &(p * p),
+                &p,
+                &gflops(g),
+                &format!("{eff:.1}"),
+            ]);
+        }
+    }
+    t.emit("fig9");
+
+    println!(
+        "paper targets: Summit col-major 91.4% @2916, 3x2 104.6% @2916; Frontier col-major 92.2% @16384"
+    );
+}

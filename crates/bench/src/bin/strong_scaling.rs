@@ -1,0 +1,51 @@
+//! §VI-A strong scaling: the paper describes it ("communication bound when
+//! performed at scale") but omits the chart for space — this harness
+//! generates it. Fixed global N, growing GCD counts.
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::{summit, ProcessGrid};
+use mxp_bench::{gflops, secs, Table};
+use mxp_msgsim::BcastAlgo;
+
+fn main() {
+    let sys = summit();
+    let n = 61440 * 12; // fits the smallest configuration's GPU memory
+    let mut t = Table::new(
+        "Strong scaling at fixed N (Summit, column-major)",
+        "§VI-A (chart omitted in paper)",
+        &[
+            "GCDs",
+            "P_r",
+            "runtime s",
+            "GFLOPS/GCD",
+            "speedup",
+            "efficiency %",
+        ],
+    );
+    let mut base: Option<f64> = None;
+    for p in [12usize, 18, 24, 36, 54] {
+        if n % p != 0 || (n / p) % 768 != 0 {
+            continue;
+        }
+        let out = critical_time(
+            &sys,
+            &CriticalConfig {
+                slowest: 1.0,
+                ..CriticalConfig::new(n, 768, ProcessGrid::col_major(p, p, 6), BcastAlgo::Lib)
+            },
+        );
+        let b0 = *base.get_or_insert(out.runtime);
+        let speedup = b0 / out.runtime;
+        let ideal = (p * p) as f64 / 144.0;
+        t.row(&[
+            &(p * p),
+            &p,
+            &secs(out.runtime),
+            &gflops(out.gflops_per_gcd),
+            &format!("{speedup:.2}"),
+            &format!("{:.1}", 100.0 * speedup / ideal),
+        ]);
+    }
+    t.emit("strong_scaling");
+    println!("efficiency falls with scale at fixed N: the communication-bound regime of §VI-A.");
+}

@@ -1,0 +1,15 @@
+//! Table I: key architectural specifications for Summit and Frontier.
+
+use mxp_bench::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Key architectural specifications",
+        "Table I",
+        &["", "Summit", "Frontier"],
+    );
+    for (label, s, f) in hplai_core::systems::table1_rows() {
+        t.row(&[&label, &s, &f]);
+    }
+    t.emit("table1");
+}

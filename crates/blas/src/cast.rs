@@ -1,0 +1,195 @@
+//! Precision-conversion pack kernels: the paper's CAST and TRANS_CAST.
+//!
+//! After the Panel Update, the `L` panel is converted to FP16 (**CAST**) and
+//! the `U` panel is "conveniently transposed and cast simultaneously"
+//! (**TRANS_CAST**, Algorithm 1 line 15) so the trailing GEMM reads both
+//! panels with unit stride. These kernels are lda-aware on the input side
+//! and produce tightly-packed output, matching the panel send buffers of
+//! the distributed driver.
+
+use mxp_precision::LowPrec;
+use rayon::prelude::*;
+
+/// CAST: converts an `m × n` column-major f32 tile (stride `lda`) into a
+/// tightly packed reduced-precision tile (stride `m`).
+pub fn cast_f32_to_low<L: LowPrec>(m: usize, n: usize, src: &[f32], lda: usize, dst: &mut [L]) {
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    if m > 0 && n > 0 {
+        assert!(src.len() >= lda * (n - 1) + m, "src too small");
+    }
+    assert!(dst.len() >= m * n, "dst too small");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if m * n > 1 << 16 {
+        dst[..m * n]
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(|(j, out)| {
+                let col = &src[j * lda..j * lda + m];
+                for (o, &v) in out.iter_mut().zip(col) {
+                    *o = L::from_f32(v);
+                }
+            });
+    } else {
+        for j in 0..n {
+            let col = &src[j * lda..j * lda + m];
+            let out = &mut dst[j * m..(j + 1) * m];
+            for (o, &v) in out.iter_mut().zip(col) {
+                *o = L::from_f32(v);
+            }
+        }
+    }
+}
+
+/// TRANS_CAST: converts an `m × n` column-major f32 tile (stride `lda`)
+/// into its **transpose**, packed as an `n × m` reduced-precision tile
+/// (stride `n`): `dst[j + i·n] = cast(src[i + j·lda])`.
+pub fn trans_cast_f32_to_low<L: LowPrec>(
+    m: usize,
+    n: usize,
+    src: &[f32],
+    lda: usize,
+    dst: &mut [L],
+) {
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    if m > 0 && n > 0 {
+        assert!(src.len() >= lda * (n - 1) + m, "src too small");
+    }
+    assert!(dst.len() >= m * n, "dst too small");
+    if m == 0 || n == 0 {
+        return;
+    }
+    // Tiled transpose for cache friendliness.
+    const TILE: usize = 32;
+    let do_col_band = |i0: usize, band: &mut [L]| {
+        // band covers dst columns i0..i0+bw (each of height n).
+        let bw = band.len() / n;
+        for j0 in (0..n).step_by(TILE) {
+            let jb = TILE.min(n - j0);
+            for i in 0..bw {
+                for j in j0..j0 + jb {
+                    band[i * n + j] = L::from_f32(src[j * lda + (i0 + i)]);
+                }
+            }
+        }
+    };
+    if m * n > 1 << 16 {
+        dst[..m * n]
+            .par_chunks_mut(n * TILE)
+            .enumerate()
+            .for_each(|(chunk, band)| do_col_band(chunk * TILE, band));
+    } else {
+        do_col_band(0, &mut dst[..m * n]);
+    }
+}
+
+/// Widens a tightly packed reduced-precision tile back to f32 (used by
+/// tests and by receivers that need an f32 view of a panel).
+pub fn widen_low_to_f32<L: LowPrec>(src: &[L], dst: &mut [f32]) {
+    assert!(dst.len() >= src.len());
+    for (o, s) in dst.iter_mut().zip(src) {
+        *o = s.to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxp_precision::F16;
+
+    #[test]
+    fn cast_packs_tightly() {
+        let (m, n, lda) = (3, 2, 5);
+        // src column-major with padding rows.
+        let mut src = vec![0.0f32; lda * n];
+        for j in 0..n {
+            for i in 0..m {
+                src[j * lda + i] = (10 * j + i) as f32;
+            }
+        }
+        let mut dst = vec![F16::ZERO; m * n];
+        cast_f32_to_low(m, n, &src, lda, &mut dst);
+        for j in 0..n {
+            for i in 0..m {
+                assert_eq!(dst[j * m + i].to_f32(), (10 * j + i) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn trans_cast_transposes() {
+        let (m, n, lda) = (4, 3, 4);
+        let mut src = vec![0.0f32; lda * n];
+        for j in 0..n {
+            for i in 0..m {
+                src[j * lda + i] = (i as f32) + (j as f32) * 0.125;
+            }
+        }
+        let mut dst = vec![F16::ZERO; m * n];
+        trans_cast_f32_to_low(m, n, &src, lda, &mut dst);
+        // dst is n × m: dst[j + i*n] == src[i + j*lda]
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(dst[i * n + j].to_f32(), src[j * lda + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn trans_cast_large_parallel_path() {
+        let (m, n) = (300, 250);
+        let src: Vec<f32> = (0..m * n).map(|k| (k % 2047) as f32 * 0.03125).collect();
+        let mut dst = vec![F16::ZERO; m * n];
+        trans_cast_f32_to_low(m, n, &src, m, &mut dst);
+        for i in (0..m).step_by(17) {
+            for j in (0..n).step_by(13) {
+                assert_eq!(
+                    dst[i * n + j].to_f32(),
+                    F16::from_f32(src[j * m + i]).to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cast_large_parallel_path() {
+        let (m, n) = (500, 200);
+        let src: Vec<f32> = (0..m * n)
+            .map(|k| ((k * 37) % 509) as f32 * 0.0625 - 16.0)
+            .collect();
+        let mut dst = vec![F16::ZERO; m * n];
+        cast_f32_to_low(m, n, &src, m, &mut dst);
+        for k in (0..m * n).step_by(997) {
+            assert_eq!(dst[k].to_f32(), F16::from_f32(src[k]).to_f32());
+        }
+    }
+
+    #[test]
+    fn cast_rounds_like_scalar() {
+        let vals = [1.000_488_3_f32, 0.333333, 65519.0, 1e-8];
+        let mut dst = vec![F16::ZERO; 4];
+        cast_f32_to_low(4, 1, &vals, 4, &mut dst);
+        for (d, &v) in dst.iter().zip(&vals) {
+            assert_eq!(d.to_bits(), F16::from_f32(v).to_bits());
+        }
+    }
+
+    #[test]
+    fn widen_roundtrip() {
+        let vals = [0.5f32, -2.0, 100.0];
+        let mut low = vec![F16::ZERO; 3];
+        cast_f32_to_low(3, 1, &vals, 3, &mut low);
+        let mut back = vec![0.0f32; 3];
+        widen_low_to_f32(&low, &mut back);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn empty_tiles_are_noops() {
+        let src: [f32; 0] = [];
+        let mut dst: [F16; 0] = [];
+        cast_f32_to_low(0, 5, &src, 1, &mut dst);
+        trans_cast_f32_to_low(0, 5, &src, 1, &mut dst);
+    }
+}

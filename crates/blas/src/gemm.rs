@@ -1,0 +1,630 @@
+//! General matrix-matrix multiply, full-precision and mixed-precision.
+//!
+//! `gemm_mixed` is the heart of HPL-AI (§III-C): the trailing-matrix update
+//! `A₂₂ ← A₂₂ − L₂₁·U₁₂` reads FP16 panels and accumulates in FP32, which is
+//! what `cublasSgemmEx` / `rocblas_gemm_ex` execute on tensor cores. Both
+//! entry points share one cache-blocked, rayon-parallel core; the reduced
+//! format is widened during packing so the inner kernel always runs on the
+//! accumulator type.
+
+use mxp_precision::{LowPrec, Real};
+use rayon::prelude::*;
+
+/// Transposition selector for a GEMM operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+// Cache-blocking parameters. MC×KC f32 ≈ 128 KiB fits in L2; NC bounds the
+// per-task working set and sets the rayon grain.
+const MC: usize = 128;
+const KC: usize = 256;
+const NC: usize = 128;
+
+/// Full-precision GEMM: `C ← α·op(A)·op(B) + β·C`.
+///
+/// `op(A)` is `m × k`, `op(B)` is `k × n`, `C` is `m × n`; all operands are
+/// column-major with explicit leading dimensions.
+///
+/// ```
+/// use mxp_blas::{gemm, Trans};
+/// // C = A * B for 2x2 matrices stored column-major.
+/// let a = [1.0f64, 3.0, 2.0, 4.0]; // [[1,2],[3,4]]
+/// let b = [5.0f64, 7.0, 6.0, 8.0]; // [[5,6],[7,8]]
+/// let mut c = [0.0f64; 4];
+/// gemm(Trans::No, Trans::No, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 2);
+/// assert_eq!(c, [19.0, 43.0, 22.0, 50.0]);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn gemm<R: Real>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: R,
+    a: &[R],
+    lda: usize,
+    b: &[R],
+    ldb: usize,
+    beta: R,
+    c: &mut [R],
+    ldc: usize,
+) {
+    gemm_impl(
+        transa,
+        transb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        |x| x,
+        b,
+        ldb,
+        |x| x,
+        beta,
+        c,
+        ldc,
+    );
+}
+
+/// Mixed-precision GEMM: `C ← α·op(A)·op(B) + β·C` with `A`, `B` stored in a
+/// reduced format (`F16`, `B16`, or `f32`) and `C` accumulated in `f32`.
+///
+/// Matches the tensor-core contract of `cublasSgemmEx(CUDA_R_16F, …,
+/// CUDA_R_32F)`: each reduced input is widened exactly to f32, products and
+/// sums are full f32 operations.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_mixed<L: LowPrec>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[L],
+    lda: usize,
+    b: &[L],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    gemm_impl(
+        transa,
+        transb,
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        lda,
+        |x: L| x.to_f32(),
+        b,
+        ldb,
+        |x: L| x.to_f32(),
+        beta,
+        c,
+        ldc,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_impl<S, R, FA, FB>(
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: R,
+    a: &[S],
+    lda: usize,
+    fa: FA,
+    b: &[S],
+    ldb: usize,
+    fb: FB,
+    beta: R,
+    c: &mut [R],
+    ldc: usize,
+) where
+    S: Copy + Sync,
+    R: Real,
+    FA: Fn(S) -> R + Sync,
+    FB: Fn(S) -> R + Sync,
+{
+    check_operand("A", transa, m, k, lda, a.len());
+    check_operand("B", transb, k, n, ldb, b.len());
+    assert!(ldc >= m.max(1), "ldc {ldc} < m {m}");
+    if n > 0 {
+        assert!(
+            c.len() >= ldc * (n - 1) + m,
+            "C buffer too small: {} < {}",
+            c.len(),
+            ldc * (n - 1) + m
+        );
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // β-scaling is applied up front over the full C region so the k-blocked
+    // accumulation below can always use plain adds.
+    if beta != R::ONE {
+        for j in 0..n {
+            for x in &mut c[j * ldc..j * ldc + m] {
+                *x = if beta == R::ZERO { R::ZERO } else { *x * beta };
+            }
+        }
+    }
+    if k == 0 || alpha == R::ZERO {
+        return;
+    }
+
+    let process_chunk = |j0: usize, jn: usize, cchunk: &mut [R]| {
+        // cchunk covers columns j0..j0+jn of C, stride ldc, local offset 0.
+        let mut bp = vec![R::ZERO; KC * jn.max(1)];
+        let mut ap = [R::ZERO; MC * KC];
+        let mut l0 = 0;
+        while l0 < k {
+            let kc = KC.min(k - l0);
+            // Pack op(B)[l0..l0+kc, j0..j0+jn] into bp, kc-tight columns,
+            // scaled by alpha (so the inner kernel is a pure FMA).
+            for j in 0..jn {
+                for l in 0..kc {
+                    let v = match transb {
+                        Trans::No => fb(b[(j0 + j) * ldb + (l0 + l)]),
+                        Trans::Yes => fb(b[(l0 + l) * ldb + (j0 + j)]),
+                    };
+                    bp[j * kc + l] = v * alpha;
+                }
+            }
+            let mut i0 = 0;
+            while i0 < m {
+                let mc = MC.min(m - i0);
+                // Pack op(A)[i0..i0+mc, l0..l0+kc] into ap, mc-tight columns.
+                for l in 0..kc {
+                    for i in 0..mc {
+                        ap[l * mc + i] = match transa {
+                            Trans::No => fa(a[(l0 + l) * lda + (i0 + i)]),
+                            Trans::Yes => fa(a[(i0 + i) * lda + (l0 + l)]),
+                        };
+                    }
+                }
+                // Micro-kernel: rank-kc update of the mc×jn C tile.
+                for j in 0..jn {
+                    let ccol = &mut cchunk[j * ldc + i0..j * ldc + i0 + mc];
+                    for l in 0..kc {
+                        let blj = bp[j * kc + l];
+                        let acol = &ap[l * mc..l * mc + mc];
+                        for (ci, &ai) in ccol.iter_mut().zip(acol) {
+                            *ci = ai.mul_add(blj, *ci);
+                        }
+                    }
+                }
+                i0 += mc;
+            }
+            l0 += kc;
+        }
+    };
+
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    if n > NC && flops > 2e6 {
+        c.par_chunks_mut(ldc * NC)
+            .enumerate()
+            .for_each(|(chunk_idx, cchunk)| {
+                let j0 = chunk_idx * NC;
+                let jn = NC.min(n - j0);
+                process_chunk(j0, jn, cchunk);
+            });
+    } else {
+        process_chunk(0, n, c);
+    }
+}
+
+fn check_operand(name: &str, trans: Trans, rows_op: usize, cols_op: usize, ld: usize, len: usize) {
+    // Stored shape is rows_op×cols_op for Trans::No, cols_op×rows_op else.
+    let (sr, sc) = match trans {
+        Trans::No => (rows_op, cols_op),
+        Trans::Yes => (cols_op, rows_op),
+    };
+    assert!(ld >= sr.max(1), "ld{name} {ld} < stored rows {sr}");
+    if sr > 0 && sc > 0 {
+        assert!(
+            len >= ld * (sc - 1) + sr,
+            "{name} buffer too small: {len} < {}",
+            ld * (sc - 1) + sr
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat;
+    use mxp_precision::F16;
+
+    /// Reference GEMM with the same per-element accumulation order as the
+    /// blocked kernel would use if KC >= k (l ascending, fma).
+    #[allow(clippy::too_many_arguments)]
+    fn naive<R: Real>(
+        ta: Trans,
+        tb: Trans,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: R,
+        a: &Mat<R>,
+        b: &Mat<R>,
+        beta: R,
+        c: &mut Mat<R>,
+    ) {
+        for j in 0..n {
+            for i in 0..m {
+                let mut acc = R::ZERO;
+                for l in 0..k {
+                    let av = match ta {
+                        Trans::No => a[(i, l)],
+                        Trans::Yes => a[(l, i)],
+                    };
+                    let bv = match tb {
+                        Trans::No => b[(l, j)],
+                        Trans::Yes => b[(j, l)],
+                    };
+                    acc = av.mul_add(bv * alpha, acc);
+                }
+                let prev = c[(i, j)];
+                c[(i, j)] = if beta == R::ZERO {
+                    acc
+                } else {
+                    prev * beta + acc
+                };
+            }
+        }
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed;
+        Mat::from_fn(rows, cols, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / 9.007199254740992e15) - 0.5
+        })
+    }
+
+    fn assert_close(a: &Mat<f64>, b: &Mat<f64>, tol: f64) {
+        let d = a.max_abs_diff(b);
+        assert!(d <= tol, "max diff {d} > {tol}");
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_naive() {
+        let (m, n, k) = (23, 17, 31);
+        for &ta in &[Trans::No, Trans::Yes] {
+            for &tb in &[Trans::No, Trans::Yes] {
+                let a = match ta {
+                    Trans::No => rand_mat(m, k, 1),
+                    Trans::Yes => rand_mat(k, m, 1),
+                };
+                let b = match tb {
+                    Trans::No => rand_mat(k, n, 2),
+                    Trans::Yes => rand_mat(n, k, 2),
+                };
+                let mut c = rand_mat(m, n, 3);
+                let mut cref = c.clone();
+                naive(ta, tb, m, n, k, 0.5, &a, &b, 0.25, &mut cref);
+                gemm(
+                    ta,
+                    tb,
+                    m,
+                    n,
+                    k,
+                    0.5,
+                    a.as_slice(),
+                    a.lda(),
+                    b.as_slice(),
+                    b.lda(),
+                    0.25,
+                    c.as_mut_slice(),
+                    m,
+                );
+                assert_close(&c, &cref, 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_path_matches_naive() {
+        // Dimensions chosen to exercise multiple MC/KC/NC blocks and the
+        // rayon path (n > NC and flops > threshold).
+        let (m, n, k) = (300, 260, 530);
+        let a = rand_mat(m, k, 10);
+        let b = rand_mat(k, n, 20);
+        let mut c = rand_mat(m, n, 30);
+        let mut cref = c.clone();
+        naive(Trans::No, Trans::No, m, n, k, 1.0, &a, &b, 1.0, &mut cref);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            a.lda(),
+            b.as_slice(),
+            b.lda(),
+            1.0,
+            c.as_mut_slice(),
+            m,
+        );
+        // Different k-block summation order => tolerance, not equality.
+        assert_close(&c, &cref, 1e-11);
+    }
+
+    #[test]
+    fn respects_lda_padding() {
+        let (m, n, k) = (5, 4, 6);
+        let mut a = Mat::<f64>::zeros_lda(m, k, 9);
+        let mut b = Mat::<f64>::zeros_lda(k, n, 11);
+        for j in 0..k {
+            for i in 0..m {
+                a[(i, j)] = (i + 2 * j) as f64;
+            }
+        }
+        for j in 0..n {
+            for i in 0..k {
+                b[(i, j)] = (3 * i + j) as f64;
+            }
+        }
+        let mut c = Mat::<f64>::zeros_lda(m, n, 7);
+        let ldc = c.lda();
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            a.lda(),
+            b.as_slice(),
+            b.lda(),
+            0.0,
+            c.as_mut_slice(),
+            ldc,
+        );
+        // Check one entry by hand.
+        let mut expect = 0.0;
+        for l in 0..k {
+            expect += a[(2, l)] * b[(l, 3)];
+        }
+        assert_eq!(c[(2, 3)], expect);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan_free() {
+        // β = 0 must overwrite even if C previously held NaN (BLAS rule).
+        let (m, n, k) = (2, 2, 2);
+        let a = Mat::<f64>::identity(2);
+        let b = Mat::<f64>::identity(2);
+        let mut c = Mat::from_fn(2, 2, |_, _| f64::NAN);
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            2,
+            b.as_slice(),
+            2,
+            0.0,
+            c.as_mut_slice(),
+            2,
+        );
+        assert_eq!(c[(0, 0)], 1.0);
+        assert_eq!(c[(1, 0)], 0.0);
+    }
+
+    #[test]
+    fn k_zero_is_beta_scale() {
+        let mut c = Mat::from_fn(3, 3, |i, j| (i + j) as f64);
+        let a: [f64; 0] = [];
+        let b: [f64; 0] = [];
+        gemm(
+            Trans::No,
+            Trans::No,
+            3,
+            3,
+            0,
+            1.0,
+            &a,
+            3,
+            &b,
+            1,
+            2.0,
+            c.as_mut_slice(),
+            3,
+        );
+        assert_eq!(c[(1, 2)], 6.0);
+    }
+
+    #[test]
+    fn alpha_zero_is_beta_scale() {
+        let a = rand_mat(4, 4, 1);
+        let b = rand_mat(4, 4, 2);
+        let mut c = Mat::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let expect = Mat::from_fn(4, 4, |i, j| 0.5 * (i * 4 + j) as f64);
+        gemm(
+            Trans::No,
+            Trans::No,
+            4,
+            4,
+            4,
+            0.0,
+            a.as_slice(),
+            4,
+            b.as_slice(),
+            4,
+            0.5,
+            c.as_mut_slice(),
+            4,
+        );
+        assert_close(&c, &expect, 0.0);
+    }
+
+    #[test]
+    fn mixed_f16_matches_widened_f32_gemm() {
+        // gemm_mixed on f16 data must equal gemm::<f32> on the pre-widened
+        // data bit for bit (same kernel, same order).
+        let (m, n, k) = (37, 29, 41);
+        let src = rand_mat(m, k, 5);
+        let a16: Vec<F16> = src.as_slice().iter().map(|&x| F16::from_f64(x)).collect();
+        let srcb = rand_mat(k, n, 6);
+        let b16: Vec<F16> = srcb.as_slice().iter().map(|&x| F16::from_f64(x)).collect();
+        let a32: Vec<f32> = a16.iter().map(|x| x.to_f32()).collect();
+        let b32: Vec<f32> = b16.iter().map(|x| x.to_f32()).collect();
+
+        let mut c_mixed = vec![0.1f32; m * n];
+        let mut c_full = c_mixed.clone();
+        gemm_mixed(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            -1.0,
+            &a16,
+            m,
+            &b16,
+            k,
+            1.0,
+            &mut c_mixed,
+            m,
+        );
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            -1.0f32,
+            &a32,
+            m,
+            &b32,
+            k,
+            1.0,
+            &mut c_full,
+            m,
+        );
+        assert_eq!(c_mixed, c_full);
+    }
+
+    #[test]
+    fn mixed_precision_loss_is_bounded() {
+        // The f16-rounded product must stay within the standard forward
+        // error bound  |C16 - C64| <= k * u16 * |A||B| (loosely applied).
+        let (m, n, k) = (16, 16, 64);
+        let a = rand_mat(m, k, 7);
+        let b = rand_mat(k, n, 8);
+        let a16: Vec<F16> = a.as_slice().iter().map(|&x| F16::from_f64(x)).collect();
+        let b16: Vec<F16> = b.as_slice().iter().map(|&x| F16::from_f64(x)).collect();
+        let mut c16 = vec![0.0f32; m * n];
+        gemm_mixed(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a16,
+            m,
+            &b16,
+            k,
+            0.0,
+            &mut c16,
+            m,
+        );
+        let mut c64 = Mat::<f64>::zeros(m, n);
+        naive(Trans::No, Trans::No, m, n, k, 1.0, &a, &b, 0.0, &mut c64);
+        let bound = k as f64 * mxp_precision::F16_EPS * 0.25 * 4.0; // |a|,|b| <= 0.5
+        for j in 0..n {
+            for i in 0..m {
+                let d = (c16[j * m + i] as f64 - c64[(i, j)]).abs();
+                assert!(d <= bound, "({i},{j}): diff {d} > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn trans_equals_manual_transpose() {
+        let (m, n, k) = (19, 13, 22);
+        let at = rand_mat(k, m, 40); // stored transposed
+        let a = Mat::from_fn(m, k, |i, j| at[(j, i)]);
+        let b = rand_mat(k, n, 41);
+        let mut c1 = Mat::<f64>::zeros(m, n);
+        let mut c2 = Mat::<f64>::zeros(m, n);
+        gemm(
+            Trans::Yes,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            at.as_slice(),
+            at.lda(),
+            b.as_slice(),
+            b.lda(),
+            0.0,
+            c1.as_mut_slice(),
+            m,
+        );
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.0,
+            a.as_slice(),
+            a.lda(),
+            b.as_slice(),
+            b.lda(),
+            0.0,
+            c2.as_mut_slice(),
+            m,
+        );
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer too small")]
+    fn undersized_a_panics() {
+        let a = vec![0.0f64; 5];
+        let b = vec![0.0f64; 9];
+        let mut c = vec![0.0f64; 9];
+        gemm(
+            Trans::No,
+            Trans::No,
+            3,
+            3,
+            3,
+            1.0,
+            &a,
+            3,
+            &b,
+            3,
+            0.0,
+            &mut c,
+            3,
+        );
+    }
+}

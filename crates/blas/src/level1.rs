@@ -1,0 +1,246 @@
+//! Level-1 BLAS: vector kernels used inside the factorizations and
+//! iterative refinement (IAMAX drives partial pivoting; AXPY/SCAL/DOT/NRM2
+//! round out the standard surface).
+
+use mxp_precision::Real;
+
+/// Index of the element with the largest absolute value (first on ties).
+/// Returns `None` for an empty slice — unlike reference BLAS's 0 sentinel,
+/// which is a footgun.
+pub fn iamax<R: Real>(x: &[R]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    let mut best_val = x[0].abs();
+    for (i, v) in x.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > best_val {
+            best_val = a;
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// `y ← α·x + y`.
+pub fn axpy<R: Real>(alpha: R, x: &[R], y: &mut [R]) {
+    assert!(y.len() >= x.len(), "y shorter than x");
+    if alpha == R::ZERO {
+        return;
+    }
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi = xi.mul_add(alpha, *yi);
+    }
+}
+
+/// `x ← α·x`.
+pub fn scal<R: Real>(alpha: R, x: &mut [R]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Dot product `xᵀ·y` (fused accumulation).
+pub fn dot<R: Real>(x: &[R], y: &[R]) -> R {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let mut acc = R::ZERO;
+    for (&xi, &yi) in x.iter().zip(y) {
+        acc = xi.mul_add(yi, acc);
+    }
+    acc
+}
+
+/// Euclidean norm with overflow-safe scaling (the LAPACK `dnrm2` trick).
+pub fn nrm2<R: Real>(x: &[R]) -> R {
+    let mut scale = R::ZERO;
+    let mut ssq = R::ONE;
+    for &xi in x {
+        if xi == R::ZERO {
+            continue;
+        }
+        let a = xi.abs();
+        if scale < a {
+            let r = scale / a;
+            ssq = R::ONE + ssq * r * r;
+            scale = a;
+        } else {
+            let r = a / scale;
+            ssq += r * r;
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Swaps two equal-length vectors element-wise.
+pub fn swap<R: Real>(x: &mut [R], y: &mut [R]) {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        core::mem::swap(xi, yi);
+    }
+}
+
+/// Rank-1 update `A ← A + α·x·yᵀ` on an `m × n` column-major matrix.
+pub fn ger<R: Real>(m: usize, n: usize, alpha: R, x: &[R], y: &[R], a: &mut [R], lda: usize) {
+    assert!(x.len() >= m && y.len() >= n, "vector too short");
+    assert!(lda >= m.max(1), "lda {lda} < m {m}");
+    if m > 0 && n > 0 {
+        assert!(a.len() >= lda * (n - 1) + m, "A buffer too small");
+    }
+    if alpha == R::ZERO {
+        return;
+    }
+    for j in 0..n {
+        let ayj = alpha * y[j];
+        if ayj != R::ZERO {
+            let col = &mut a[j * lda..j * lda + m];
+            for (aij, &xi) in col.iter_mut().zip(x) {
+                *aij = xi.mul_add(ayj, *aij);
+            }
+        }
+    }
+}
+
+/// Applies LAPACK-style row interchanges to an `n`-column matrix:
+/// for each `j`, swaps row `j` with row `ipiv[j]` (forward order) —
+/// the `laswp` used to keep HPL's `L` coherent after pivoting.
+pub fn laswp<R: Real>(n_cols: usize, a: &mut [R], lda: usize, ipiv: &[usize]) {
+    for (j, &p) in ipiv.iter().enumerate() {
+        if p != j {
+            for c in 0..n_cols {
+                a.swap(c * lda + j, c * lda + p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iamax_finds_peak() {
+        assert_eq!(iamax(&[1.0f64, -5.0, 3.0]), Some(1));
+        assert_eq!(iamax(&[0.0f64]), Some(0));
+        assert_eq!(iamax::<f64>(&[]), None);
+        // First on ties.
+        assert_eq!(iamax(&[2.0f32, -2.0]), Some(0));
+    }
+
+    #[test]
+    fn axpy_scal_dot() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [10.0f64, 20.0, 30.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [6.0, 12.0, 18.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+    }
+
+    #[test]
+    fn axpy_alpha_zero_noop_even_with_nan_x() {
+        let x = [f64::NAN];
+        let mut y = [1.0f64];
+        axpy(0.0, &x, &mut y);
+        assert_eq!(y, [1.0]);
+    }
+
+    #[test]
+    fn nrm2_overflow_safe() {
+        // Plain sum-of-squares of 1e200 would overflow to inf.
+        let x = [1e200f64, 1e200];
+        let n = nrm2(&x);
+        assert!(n.is_finite());
+        assert!((n - 1e200 * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+        // And underflow-safe.
+        let tiny = [1e-200f64, 1e-200];
+        let n = nrm2(&tiny);
+        assert!(n > 0.0);
+        assert!((n - 1e-200 * std::f64::consts::SQRT_2).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn nrm2_matches_naive_in_range() {
+        let x = [3.0f64, 4.0];
+        assert!((nrm2(&x) - 5.0).abs() < 1e-14);
+        assert_eq!(nrm2::<f64>(&[]), 0.0);
+        assert_eq!(nrm2(&[0.0f64, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn ger_rank1() {
+        // A += 2 * [1,2]^T [3,4]: col-major 2x2.
+        let mut a = [1.0f64, 1.0, 1.0, 1.0];
+        ger(2, 2, 2.0, &[1.0, 2.0], &[3.0, 4.0], &mut a, 2);
+        assert_eq!(a, [7.0, 13.0, 9.0, 17.0]);
+        // alpha = 0 is a no-op even with NaN inputs.
+        let mut b = [1.0f64];
+        ger(1, 1, 0.0, &[f64::NAN], &[f64::NAN], &mut b, 1);
+        assert_eq!(b, [1.0]);
+    }
+
+    #[test]
+    fn laswp_matches_manual_swaps() {
+        // 3x2 matrix, swap row 0 <-> 2 then row 1 <-> 1 (no-op).
+        let mut a = [1.0f64, 2.0, 3.0, 10.0, 20.0, 30.0];
+        laswp(2, &mut a, 3, &[2, 1, 2]);
+        // j=0: swap rows 0,2 -> [3,2,1 | 30,20,10]; j=1 noop; j=2: swap 2,2 noop.
+        assert_eq!(a, [3.0, 2.0, 1.0, 30.0, 20.0, 10.0]);
+    }
+
+    #[test]
+    fn laswp_roundtrips_with_pivoted_getrf() {
+        use crate::{getrf_pivoted, Mat};
+        let n = 8;
+        let mut s = 77u64;
+        let a0 = Mat::from_fn(n, n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / 9.007199254740992e15) - 0.5
+        });
+        let mut lu = a0.clone();
+        let ipiv = getrf_pivoted(n, lu.as_mut_slice(), n).unwrap();
+        // Applying the same interchanges to A gives P·A, which must equal
+        // the L·U reconstruction.
+        let mut pa = a0.clone();
+        laswp(n, pa.as_mut_slice(), n, &ipiv);
+        let l = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                lu[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let u = Mat::from_fn(n, n, |i, j| if i <= j { lu[(i, j)] } else { 0.0 });
+        let mut back = Mat::<f64>::zeros(n, n);
+        crate::gemm(
+            crate::Trans::No,
+            crate::Trans::No,
+            n,
+            n,
+            n,
+            1.0,
+            l.as_slice(),
+            n,
+            u.as_slice(),
+            n,
+            0.0,
+            back.as_mut_slice(),
+            n,
+        );
+        assert!(back.max_abs_diff(&pa) < 1e-12);
+    }
+
+    #[test]
+    fn swap_exchanges() {
+        let mut a = [1.0f32, 2.0];
+        let mut b = [3.0f32, 4.0];
+        swap(&mut a, &mut b);
+        assert_eq!(a, [3.0, 4.0]);
+        assert_eq!(b, [1.0, 2.0]);
+    }
+}

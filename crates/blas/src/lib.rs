@@ -1,0 +1,47 @@
+//! # mxp-blas — dense column-major BLAS kernels
+//!
+//! The paper's HPL-AI implementation calls four BLAS families through a
+//! cross-platform shim (Table II): **GEMM** (`cublasSgemmEx` /
+//! `rocblas_gemm_ex`, FP16 inputs with FP32 accumulation), **TRSM**
+//! (`cublasStrsm` / `rocblas_strsm`), **GETRF** (`cusolverDnSgetrf` /
+//! `rocsolver_sgetrf`, no pivoting needed thanks to diagonal dominance), and
+//! **TRSV**/**GEMV** on the CPU for iterative refinement. This crate
+//! implements all of them from scratch with the same calling conventions
+//! (column-major storage, explicit leading dimension `lda`, in-place
+//! triangular solves), so the distributed driver in `hplai-core` is a
+//! line-for-line realization of the paper's Algorithm 1.
+//!
+//! Kernel notes:
+//!
+//! * [`gemm_mixed`] reproduces tensor-core semantics: operands are read in a
+//!   reduced format (`F16`, `B16`, or `f32` via the [`LowPrec`] trait),
+//!   widened to f32, and accumulated in f32.
+//! * All level-3 kernels are cache-blocked and parallelized with rayon;
+//!   level-2/1 kernels are sequential (they are never on the critical path
+//!   at the scales the functional mode runs).
+//! * Dimension errors are programming errors and panic, as in reference
+//!   BLAS with `XERBLA`.
+
+#![deny(missing_docs)]
+
+mod cast;
+mod gemm;
+mod gemv;
+mod getrf;
+mod level1;
+mod mat;
+mod norms;
+mod trsm;
+mod trsv;
+
+pub use cast::{cast_f32_to_low, trans_cast_f32_to_low, widen_low_to_f32};
+pub use gemm::{gemm, gemm_mixed, Trans};
+pub use gemv::gemv;
+pub use getrf::{apply_pivots, getrf_nopiv, getrf_pivoted, GetrfError};
+pub use level1::{axpy, dot, ger, iamax, laswp, nrm2, scal, swap};
+pub use mat::Mat;
+pub use norms::{mat_inf_norm, vec_inf_norm, vec_inf_norm_f32};
+pub use trsm::{trsm, Diag, Side, Uplo};
+pub use trsv::trsv;
+
+pub use mxp_precision::{LowPrec, Real};

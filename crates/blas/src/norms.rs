@@ -1,0 +1,71 @@
+//! Vector and matrix norms used by the convergence test.
+//!
+//! The paper's stopping criterion (Algorithm 1 line 44) is
+//! `‖r‖∞ < 8·N·ε·(2·‖diag(A)‖∞·‖x‖∞ + ‖b‖∞)`; everything it needs is an
+//! infinity norm.
+
+use mxp_precision::Real;
+
+/// Infinity norm of a vector: `max |x_i|`. Returns 0 for an empty vector.
+pub fn vec_inf_norm<R: Real>(x: &[R]) -> f64 {
+    x.iter().fold(0.0f64, |m, v| m.max(v.abs().to_f64()))
+}
+
+/// Infinity norm of an f32 vector, accumulated in f64.
+pub fn vec_inf_norm_f32(x: &[f32]) -> f64 {
+    x.iter().fold(0.0f64, |m, &v| m.max((v as f64).abs()))
+}
+
+/// Matrix infinity norm (max absolute row sum) of an `m × n` column-major
+/// matrix with leading dimension `lda`.
+pub fn mat_inf_norm<R: Real>(m: usize, n: usize, a: &[R], lda: usize) -> f64 {
+    assert!(lda >= m.max(1));
+    if m > 0 && n > 0 {
+        assert!(a.len() >= lda * (n - 1) + m);
+    }
+    let mut row_sums = vec![0.0f64; m];
+    for j in 0..n {
+        let col = &a[j * lda..j * lda + m];
+        for (s, v) in row_sums.iter_mut().zip(col) {
+            *s += v.abs().to_f64();
+        }
+    }
+    row_sums.into_iter().fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_norms() {
+        assert_eq!(vec_inf_norm(&[1.0f64, -3.0, 2.0]), 3.0);
+        assert_eq!(vec_inf_norm::<f64>(&[]), 0.0);
+        assert_eq!(vec_inf_norm_f32(&[0.5, -0.25]), 0.5);
+    }
+
+    #[test]
+    fn mat_norm_is_max_row_sum() {
+        // [[1, -2], [3, 4]]: row sums 3 and 7.
+        let a = [1.0f64, 3.0, -2.0, 4.0];
+        assert_eq!(mat_inf_norm(2, 2, &a, 2), 7.0);
+    }
+
+    #[test]
+    fn mat_norm_with_lda() {
+        let mut a = vec![99.0f64; 3 * 2 + 1];
+        // 2x2 matrix in lda=3 storage; padding rows hold 99 and must be
+        // ignored.
+        a[0] = 1.0;
+        a[1] = 1.0;
+        a[3] = 1.0;
+        a[4] = 1.0;
+        assert_eq!(mat_inf_norm(2, 2, &a, 3), 2.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let a: [f64; 0] = [];
+        assert_eq!(mat_inf_norm(0, 0, &a, 1), 0.0);
+    }
+}

@@ -1,0 +1,632 @@
+//! Triangular solve with multiple right-hand sides (TRSM).
+//!
+//! The paper's Panel Update (§III-C, Algorithm 1 lines 13/22) uses two
+//! variants: `TRSM_L_LOW` solves `L₁₁·X = A₁₂` for the `U` panel (left,
+//! lower, unit-diagonal), and `TRSM_R_UP` solves `X·U₁₁ = A₂₁` for the `L`
+//! panel (right, upper, non-unit diagonal). All eight side/uplo/diag
+//! combinations are implemented so the kernel matches the full
+//! `cublasStrsm`/`rocblas_strsm` contract.
+
+use crate::gemm::{gemm, Trans};
+use mxp_precision::Real;
+
+/// Which side the triangular matrix appears on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Side {
+    /// Solve `op(A)·X = α·B`.
+    Left,
+    /// Solve `X·op(A) = α·B`.
+    Right,
+}
+
+/// Whether the triangular matrix is upper or lower triangular.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Uplo {
+    /// Upper triangular.
+    Upper,
+    /// Lower triangular.
+    Lower,
+}
+
+/// Whether the triangular matrix has an implicit unit diagonal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Diag {
+    /// Diagonal entries are read from storage.
+    NonUnit,
+    /// Diagonal entries are assumed to be one (storage not read).
+    Unit,
+}
+
+/// Blocking size for the recursive split; below this the unblocked kernel
+/// runs. 64 keeps the triangular tile plus a B panel in L1/L2.
+const TRSM_BLOCK: usize = 64;
+
+/// Solves a triangular system in place: `B ← α · op(A)⁻¹ · B` (Left) or
+/// `B ← α · B · op(A)⁻¹` (Right). `A` is `k × k` where `k = m` for Left and
+/// `k = n` for Right; `B` is `m × n`. No transpose support — the HPL-AI data
+/// flow never needs it (the `U` panel is transposed explicitly by
+/// TRANS_CAST instead).
+///
+/// ```
+/// use mxp_blas::{trsm, Side, Uplo, Diag};
+/// // Solve L X = B with L = [[2,0],[1,1]] (non-unit), B = [[2],[2]].
+/// let l = [2.0f64, 1.0, 0.0, 1.0];
+/// let mut b = [2.0f64, 2.0];
+/// trsm(Side::Left, Uplo::Lower, Diag::NonUnit, 2, 1, 1.0, &l, 2, &mut b, 2);
+/// assert_eq!(b, [1.0, 1.0]);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn trsm<R: Real>(
+    side: Side,
+    uplo: Uplo,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    alpha: R,
+    a: &[R],
+    lda: usize,
+    b: &mut [R],
+    ldb: usize,
+) {
+    let k = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    assert!(lda >= k.max(1), "lda {lda} < k {k}");
+    if k > 0 {
+        assert!(a.len() >= lda * (k - 1) + k, "A buffer too small");
+    }
+    assert!(ldb >= m.max(1), "ldb {ldb} < m {m}");
+    if n > 0 && m > 0 {
+        assert!(b.len() >= ldb * (n - 1) + m, "B buffer too small");
+    }
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha != R::ONE {
+        for j in 0..n {
+            for x in &mut b[j * ldb..j * ldb + m] {
+                *x = if alpha == R::ZERO {
+                    R::ZERO
+                } else {
+                    *x * alpha
+                };
+            }
+        }
+        if alpha == R::ZERO {
+            return;
+        }
+    }
+    trsm_rec(side, uplo, diag, m, n, a, lda, b, ldb);
+}
+
+/// Recursive blocked TRSM on the already α-scaled B.
+#[allow(clippy::too_many_arguments)]
+fn trsm_rec<R: Real>(
+    side: Side,
+    uplo: Uplo,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    a: &[R],
+    lda: usize,
+    b: &mut [R],
+    ldb: usize,
+) {
+    let k = match side {
+        Side::Left => m,
+        Side::Right => n,
+    };
+    if k <= TRSM_BLOCK {
+        trsm_unblocked(side, uplo, diag, m, n, a, lda, b, ldb);
+        return;
+    }
+    let k1 = k / 2;
+    let k2 = k - k1;
+    // Split A into [A11 A12; A21 A22] at k1. Only one off-diagonal block is
+    // populated depending on uplo.
+    match (side, uplo) {
+        (Side::Left, Uplo::Lower) => {
+            // [L11 0; L21 L22] X = B  =>  X1 = L11^-1 B1;
+            // B2 -= L21 X1; X2 = L22^-1 B2.
+            trsm_rec(side, uplo, diag, k1, n, a, lda, b, ldb);
+            // Row blocks of B interleave in memory, so the solved X1 is
+            // packed into a tight scratch buffer before the rank-k1 update
+            // of the lower rows (keeps the GEMM operands non-aliasing).
+            let x1 = pack_rows(b, 0, k1, n, ldb);
+            let a21 = &a[k1..];
+            let b2 = &mut b[k1..];
+            gemm(
+                Trans::No,
+                Trans::No,
+                k2,
+                n,
+                k1,
+                -R::ONE,
+                a21,
+                lda,
+                &x1,
+                k1,
+                R::ONE,
+                b2,
+                ldb,
+            );
+            trsm_rec(side, uplo, diag, k2, n, &a[k1 * lda + k1..], lda, b2, ldb);
+        }
+        (Side::Left, Uplo::Upper) => {
+            // [U11 U12; 0 U22] X = B  =>  X2 = U22^-1 B2;
+            // B1 -= U12 X2; X1 = U11^-1 B1.
+            trsm_rec(
+                side,
+                uplo,
+                diag,
+                k2,
+                n,
+                &a[k1 * lda + k1..],
+                lda,
+                &mut b[k1..],
+                ldb,
+            );
+            let x2 = pack_rows(b, k1, k2, n, ldb);
+            let a12 = &a[k1 * lda..];
+            gemm(
+                Trans::No,
+                Trans::No,
+                k1,
+                n,
+                k2,
+                -R::ONE,
+                a12,
+                lda,
+                &x2,
+                k2,
+                R::ONE,
+                b,
+                ldb,
+            );
+            trsm_rec(side, uplo, diag, k1, n, a, lda, b, ldb);
+        }
+        (Side::Right, Uplo::Upper) => {
+            // X [U11 U12; 0 U22] = B  =>  X1 = B1 U11^-1;
+            // B2 -= X1 U12; X2 = B2 U22^-1.
+            trsm_rec(side, uplo, diag, m, k1, a, lda, b, ldb);
+            let a12 = &a[k1 * lda..];
+            let (b1, b2) = split_cols(b, k1, ldb);
+            gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                k2,
+                k1,
+                -R::ONE,
+                b1,
+                ldb,
+                a12,
+                lda,
+                R::ONE,
+                b2,
+                ldb,
+            );
+            trsm_rec(side, uplo, diag, m, k2, &a[k1 * lda + k1..], lda, b2, ldb);
+        }
+        (Side::Right, Uplo::Lower) => {
+            // X [L11 0; L21 L22] = B  =>  X2 = B2 L22^-1;
+            // B1 -= X2 L21; X1 = B1 L11^-1.
+            let (b1, b2) = split_cols(b, k1, ldb);
+            trsm_rec(side, uplo, diag, m, k2, &a[k1 * lda + k1..], lda, b2, ldb);
+            let a21 = &a[k1..];
+            gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                k1,
+                k2,
+                -R::ONE,
+                b2,
+                ldb,
+                a21,
+                lda,
+                R::ONE,
+                b1,
+                ldb,
+            );
+            trsm_rec(side, uplo, diag, m, k1, a, lda, b1, ldb);
+        }
+    }
+}
+
+/// Packs rows `[r0, r0+rows)` of the `ldb`-strided matrix into a tight
+/// `rows × n` column-major buffer.
+fn pack_rows<R: Real>(b: &[R], r0: usize, rows: usize, n: usize, ldb: usize) -> Vec<R> {
+    let mut out = vec![R::ZERO; rows * n];
+    for j in 0..n {
+        out[j * rows..(j + 1) * rows].copy_from_slice(&b[j * ldb + r0..j * ldb + r0 + rows]);
+    }
+    out
+}
+
+/// Splits B into column blocks at column `k1` (stride ldb): safe split.
+fn split_cols<R>(b: &mut [R], k1: usize, ldb: usize) -> (&mut [R], &mut [R]) {
+    b.split_at_mut(k1 * ldb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn trsm_unblocked<R: Real>(
+    side: Side,
+    uplo: Uplo,
+    diag: Diag,
+    m: usize,
+    n: usize,
+    a: &[R],
+    lda: usize,
+    b: &mut [R],
+    ldb: usize,
+) {
+    match (side, uplo) {
+        (Side::Left, Uplo::Lower) => {
+            // Forward substitution down each column of B.
+            for j in 0..n {
+                let col = &mut b[j * ldb..j * ldb + m];
+                for i in 0..m {
+                    let mut x = col[i];
+                    for l in 0..i {
+                        x = (-a[l * lda + i]).mul_add(col[l], x);
+                    }
+                    if diag == Diag::NonUnit {
+                        x /= a[i * lda + i];
+                    }
+                    col[i] = x;
+                }
+            }
+        }
+        (Side::Left, Uplo::Upper) => {
+            for j in 0..n {
+                let col = &mut b[j * ldb..j * ldb + m];
+                for i in (0..m).rev() {
+                    let mut x = col[i];
+                    for l in i + 1..m {
+                        x = (-a[l * lda + i]).mul_add(col[l], x);
+                    }
+                    if diag == Diag::NonUnit {
+                        x /= a[i * lda + i];
+                    }
+                    col[i] = x;
+                }
+            }
+        }
+        (Side::Right, Uplo::Upper) => {
+            // X U = B: columns of X resolved left to right.
+            for j in 0..n {
+                // b[:, j] -= sum_{l<j} x[:, l] * U[l, j]; then divide.
+                for l in 0..j {
+                    let ulj = a[j * lda + l];
+                    if ulj != R::ZERO {
+                        let (done, cur) = b.split_at_mut(j * ldb);
+                        let xl = &done[l * ldb..l * ldb + m];
+                        let cj = &mut cur[..m];
+                        for (c, &x) in cj.iter_mut().zip(xl) {
+                            *c = (-ulj).mul_add(x, *c);
+                        }
+                    }
+                }
+                if diag == Diag::NonUnit {
+                    let d = a[j * lda + j];
+                    for c in &mut b[j * ldb..j * ldb + m] {
+                        *c /= d;
+                    }
+                }
+            }
+        }
+        (Side::Right, Uplo::Lower) => {
+            // X L = B: columns resolved right to left.
+            for j in (0..n).rev() {
+                for l in j + 1..n {
+                    let llj = a[j * lda + l];
+                    if llj != R::ZERO {
+                        let (before, after) = b.split_at_mut(l * ldb);
+                        let cj = &mut before[j * ldb..j * ldb + m];
+                        let xl = &after[..m];
+                        for (c, &x) in cj.iter_mut().zip(xl) {
+                            *c = (-llj).mul_add(x, *c);
+                        }
+                    }
+                }
+                if diag == Diag::NonUnit {
+                    let d = a[j * lda + j];
+                    for c in &mut b[j * ldb..j * ldb + m] {
+                        *c /= d;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed;
+        Mat::from_fn(rows, cols, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / 9.007199254740992e15) - 0.5
+        })
+    }
+
+    /// Well-conditioned triangular factor: random strictly-triangular part
+    /// with a dominant diagonal.
+    fn tri_mat(k: usize, uplo: Uplo, diag: Diag, seed: u64) -> Mat<f64> {
+        let r = rand_mat(k, k, seed);
+        Mat::from_fn(k, k, |i, j| {
+            let keep = match uplo {
+                Uplo::Lower => i > j,
+                Uplo::Upper => i < j,
+            };
+            if i == j {
+                match diag {
+                    Diag::Unit => 123.0, // junk: must never be read
+                    Diag::NonUnit => 2.0 + r[(i, j)],
+                }
+            } else if keep {
+                r[(i, j)] * 0.5 / k as f64
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Multiplies using the mathematical triangular operator (honoring Unit).
+    fn tri_apply(side: Side, uplo: Uplo, diag: Diag, a: &Mat<f64>, x: &Mat<f64>) -> Mat<f64> {
+        let k = a.rows();
+        let aa = Mat::from_fn(k, k, |i, j| {
+            if i == j {
+                match diag {
+                    Diag::Unit => 1.0,
+                    Diag::NonUnit => a[(i, j)],
+                }
+            } else {
+                let keep = match uplo {
+                    Uplo::Lower => i > j,
+                    Uplo::Upper => i < j,
+                };
+                if keep {
+                    a[(i, j)]
+                } else {
+                    0.0
+                }
+            }
+        });
+        let (m, n) = (x.rows(), x.cols());
+        let mut out = Mat::<f64>::zeros(m, n);
+        match side {
+            Side::Left => crate::gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                m,
+                1.0,
+                aa.as_slice(),
+                k,
+                x.as_slice(),
+                m,
+                0.0,
+                out.as_mut_slice(),
+                m,
+            ),
+            Side::Right => crate::gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                n,
+                1.0,
+                x.as_slice(),
+                m,
+                aa.as_slice(),
+                k,
+                0.0,
+                out.as_mut_slice(),
+                m,
+            ),
+        }
+        out
+    }
+
+    fn check_variant(side: Side, uplo: Uplo, diag: Diag, m: usize, n: usize) {
+        let k = match side {
+            Side::Left => m,
+            Side::Right => n,
+        };
+        let a = tri_mat(k, uplo, diag, 42);
+        let b = rand_mat(m, n, 7);
+        let mut x = b.clone();
+        trsm(
+            side,
+            uplo,
+            diag,
+            m,
+            n,
+            1.0,
+            a.as_slice(),
+            k,
+            x.as_mut_slice(),
+            m,
+        );
+        let back = tri_apply(side, uplo, diag, &a, &x);
+        let d = back.max_abs_diff(&b);
+        assert!(d < 1e-10, "{side:?}/{uplo:?}/{diag:?} residual {d}");
+    }
+
+    #[test]
+    fn all_eight_variants_small() {
+        for &side in &[Side::Left, Side::Right] {
+            for &uplo in &[Uplo::Lower, Uplo::Upper] {
+                for &diag in &[Diag::NonUnit, Diag::Unit] {
+                    check_variant(side, uplo, diag, 13, 9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_eight_variants_blocked() {
+        // k > TRSM_BLOCK exercises the recursive splitting + GEMM updates.
+        for &side in &[Side::Left, Side::Right] {
+            for &uplo in &[Uplo::Lower, Uplo::Upper] {
+                for &diag in &[Diag::NonUnit, Diag::Unit] {
+                    let (m, n) = match side {
+                        Side::Left => (150, 40),
+                        Side::Right => (40, 150),
+                    };
+                    check_variant(side, uplo, diag, m, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_scaling() {
+        let a = tri_mat(4, Uplo::Lower, Diag::NonUnit, 3);
+        let b = rand_mat(4, 2, 9);
+        let mut x1 = b.clone();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Diag::NonUnit,
+            4,
+            2,
+            2.0,
+            a.as_slice(),
+            4,
+            x1.as_mut_slice(),
+            4,
+        );
+        let mut x2 = b.clone();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Diag::NonUnit,
+            4,
+            2,
+            1.0,
+            a.as_slice(),
+            4,
+            x2.as_mut_slice(),
+            4,
+        );
+        for j in 0..2 {
+            for i in 0..4 {
+                assert!((x1[(i, j)] - 2.0 * x2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_zero_zeroes_b() {
+        let a = tri_mat(3, Uplo::Upper, Diag::NonUnit, 3);
+        let mut x = rand_mat(3, 3, 1);
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Diag::NonUnit,
+            3,
+            3,
+            0.0,
+            a.as_slice(),
+            3,
+            x.as_mut_slice(),
+            3,
+        );
+        assert!(x.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn unit_diag_ignores_stored_diagonal() {
+        // tri_mat stores junk (123.0) on the diagonal for Unit; if the
+        // kernel read it the residual check would explode.
+        check_variant(Side::Left, Uplo::Lower, Diag::Unit, 20, 5);
+        check_variant(Side::Right, Uplo::Upper, Diag::Unit, 5, 20);
+    }
+
+    #[test]
+    fn respects_lda_ldb() {
+        let k = 6;
+        let a_tight = tri_mat(k, Uplo::Upper, Diag::NonUnit, 11);
+        let mut a_pad = Mat::<f64>::zeros_lda(k, k, 10);
+        for j in 0..k {
+            for i in 0..k {
+                a_pad[(i, j)] = a_tight[(i, j)];
+            }
+        }
+        let b = rand_mat(k, 3, 2);
+        let mut x1 = b.clone();
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Diag::NonUnit,
+            k,
+            3,
+            1.0,
+            a_tight.as_slice(),
+            k,
+            x1.as_mut_slice(),
+            k,
+        );
+        let mut x2_pad = Mat::<f64>::zeros_lda(k, 3, 8);
+        for j in 0..3 {
+            for i in 0..k {
+                x2_pad[(i, j)] = b[(i, j)];
+            }
+        }
+        let ldx = x2_pad.lda();
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Diag::NonUnit,
+            k,
+            3,
+            1.0,
+            a_pad.as_slice(),
+            a_pad.lda(),
+            x2_pad.as_mut_slice(),
+            ldx,
+        );
+        for j in 0..3 {
+            for i in 0..k {
+                assert_eq!(x1[(i, j)], x2_pad[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_variants_f32() {
+        // The two variants Algorithm 1 actually uses, in the working
+        // precision it uses them in.
+        let k = 32;
+        let a64 = tri_mat(k, Uplo::Lower, Diag::Unit, 5);
+        let a: Vec<f32> = a64.as_slice().iter().map(|&v| v as f32).collect();
+        let b64 = rand_mat(k, 17, 6);
+        let mut b: Vec<f32> = b64.as_slice().iter().map(|&v| v as f32).collect();
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Diag::Unit,
+            k,
+            17,
+            1.0f32,
+            &a,
+            k,
+            &mut b,
+            k,
+        );
+        // Verify residual in f64.
+        let x = Mat::from_fn(k, 17, |i, j| b[j * k + i] as f64);
+        let back = tri_apply(Side::Left, Uplo::Lower, Diag::Unit, &a64, &x);
+        assert!(back.max_abs_diff(&b64) < 1e-4);
+    }
+}

@@ -1,0 +1,146 @@
+//! Triangular solve with a single right-hand side (TRSV).
+//!
+//! Iterative refinement (Algorithm 1 line 47) computes
+//! `d = U⁻¹(L⁻¹ r)` with two CPU TRSV calls (`TRSV_LOW`, `TRSV_UP`); the
+//! paper maps these to openBLAS on both systems (Table II).
+
+use crate::trsm::{Diag, Uplo};
+use mxp_precision::Real;
+
+/// Solves `op(A)·x = x` in place, where `A` is `n × n` triangular.
+///
+/// ```
+/// use mxp_blas::{trsv, Uplo, Diag};
+/// // U = [[2,1],[0,4]], solve U x = [4, 8] -> x = [1, 2]
+/// let u = [2.0f64, 0.0, 1.0, 4.0];
+/// let mut x = [4.0f64, 8.0];
+/// trsv(Uplo::Upper, Diag::NonUnit, 2, &u, 2, &mut x);
+/// assert_eq!(x, [1.0, 2.0]);
+/// ```
+pub fn trsv<R: Real>(uplo: Uplo, diag: Diag, n: usize, a: &[R], lda: usize, x: &mut [R]) {
+    assert!(lda >= n.max(1), "lda {lda} < n {n}");
+    if n > 0 {
+        assert!(a.len() >= lda * (n - 1) + n, "A buffer too small");
+    }
+    assert!(x.len() >= n, "x too short");
+    match uplo {
+        Uplo::Lower => {
+            for i in 0..n {
+                let mut v = x[i];
+                for j in 0..i {
+                    v = (-a[j * lda + i]).mul_add(x[j], v);
+                }
+                if diag == Diag::NonUnit {
+                    v /= a[i * lda + i];
+                }
+                x[i] = v;
+            }
+        }
+        Uplo::Upper => {
+            for i in (0..n).rev() {
+                let mut v = x[i];
+                for j in i + 1..n {
+                    v = (-a[j * lda + i]).mul_add(x[j], v);
+                }
+                if diag == Diag::NonUnit {
+                    v /= a[i * lda + i];
+                }
+                x[i] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gemm, getrf_nopiv, Mat, Trans};
+
+    fn dominant_mat(n: usize, seed: u64) -> Mat<f64> {
+        let mut s = seed;
+        Mat::from_fn(n, n, |i, j| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let r = ((s >> 11) as f64 / 9.007199254740992e15) - 0.5;
+            if i == j {
+                n as f64 / 2.0 + 1.0
+            } else {
+                r
+            }
+        })
+    }
+
+    #[test]
+    fn lower_unit_by_hand() {
+        // L = [[1,0],[3,1]] (unit), solve L x = [2, 7] -> x = [2, 1]
+        let l = [1.0f64, 3.0, 0.0, 1.0];
+        let mut x = [2.0f64, 7.0];
+        trsv(Uplo::Lower, Diag::Unit, 2, &l, 2, &mut x);
+        assert_eq!(x, [2.0, 1.0]);
+    }
+
+    #[test]
+    fn lu_then_trsv_solves_system() {
+        // The exact IR inner step: factor once, then d = U^-1 (L^-1 r).
+        let n = 50;
+        let a = dominant_mat(n, 4);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7) % 11) as f64 - 5.0).collect();
+        let mut b = vec![0.0; n];
+        gemm(
+            Trans::No,
+            Trans::No,
+            n,
+            1,
+            n,
+            1.0,
+            a.as_slice(),
+            n,
+            &x_true,
+            n,
+            0.0,
+            &mut b,
+            n,
+        );
+        let mut lu = a.clone();
+        getrf_nopiv(n, lu.as_mut_slice(), n).unwrap();
+        trsv(Uplo::Lower, Diag::Unit, n, lu.as_slice(), n, &mut b);
+        trsv(Uplo::Upper, Diag::NonUnit, n, lu.as_slice(), n, &mut b);
+        for i in 0..n {
+            assert!((b[i] - x_true[i]).abs() < 1e-10, "x[{i}]");
+        }
+    }
+
+    #[test]
+    fn unit_ignores_diagonal_storage() {
+        let l = [999.0f64, 2.0, 0.0, 999.0];
+        let mut x = [1.0f64, 5.0];
+        trsv(Uplo::Lower, Diag::Unit, 2, &l, 2, &mut x);
+        assert_eq!(x, [1.0, 3.0]);
+    }
+
+    #[test]
+    fn respects_lda() {
+        let n = 4;
+        let tight = dominant_mat(n, 6);
+        let mut pad = Mat::<f64>::zeros_lda(n, n, 7);
+        for j in 0..n {
+            for i in 0..n {
+                pad[(i, j)] = tight[(i, j)];
+            }
+        }
+        let rhs = [1.0, 2.0, 3.0, 4.0];
+        let mut x1 = rhs;
+        let mut x2 = rhs;
+        trsv(Uplo::Upper, Diag::NonUnit, n, tight.as_slice(), n, &mut x1);
+        trsv(Uplo::Upper, Diag::NonUnit, n, pad.as_slice(), 7, &mut x2);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn n_zero_noop() {
+        let a: [f64; 0] = [];
+        let mut x: [f64; 0] = [];
+        trsv(Uplo::Lower, Diag::Unit, 0, &a, 1, &mut x);
+    }
+}

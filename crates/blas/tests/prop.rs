@@ -1,0 +1,162 @@
+//! Property-based tests for the BLAS kernels.
+
+use mxp_blas::{gemm, gemm_mixed, gemv, getrf_nopiv, trsm, trsv, Diag, Mat, Side, Trans, Uplo};
+use mxp_precision::F16;
+use proptest::prelude::*;
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
+    let mut s = seed | 1;
+    Mat::from_fn(rows, cols, |_, _| {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((s >> 11) as f64 / 9.007199254740992e15) - 0.5
+    })
+}
+
+fn dominant_mat(n: usize, seed: u64) -> Mat<f64> {
+    let r = rand_mat(n, n, seed);
+    Mat::from_fn(n, n, |i, j| {
+        if i == j {
+            n as f64 / 2.0 + 1.0
+        } else {
+            r[(i, j)]
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// GEMV is GEMM with a single column.
+    #[test]
+    fn gemv_equals_one_column_gemm(m in 1usize..40, n in 1usize..40, seed: u64) {
+        let a = rand_mat(m, n, seed);
+        let x = rand_mat(n, 1, seed ^ 1);
+        let mut y1 = vec![0.5f64; m];
+        let mut y2 = y1.clone();
+        gemv(Trans::No, m, n, 1.5, a.as_slice(), m, x.as_slice(), 0.5, &mut y1);
+        gemm(Trans::No, Trans::No, m, 1, n, 1.5, a.as_slice(), m, x.as_slice(), n, 0.5, &mut y2, m);
+        for i in 0..m {
+            prop_assert!((y1[i] - y2[i]).abs() < 1e-12);
+        }
+    }
+
+    /// GEMM is linear in alpha.
+    #[test]
+    fn gemm_alpha_linearity(m in 1usize..24, n in 1usize..24, k in 1usize..24, seed: u64) {
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(k, n, seed ^ 2);
+        let mut c1 = Mat::<f64>::zeros(m, n);
+        let mut c2 = Mat::<f64>::zeros(m, n);
+        gemm(Trans::No, Trans::No, m, n, k, 2.0, a.as_slice(), m, b.as_slice(), k, 0.0, c1.as_mut_slice(), m);
+        gemm(Trans::No, Trans::No, m, n, k, 1.0, a.as_slice(), m, b.as_slice(), k, 0.0, c2.as_mut_slice(), m);
+        for j in 0..n {
+            for i in 0..m {
+                prop_assert!((c1[(i, j)] - 2.0 * c2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    /// A·I == A for all sizes.
+    #[test]
+    fn gemm_identity(m in 1usize..32, n in 1usize..32, seed: u64) {
+        let a = rand_mat(m, n, seed);
+        let id = Mat::<f64>::identity(n);
+        let mut c = Mat::<f64>::zeros(m, n);
+        gemm(Trans::No, Trans::No, m, n, n, 1.0, a.as_slice(), m, id.as_slice(), n, 0.0, c.as_mut_slice(), m);
+        prop_assert!(c.max_abs_diff(&a) == 0.0);
+    }
+
+    /// TRSM solves what it claims: op(A)·X == B for left-lower-unit (the
+    /// paper's TRSM_L_LOW shape) at random sizes.
+    #[test]
+    fn trsm_left_lower_roundtrip(m in 1usize..90, n in 1usize..30, seed: u64) {
+        let r = rand_mat(m, m, seed);
+        let a = Mat::from_fn(m, m, |i, j| {
+            if i > j { r[(i, j)] / m as f64 } else if i == j { f64::NAN } else { 0.0 }
+        });
+        // NaN on the diagonal proves Diag::Unit never reads it.
+        let b = rand_mat(m, n, seed ^ 3);
+        let mut x = b.clone();
+        trsm(Side::Left, Uplo::Lower, Diag::Unit, m, n, 1.0, a.as_slice(), m, x.as_mut_slice(), m);
+        // Multiply back with explicit unit diagonal.
+        let mut back = x.clone();
+        for j in 0..n {
+            for i in (0..m).rev() {
+                let mut acc = x[(i, j)];
+                for l in 0..i {
+                    acc += a[(i, l)] * x[(l, j)];
+                }
+                back[(i, j)] = acc;
+            }
+        }
+        prop_assert!(back.max_abs_diff(&b) < 1e-9);
+    }
+
+    /// GETRF(no-pivot) factors every diagonally dominant matrix and the
+    /// factors reproduce A.
+    #[test]
+    fn getrf_reconstructs(n in 2usize..70, seed: u64) {
+        let a = dominant_mat(n, seed);
+        let mut lu = a.clone();
+        prop_assert!(getrf_nopiv(n, lu.as_mut_slice(), n).is_ok());
+        let l = Mat::from_fn(n, n, |i, j| if i == j { 1.0 } else if i > j { lu[(i, j)] } else { 0.0 });
+        let u = Mat::from_fn(n, n, |i, j| if i <= j { lu[(i, j)] } else { 0.0 });
+        let mut back = Mat::<f64>::zeros(n, n);
+        gemm(Trans::No, Trans::No, n, n, n, 1.0, l.as_slice(), n, u.as_slice(), n, 0.0, back.as_mut_slice(), n);
+        prop_assert!(back.max_abs_diff(&a) < 1e-10 * n as f64);
+    }
+
+    /// LU + two TRSV solves the system to working precision.
+    #[test]
+    fn lu_solve_accuracy(n in 2usize..60, seed: u64) {
+        let a = dominant_mat(n, seed);
+        let x_true = rand_mat(n, 1, seed ^ 9);
+        let mut b = vec![0.0; n];
+        gemv(Trans::No, n, n, 1.0, a.as_slice(), n, x_true.as_slice(), 0.0, &mut b);
+        let mut lu = a.clone();
+        getrf_nopiv(n, lu.as_mut_slice(), n).unwrap();
+        trsv(Uplo::Lower, Diag::Unit, n, lu.as_slice(), n, &mut b);
+        trsv(Uplo::Upper, Diag::NonUnit, n, lu.as_slice(), n, &mut b);
+        for i in 0..n {
+            prop_assert!((b[i] - x_true[(i, 0)]).abs() < 1e-9);
+        }
+    }
+
+    /// Mixed GEMM with fp32 "low" inputs equals full fp32 GEMM exactly
+    /// (the identity-format control).
+    #[test]
+    fn mixed_fp32_is_exact_control(m in 1usize..24, n in 1usize..24, k in 1usize..24, seed: u64) {
+        let a64 = rand_mat(m, k, seed);
+        let b64 = rand_mat(k, n, seed ^ 4);
+        let a: Vec<f32> = a64.as_slice().iter().map(|&v| v as f32).collect();
+        let b: Vec<f32> = b64.as_slice().iter().map(|&v| v as f32).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_mixed::<f32>(Trans::No, Trans::No, m, n, k, 1.0, &a, m, &b, k, 0.0, &mut c1, m);
+        gemm(Trans::No, Trans::No, m, n, k, 1.0f32, &a, m, &b, k, 0.0, &mut c2, m);
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// f16 GEMM error stays inside the forward bound k·u·max|a|·max|b|·growth.
+    #[test]
+    fn mixed_f16_error_bound(m in 1usize..16, n in 1usize..16, k in 1usize..48, seed: u64) {
+        let a64 = rand_mat(m, k, seed);
+        let b64 = rand_mat(k, n, seed ^ 5);
+        let a16: Vec<F16> = a64.as_slice().iter().map(|&v| F16::from_f64(v)).collect();
+        let b16: Vec<F16> = b64.as_slice().iter().map(|&v| F16::from_f64(v)).collect();
+        let mut c = vec![0.0f32; m * n];
+        gemm_mixed(Trans::No, Trans::No, m, n, k, 1.0, &a16, m, &b16, k, 0.0, &mut c, m);
+        for j in 0..n {
+            for i in 0..m {
+                let mut exact = 0.0f64;
+                for l in 0..k {
+                    exact += a64[(i, l)] * b64[(l, j)];
+                }
+                let bound = (k as f64 + 2.0) * mxp_precision::F16_EPS * 0.25 * 2.0 + 1e-6;
+                prop_assert!((c[j * m + i] as f64 - exact).abs() <= bound);
+            }
+        }
+    }
+}

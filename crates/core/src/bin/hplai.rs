@@ -1,0 +1,249 @@
+//! `hplai` — command-line runner for the benchmark.
+//!
+//! ```text
+//! hplai --system testbed --mode functional --nl 128 --b 16 --pr 2 --pc 2
+//! hplai --system frontier --mode critical --nl 119808 --b 3072 \
+//!       --pr 172 --pc 172 --qr 4 --qc 2 --algo ring2m
+//! ```
+//!
+//! Modes: `functional` (real math + verification), `timing` (emergent LogP
+//! simulation), `critical` (closed-form estimate; any scale).
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::progress::ProgressMonitor;
+use hplai_core::solve::{run, RunConfig};
+use hplai_core::trace;
+use hplai_core::{frontier, summit, testbed, Fidelity, ProcessGrid, SystemSpec, TrailingPrecision};
+use mxp_msgsim::BcastAlgo;
+use std::process::exit;
+
+#[derive(Debug)]
+struct Args {
+    system: String,
+    mode: String,
+    n_l: usize,
+    b: usize,
+    p_r: usize,
+    p_c: usize,
+    q_r: usize,
+    q_c: usize,
+    col_major: bool,
+    algo: BcastAlgo,
+    prec: TrailingPrecision,
+    lookahead: bool,
+    seed: u64,
+    progress: bool,
+    trace_path: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            system: "testbed".into(),
+            mode: "functional".into(),
+            n_l: 128,
+            b: 16,
+            p_r: 2,
+            p_c: 2,
+            q_r: 2,
+            q_c: 2,
+            col_major: false,
+            algo: BcastAlgo::Lib,
+            prec: TrailingPrecision::Fp16,
+            lookahead: true,
+            seed: 2022,
+            progress: false,
+            trace_path: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hplai [--system summit|frontier|testbed] [--mode functional|timing|critical]\n\
+         \x20            [--nl N_L] [--b B] [--pr P_r] [--pc P_c] [--qr Q_r] [--qc Q_c]\n\
+         \x20            [--col-major] [--algo bcast|ibcast|ring1|ring1m|ring2m]\n\
+         \x20            [--precision fp16|bf16|fp32] [--no-lookahead] [--seed S] [--progress]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--system" => args.system = val("--system"),
+            "--mode" => args.mode = val("--mode"),
+            "--nl" => args.n_l = val("--nl").parse().unwrap_or_else(|_| usage()),
+            "--b" => args.b = val("--b").parse().unwrap_or_else(|_| usage()),
+            "--pr" => args.p_r = val("--pr").parse().unwrap_or_else(|_| usage()),
+            "--pc" => args.p_c = val("--pc").parse().unwrap_or_else(|_| usage()),
+            "--qr" => args.q_r = val("--qr").parse().unwrap_or_else(|_| usage()),
+            "--qc" => args.q_c = val("--qc").parse().unwrap_or_else(|_| usage()),
+            "--col-major" => args.col_major = true,
+            "--algo" => {
+                args.algo = match val("--algo").as_str() {
+                    "bcast" => BcastAlgo::Lib,
+                    "ibcast" => BcastAlgo::IBcast,
+                    "ring1" => BcastAlgo::Ring1,
+                    "ring1m" => BcastAlgo::Ring1M,
+                    "ring2m" => BcastAlgo::Ring2M,
+                    other => {
+                        eprintln!("unknown algo {other}");
+                        usage()
+                    }
+                }
+            }
+            "--precision" => {
+                args.prec = match val("--precision").as_str() {
+                    "fp16" => TrailingPrecision::Fp16,
+                    "bf16" => TrailingPrecision::Bf16,
+                    "fp32" => TrailingPrecision::Fp32,
+                    other => {
+                        eprintln!("unknown precision {other}");
+                        usage()
+                    }
+                }
+            }
+            "--no-lookahead" => args.lookahead = false,
+            "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--progress" => args.progress = true,
+            "--trace" => args.trace_path = Some(val("--trace")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn system_of(a: &Args) -> SystemSpec {
+    match a.system.as_str() {
+        "summit" => summit(),
+        "frontier" => frontier(),
+        "testbed" => {
+            let q = a.q_r * a.q_c;
+            testbed((a.p_r * a.p_c).div_ceil(q), q)
+        }
+        other => {
+            eprintln!("unknown system {other}");
+            usage()
+        }
+    }
+}
+
+fn grid_of(a: &Args, sys: &SystemSpec) -> ProcessGrid {
+    if a.col_major {
+        ProcessGrid::col_major(a.p_r, a.p_c, sys.gcds_per_node)
+    } else {
+        ProcessGrid::node_local(a.p_r, a.p_c, a.q_r, a.q_c)
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let sys = system_of(&a);
+    let grid = grid_of(&a, &sys);
+    let n = a.n_l * a.p_r;
+    println!(
+        "hplai: {} | mode {} | N = {} (N_L {}) | B {} | grid {}x{} ({}{}x{}) | {} | {} | lookahead {}",
+        sys.name, a.mode, n, a.n_l, a.b, a.p_r, a.p_c,
+        if a.col_major { "col-major, node " } else { "" },
+        a.q_r, a.q_c,
+        a.algo.label(), a.prec.tag(), a.lookahead,
+    );
+
+    match a.mode.as_str() {
+        "critical" => {
+            let out = critical_time(
+                &sys,
+                &CriticalConfig {
+                    lookahead: a.lookahead,
+                    ..CriticalConfig::new(n, a.b, grid, a.algo)
+                },
+            );
+            println!(
+                "estimated runtime {:.1} s (factor {:.1} + IR {:.1})",
+                out.runtime, out.factor_time, out.ir_time
+            );
+            println!(
+                "performance: {:.1} GFLOPS/GCD | {:.4} EFLOPS total | {:.1} GFLOPS/W",
+                out.gflops_per_gcd, out.eflops, out.gflops_per_watt
+            );
+        }
+        mode @ ("functional" | "timing") => {
+            let mut cfg = RunConfig::functional(sys.clone(), grid, n, a.b);
+            cfg.algo = a.algo;
+            cfg.lookahead = a.lookahead;
+            cfg.seed = a.seed;
+            cfg.prec = a.prec;
+            if mode == "timing" {
+                cfg.fidelity = Fidelity::Timing;
+            }
+            let out = run(&cfg);
+            if let Some(path) = &a.trace_path {
+                let json = trace::chrome_trace(&out.records_rank0, 0);
+                std::fs::write(path, json).expect("write trace");
+                println!("wrote Chrome trace to {path} (open in about:tracing / Perfetto)");
+                print!("{}", trace::summary(&out.records_rank0));
+            }
+            if a.progress {
+                let mon = ProgressMonitor::default();
+                for rec in &out.records_rank0 {
+                    if let Some(line) = mon.report_line(rec, n / a.b) {
+                        println!("{line}");
+                    }
+                }
+                let (alerts, terminate) = mon.analyze(
+                    &out.records_rank0,
+                    &sys.gcd,
+                    &grid,
+                    n,
+                    a.b,
+                    grid.coord_of(0),
+                    a.lookahead,
+                );
+                if !alerts.is_empty() {
+                    println!("progress alerts: {alerts:?} (terminate: {terminate})");
+                }
+            }
+            println!(
+                "simulated runtime {:.4} s (factor {:.4} + IR {:.4})",
+                out.runtime, out.factor_time, out.ir_time
+            );
+            println!(
+                "performance: {:.1} GFLOPS/GCD | {:.6} EFLOPS total",
+                out.gflops_per_gcd, out.eflops
+            );
+            if mode == "functional" {
+                println!(
+                    "verification: converged = {} in {} IR sweeps, scaled residual {:.3e} ({})",
+                    out.converged,
+                    out.ir_iters,
+                    out.scaled_residual.unwrap(),
+                    if out.scaled_residual.unwrap() < 16.0 {
+                        "PASSED"
+                    } else {
+                        "FAILED"
+                    }
+                );
+                if !out.converged {
+                    exit(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown mode {other}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,786 @@
+//! The distributed GPU HPL-AI block LU factorization (Algorithm 1, §III-C)
+//! with the §IV-B look-ahead optimization.
+//!
+//! Every rank executes the same iteration structure:
+//!
+//! 1. *(look-ahead)* apply the **previous** iteration's panels to the row-
+//!    and column-strips that iteration `k` is about to factor;
+//! 2. **Diagonal Update** — the owner GETRFs `A(k,k)` in FP32 and
+//!    broadcasts it along its process row and column;
+//! 3. **Panel Update** — row-`k` owners TRSM the `U` strip and TRANS_CAST
+//!    it to FP16; column-`k` owners TRSM the `L` strip and CAST it;
+//! 4. panel broadcasts (the tunable `Bcast`/`IBcast`/`Ring*` choice);
+//! 5. **Update Trailing Matrix** — the mixed-precision GEMM; with
+//!    look-ahead this applies the *previous* panels to the remainder, so
+//!    the freshly broadcast panels overlap the bulk compute.
+//!
+//! The same function runs functionally (real panels) and in timing mode
+//! (virtual payloads); kernel times always come from the device model, so
+//! functional runs produce the same simulated clocks the timing runs do.
+
+use crate::grid::ProcessGrid;
+use crate::local::LocalMatrix;
+use crate::msg::{PanelData, PanelMsg, TrailingPrecision};
+use crate::systems::SystemSpec;
+use mxp_blas::{Diag, Side, Uplo};
+use mxp_gpusim::{BlasShim, GcdModel, Workspace};
+use mxp_lcg::{MatrixGen, MatrixKind};
+use mxp_msgsim::{BcastAlgo, Comm, Group};
+
+/// Execution fidelity of the driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Real panels, real math, verifiable answer (small N).
+    Functional,
+    /// Virtual payloads, simulated clocks only (large N).
+    Timing,
+}
+
+/// Configuration of one factorization.
+#[derive(Clone, Debug)]
+pub struct FactorConfig {
+    /// Global matrix dimension.
+    pub n: usize,
+    /// Block size `B`.
+    pub b: usize,
+    /// Panel broadcast algorithm (§IV-B).
+    pub algo: BcastAlgo,
+    /// Whether the look-ahead pipeline is enabled.
+    pub lookahead: bool,
+    /// Execution fidelity.
+    pub fidelity: Fidelity,
+    /// Matrix generator seed.
+    pub seed: u64,
+    /// Storage format of the broadcast panels / trailing GEMM inputs.
+    pub prec: TrailingPrecision,
+}
+
+/// Per-iteration timing record on one rank (the Fig. 10 series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IterRecord {
+    /// Iteration index `k`.
+    pub k: usize,
+    /// Simulated seconds in GETRF.
+    pub getrf: f64,
+    /// Simulated seconds in the two panel TRSMs.
+    pub trsm: f64,
+    /// Simulated seconds in CAST / TRANS_CAST.
+    pub cast: f64,
+    /// Simulated seconds in trailing GEMM (strips + remainder).
+    pub gemm: f64,
+    /// Simulated seconds spent waiting on communication.
+    pub wait: f64,
+}
+
+/// Result of the factorization on one rank.
+pub struct FactorOutput {
+    /// The local LU factors (functional mode only).
+    pub local: Option<LocalMatrix>,
+    /// Per-iteration breakdown on this rank.
+    pub records: Vec<IterRecord>,
+    /// Simulated seconds from the synchronized start to this rank's finish.
+    pub elapsed: f64,
+}
+
+/// Panels carried across iterations by the look-ahead pipeline.
+///
+/// On broadcast roots the data is held immediately; on receivers it stays
+/// `None` until the next iteration *fetches* it by joining the (already
+/// posted) collective — that deferral is what lets the panel transfer
+/// overlap the remainder GEMM in the LogP clocks, exactly the §IV-B
+/// schedule.
+struct Panels {
+    /// Iteration that produced them.
+    k: usize,
+    /// `L` panel: trailing-rows × B, tight (`None` = fetch later).
+    l16: Option<PanelData>,
+    /// Transposed `U` panel: trailing-cols × B, tight.
+    u16t: Option<PanelData>,
+    /// Group index of the L-broadcast root (the column-k member).
+    l_root: usize,
+    /// Group index of the U-broadcast root (the row-k member).
+    u_root: usize,
+    /// Trailing extent the panels cover.
+    m_loc: usize,
+    n_loc: usize,
+}
+
+/// Runs the distributed factorization on this rank. `speed` is the GCD's
+/// fleet multiplier (1.0 = nominal; times are divided by it).
+pub fn factor(
+    comm: &mut Comm<PanelMsg>,
+    grid: &ProcessGrid,
+    sys: &SystemSpec,
+    cfg: &FactorConfig,
+    speed: f64,
+) -> FactorOutput {
+    assert!(speed > 0.0);
+    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let dev = &sys.gcd;
+    let shim = BlasShim::new(dev.vendor);
+    let mut ws = Workspace::default();
+    let b = cfg.b;
+    let n_b = cfg.n / b;
+    let gen = MatrixGen::new(cfg.seed, cfg.n, MatrixKind::DiagDominant);
+
+    // Sub-communicators. Colors: rows < 0x1000, cols offset, world last.
+    let mut row_group = Group::new(comm.rank(), grid.row_members(my_r), my_r as u32)
+        .expect("rank must be in its row group");
+    let mut col_group = Group::new(comm.rank(), grid.col_members(my_c), 0x1000 + my_c as u32)
+        .expect("rank must be in its column group");
+    let mut world_group = Group::new(comm.rank(), (0..grid.size()).collect(), 0x3000)
+        .expect("rank must be in the world group");
+
+    // Setup: materialize (functional) and ship the local matrix to the
+    // device, then synchronize — benchmark time starts after this barrier.
+    let mut local = match cfg.fidelity {
+        Fidelity::Functional => {
+            let mut m = LocalMatrix::new(grid, (my_r, my_c), cfg.n, b);
+            m.fill_from(&gen);
+            Some(m)
+        }
+        Fidelity::Timing => None,
+    };
+    let n_loc_r = cfg.n / grid.p_r;
+    let n_loc_c = cfg.n / grid.p_c;
+    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed);
+    world_group.barrier(comm);
+    let t0 = comm.now();
+    let wait0 = comm.wait_total();
+
+    let mut records: Vec<IterRecord> = Vec::with_capacity(n_b);
+    let mut prev: Option<Panels> = None;
+
+    for k in 0..n_b {
+        let (kr, kc) = grid.owner_of_block(k, k);
+        let in_row = my_r == kr;
+        let in_col = my_c == kc;
+        let i_am_owner = in_row && in_col;
+        let mut rec = IterRecord {
+            k,
+            ..Default::default()
+        };
+        let wait_at_start = comm.wait_total();
+
+        // Trailing extents *after* block k (the region panels k cover).
+        let lr_k = trailing_row(grid, my_r, k, b);
+        let lc_k = trailing_col(grid, my_c, k, b);
+        let m_loc = n_loc_r - lr_k;
+        let n_loc = n_loc_c - lc_k;
+
+        // ---- 1. Resolve the previous panels, then strip updates ---------
+        // Receivers join the broadcasts the roots posted last iteration;
+        // roots already hold their panels. The panels have therefore been
+        // in flight during the previous remainder GEMM.
+        if let Some(p) = prev.as_mut() {
+            debug_assert!(cfg.lookahead && p.k + 1 == k);
+            let elem = cfg.prec.bytes_per_elem();
+            if p.u16t.is_none() {
+                comm.set_default_sharers(grid.sharers_col());
+                let got =
+                    col_group.bcast(comm, p.u_root, None, elem * (p.n_loc * b) as u64, cfg.algo);
+                p.u16t = Some(unpack_panel(got, cfg.fidelity, p.n_loc, cfg.prec));
+            }
+            if p.l16.is_none() {
+                comm.set_default_sharers(grid.sharers_row());
+                let got =
+                    row_group.bcast(comm, p.l_root, None, elem * (p.m_loc * b) as u64, cfg.algo);
+                p.l16 = Some(unpack_panel(got, cfg.fidelity, p.m_loc, cfg.prec));
+            }
+        }
+        if let Some(p) = prev.as_ref() {
+            let lr_prev = trailing_row(grid, my_r, p.k, b);
+            let lc_prev = trailing_col(grid, my_c, p.k, b);
+            let l_prev = p.l16.as_ref().expect("resolved above");
+            let u_prev = p.u16t.as_ref().expect("resolved above");
+            if in_row && p.n_loc > 0 {
+                // Row strip: the B rows of block k × all trailing columns.
+                rec.gemm += gemm_update(
+                    comm,
+                    dev,
+                    cfg.prec,
+                    local.as_mut(),
+                    speed,
+                    lr_prev,
+                    lc_prev,
+                    b.min(p.m_loc),
+                    p.n_loc,
+                    l_prev,
+                    0,
+                    p.m_loc,
+                    u_prev,
+                    0,
+                    p.n_loc,
+                    b,
+                    n_loc_r,
+                );
+            }
+            if in_col && m_loc > 0 {
+                // Column strip: trailing rows below block k × its B cols.
+                rec.gemm += gemm_update(
+                    comm,
+                    dev,
+                    cfg.prec,
+                    local.as_mut(),
+                    speed,
+                    lr_k,
+                    lc_prev,
+                    m_loc,
+                    b.min(p.n_loc),
+                    l_prev,
+                    lr_k - lr_prev,
+                    p.m_loc,
+                    u_prev,
+                    0,
+                    p.n_loc,
+                    b,
+                    n_loc_r,
+                );
+            }
+        }
+
+        // ---- 2. Diagonal update -----------------------------------------
+        let mut diag: Option<Vec<f32>> = None;
+        if i_am_owner {
+            if let Some(loc) = local.as_mut() {
+                let (lr, lc) = (loc.row_of_block(k), loc.col_of_block(k));
+                let off = loc.idx(lr, lc);
+                let lda = loc.lda();
+                shim.sgetrf_buffer_size(b, &mut ws);
+                shim.sgetrf(b, &mut loc.data[off..], lda, &mut ws)
+                    .expect("diagonally dominant block must factor");
+                diag = Some(loc.pack_block(lr, lc));
+            }
+            let dt = dev.getrf_time(b) / speed;
+            comm.charge(dt);
+            rec.getrf += dt;
+        }
+        // Broadcast the diagonal block along the owner's row and column.
+        let diag_bytes = 4 * (b * b) as u64;
+        let wrap = |d: &Option<Vec<f32>>| match d {
+            Some(v) => Some(PanelMsg::DiagF32(v.clone())),
+            None => match cfg.fidelity {
+                Fidelity::Timing => Some(PanelMsg::Empty),
+                Fidelity::Functional => None,
+            },
+        };
+        if in_row {
+            comm.set_default_sharers(grid.sharers_row());
+            let msg = if i_am_owner { wrap(&diag) } else { None };
+            let got = row_group.bcast(comm, kc, msg, diag_bytes, BcastAlgo::Lib);
+            if !i_am_owner && cfg.fidelity == Fidelity::Functional {
+                diag = Some(got.into_diag());
+            }
+        }
+        if in_col {
+            comm.set_default_sharers(grid.sharers_col());
+            let msg = if i_am_owner { wrap(&diag) } else { None };
+            let got = col_group.bcast(comm, kr, msg, diag_bytes, BcastAlgo::Lib);
+            if !i_am_owner && cfg.fidelity == Fidelity::Functional {
+                diag = Some(got.into_diag());
+            }
+        }
+
+        // ---- 3. Panel updates -------------------------------------------
+        // U strip: row-k owners solve L11·U12 = A12 then transpose-cast.
+        let mut u16t_mine: Option<PanelData> = None;
+        if in_row && n_loc > 0 {
+            if let Some(loc) = local.as_mut() {
+                let d = diag.as_ref().expect("row owner has the diagonal");
+                let lr = loc.row_of_block(k);
+                let off = loc.idx(lr, lc_k);
+                let lda = loc.lda();
+                shim.strsm(
+                    Side::Left,
+                    Uplo::Lower,
+                    Diag::Unit,
+                    b,
+                    n_loc,
+                    1.0,
+                    d,
+                    b,
+                    &mut loc.data[off..],
+                    lda,
+                );
+                u16t_mine = Some(PanelData::trans_cast(
+                    cfg.prec,
+                    b,
+                    n_loc,
+                    &loc.data[off..],
+                    lda,
+                ));
+            }
+            let dt = dev.trsm_time(b, n_loc) / speed;
+            comm.charge(dt);
+            rec.trsm += dt;
+            let dt = dev.cast_time(b * n_loc) / speed;
+            comm.charge(dt);
+            rec.cast += dt;
+        }
+        // L strip: column-k owners solve L21·U11 = A21 then cast.
+        let mut l16_mine: Option<PanelData> = None;
+        if in_col && m_loc > 0 {
+            if let Some(loc) = local.as_mut() {
+                let d = diag.as_ref().expect("column owner has the diagonal");
+                let lc = loc.col_of_block(k);
+                let off = loc.idx(lr_k, lc);
+                let lda = loc.lda();
+                shim.strsm(
+                    Side::Right,
+                    Uplo::Upper,
+                    Diag::NonUnit,
+                    m_loc,
+                    b,
+                    1.0,
+                    d,
+                    b,
+                    &mut loc.data[off..],
+                    lda,
+                );
+                l16_mine = Some(PanelData::cast(cfg.prec, m_loc, b, &loc.data[off..], lda));
+            }
+            let dt = dev.trsm_time(b, m_loc) / speed;
+            comm.charge(dt);
+            rec.trsm += dt;
+            let dt = dev.cast_time(m_loc * b) / speed;
+            comm.charge(dt);
+            rec.cast += dt;
+        }
+
+        // ---- 4. Panel broadcasts ----------------------------------------
+        // Roots post their broadcast now; with look-ahead, receivers defer
+        // joining until the next iteration (overlapping the transfer with
+        // the remainder GEMM below). Without look-ahead everyone joins now.
+        let elem = cfg.prec.bytes_per_elem();
+        let u_bytes = elem * (n_loc * b) as u64;
+        let l_bytes = elem * (m_loc * b) as u64;
+        let mut u16t: Option<PanelData> = None;
+        let mut l16: Option<PanelData> = None;
+        comm.set_default_sharers(grid.sharers_col());
+        if in_row {
+            let payload = match &u16t_mine {
+                Some(u) => PanelMsg::Panel(u.clone()),
+                None => PanelMsg::Empty,
+            };
+            let got = col_group.bcast(comm, kr, Some(payload), u_bytes, cfg.algo);
+            let _ = got;
+            u16t = Some(u16t_mine.unwrap_or_else(|| PanelData::empty(cfg.prec)));
+        } else if !cfg.lookahead {
+            let got = col_group.bcast(comm, kr, None, u_bytes, cfg.algo);
+            u16t = Some(unpack_panel(got, cfg.fidelity, n_loc, cfg.prec));
+        }
+        comm.set_default_sharers(grid.sharers_row());
+        if in_col {
+            let payload = match &l16_mine {
+                Some(l) => PanelMsg::Panel(l.clone()),
+                None => PanelMsg::Empty,
+            };
+            let got = row_group.bcast(comm, kc, Some(payload), l_bytes, cfg.algo);
+            let _ = got;
+            l16 = Some(l16_mine.unwrap_or_else(|| PanelData::empty(cfg.prec)));
+        } else if !cfg.lookahead {
+            let got = row_group.bcast(comm, kc, None, l_bytes, cfg.algo);
+            l16 = Some(unpack_panel(got, cfg.fidelity, m_loc, cfg.prec));
+        }
+
+        // ---- 5. Trailing update -----------------------------------------
+        if cfg.lookahead {
+            // Apply the *previous* panels to the remainder (everything
+            // after block k in both dimensions), then stash this
+            // iteration's panels for the next strips.
+            if let Some(p) = prev.take() {
+                let lr_prev = trailing_row(grid, my_r, p.k, b);
+                let lc_prev = trailing_col(grid, my_c, p.k, b);
+                if m_loc > 0 && n_loc > 0 {
+                    rec.gemm += gemm_update(
+                        comm,
+                        dev,
+                        cfg.prec,
+                        local.as_mut(),
+                        speed,
+                        lr_k,
+                        lc_k,
+                        m_loc,
+                        n_loc,
+                        p.l16.as_ref().expect("resolved"),
+                        lr_k - lr_prev,
+                        p.m_loc,
+                        p.u16t.as_ref().expect("resolved"),
+                        lc_k - lc_prev,
+                        p.n_loc,
+                        b,
+                        n_loc_r,
+                    );
+                }
+            }
+            prev = Some(Panels {
+                k,
+                l16,
+                u16t,
+                l_root: kc,
+                u_root: kr,
+                m_loc,
+                n_loc,
+            });
+        } else if m_loc > 0 && n_loc > 0 {
+            // Immediate full trailing update with this iteration's panels.
+            rec.gemm += gemm_update(
+                comm,
+                dev,
+                cfg.prec,
+                local.as_mut(),
+                speed,
+                lr_k,
+                lc_k,
+                m_loc,
+                n_loc,
+                l16.as_ref().expect("joined above"),
+                0,
+                m_loc,
+                u16t.as_ref().expect("joined above"),
+                0,
+                n_loc,
+                b,
+                n_loc_r,
+            );
+        }
+
+        rec.wait = comm.wait_total() - wait_at_start;
+        records.push(rec);
+    }
+    // Look-ahead leaves the last panels pending; their trailing region is
+    // empty (k = n_b - 1 has no blocks after it), so nothing to flush.
+    // Receivers that deferred joining the final (zero-extent) broadcasts
+    // must still join them so every posted message is consumed.
+    if let Some(p) = prev.as_mut() {
+        let elem = cfg.prec.bytes_per_elem();
+        if p.u16t.is_none() {
+            let _ = col_group.bcast(comm, p.u_root, None, elem * (p.n_loc * b) as u64, cfg.algo);
+        }
+        if p.l16.is_none() {
+            let _ = row_group.bcast(comm, p.l_root, None, elem * (p.m_loc * b) as u64, cfg.algo);
+        }
+    }
+
+    // Copy factors back to the host for iterative refinement (§III-C).
+    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed);
+
+    let elapsed = comm.now() - t0;
+    let _ = wait0; // start-of-run wait baseline, kept for future reporting
+    FactorOutput {
+        local,
+        records,
+        elapsed,
+    }
+}
+
+/// Extracts a reduced-precision panel from a broadcast result (empty in
+/// timing mode or for zero-extent panels).
+fn unpack_panel(
+    msg: PanelMsg,
+    fidelity: Fidelity,
+    extent: usize,
+    prec: TrailingPrecision,
+) -> PanelData {
+    match (fidelity, extent) {
+        (Fidelity::Functional, e) if e > 0 => msg.into_panel(),
+        _ => PanelData::empty(prec),
+    }
+}
+
+/// Trailing-GEMM slowdown of the chosen panel format relative to the
+/// FP16 tensor path: 16-bit formats ride the matrix cores; FP32 inputs
+/// fall back to the vector FP32 pipeline.
+fn prec_time_factor(dev: &GcdModel, prec: TrailingPrecision) -> f64 {
+    match prec {
+        TrailingPrecision::Fp16 | TrailingPrecision::Bf16 => 1.0,
+        TrailingPrecision::Fp32 => dev.fp16_peak / dev.fp32_peak,
+    }
+}
+
+/// Local row offset of the region strictly after global block `k`.
+fn trailing_row(grid: &ProcessGrid, my_r: usize, k: usize, b: usize) -> usize {
+    crate::local::count_owned(k + 1, my_r, grid.p_r) * b
+}
+
+/// Local column offset of the region strictly after global block `k`.
+fn trailing_col(grid: &ProcessGrid, my_c: usize, k: usize, b: usize) -> usize {
+    crate::local::count_owned(k + 1, my_c, grid.p_c) * b
+}
+
+/// Applies `C -= L16 · U16ᵀ` to the local window at `(lr, lc)` of extent
+/// `m × n`, reading the FP16 panels at the given row offsets, and charges
+/// the device time. Returns the charged GEMM time.
+#[allow(clippy::too_many_arguments)]
+fn gemm_update(
+    comm: &mut Comm<PanelMsg>,
+    dev: &GcdModel,
+    prec: TrailingPrecision,
+    local: Option<&mut LocalMatrix>,
+    speed: f64,
+    lr: usize,
+    lc: usize,
+    m: usize,
+    n: usize,
+    l16: &PanelData,
+    l_row_off: usize,
+    l_lda: usize,
+    u16t: &PanelData,
+    u_row_off: usize,
+    u_lda: usize,
+    b: usize,
+    lda_model: usize,
+) -> f64 {
+    if m == 0 || n == 0 {
+        return 0.0;
+    }
+    if let Some(loc) = local {
+        let off = loc.idx(lr, lc);
+        let lda = loc.lda();
+        let (slice, ldc) = (&mut loc.data[off..], lda);
+        PanelData::apply_gemm(
+            l16, u16t, m, n, b, l_row_off, l_lda, u_row_off, u_lda, slice, ldc,
+        );
+    }
+    // The device-model LDA is the stored leading dimension of the local
+    // matrix (fixed at N_Lr for the whole run — the Fig. 7 effect).
+    let dt = dev.gemm_mixed_time(m, n, b, lda_model) * prec_time_factor(dev, prec) / speed;
+    comm.charge(dt);
+    dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::ProcessGrid;
+    use crate::systems::testbed;
+    use mxp_msgsim::WorldSpec;
+
+    fn run_factor(
+        grid: ProcessGrid,
+        n: usize,
+        b: usize,
+        algo: BcastAlgo,
+        lookahead: bool,
+        fidelity: Fidelity,
+    ) -> Vec<FactorOutput> {
+        let q = grid.gcds_per_node();
+        let sys = testbed(grid.size() / q, q);
+        let mut spec = WorldSpec::cluster(grid.size() / q, q, sys.net);
+        spec.locs = grid.locs();
+        spec.tuning = sys.tuning;
+        let cfg = FactorConfig {
+            n,
+            b,
+            algo,
+            lookahead,
+            fidelity,
+            seed: 42,
+            prec: TrailingPrecision::Fp16,
+        };
+        spec.run::<PanelMsg, _, _>(|mut c| factor(&mut c, &grid, &sys, &cfg, 1.0))
+    }
+
+    /// Gathers the distributed factors into one dense LU and checks
+    /// `L·U ≈ A` at mixed-precision accuracy.
+    fn check_reconstruction(grid: ProcessGrid, n: usize, b: usize, algo: BcastAlgo, la: bool) {
+        let outs = run_factor(grid, n, b, algo, la, Fidelity::Functional);
+        let gen = MatrixGen::new(42, n, MatrixKind::DiagDominant);
+        // Assemble the global LU from local pieces.
+        let mut lu = vec![0.0f64; n * n];
+        for (rank, out) in outs.iter().enumerate() {
+            let loc = out.local.as_ref().unwrap();
+            let (r, c) = grid.coord_of(rank);
+            let n_b = n / b;
+            for jb in (c..n_b).step_by(grid.p_c) {
+                for ib in (r..n_b).step_by(grid.p_r) {
+                    let lr = loc.row_of_block(ib);
+                    let lc = loc.col_of_block(jb);
+                    for j in 0..b {
+                        for i in 0..b {
+                            lu[(jb * b + j) * n + ib * b + i] =
+                                loc.data[loc.idx(lr + i, lc + j)] as f64;
+                        }
+                    }
+                }
+            }
+        }
+        // Reconstruct and compare.
+        let mut worst: f64 = 0.0;
+        let mut recon = vec![0.0f64; n * n];
+        for j in 0..n {
+            for i in 0..n {
+                let mut acc = 0.0;
+                let kmax = i.min(j);
+                for l in 0..=kmax {
+                    let lval = if l == i { 1.0 } else { lu[l * n + i] };
+                    let uval = lu[j * n + l];
+                    if l < i {
+                        acc += lval * uval;
+                    } else {
+                        acc += uval; // l == i <= j: L diagonal is 1
+                    }
+                }
+                recon[j * n + i] = acc;
+            }
+        }
+        for j in 0..n {
+            for i in 0..n {
+                let d = (recon[j * n + i] - gen.entry(i, j)).abs();
+                worst = worst.max(d);
+            }
+        }
+        // FP16 panels bound the reconstruction error; scale by the
+        // diagonal magnitude.
+        let tol = 2.0 * mxp_precision::F16_EPS * gen.diag_value() * (n / b) as f64;
+        assert!(
+            worst < tol,
+            "reconstruction error {worst} > {tol} ({algo:?}, la={la})"
+        );
+    }
+
+    #[test]
+    fn single_rank_factorization_is_correct() {
+        check_reconstruction(
+            ProcessGrid::col_major(1, 1, 1),
+            64,
+            16,
+            BcastAlgo::Lib,
+            false,
+        );
+    }
+
+    #[test]
+    fn two_by_two_grid_matches() {
+        check_reconstruction(
+            ProcessGrid::col_major(2, 2, 2),
+            64,
+            8,
+            BcastAlgo::Lib,
+            false,
+        );
+    }
+
+    #[test]
+    fn lookahead_produces_same_factors() {
+        check_reconstruction(ProcessGrid::col_major(2, 2, 2), 64, 8, BcastAlgo::Lib, true);
+    }
+
+    #[test]
+    fn ring_broadcasts_preserve_correctness() {
+        for algo in [
+            BcastAlgo::Ring1,
+            BcastAlgo::Ring1M,
+            BcastAlgo::Ring2M,
+            BcastAlgo::IBcast,
+        ] {
+            check_reconstruction(ProcessGrid::col_major(2, 2, 4), 48, 8, algo, true);
+        }
+    }
+
+    #[test]
+    fn rectangular_grid() {
+        check_reconstruction(
+            ProcessGrid::col_major(2, 4, 8),
+            64,
+            8,
+            BcastAlgo::Lib,
+            false,
+        );
+        check_reconstruction(ProcessGrid::col_major(4, 2, 8), 64, 8, BcastAlgo::Lib, true);
+    }
+
+    #[test]
+    fn node_local_grid_placement_is_numerically_identical() {
+        // Placement changes timing, never results.
+        check_reconstruction(
+            ProcessGrid::node_local(2, 2, 2, 2),
+            32,
+            8,
+            BcastAlgo::Lib,
+            false,
+        );
+    }
+
+    #[test]
+    fn timing_mode_produces_clocks_without_data() {
+        let outs = run_factor(
+            ProcessGrid::col_major(2, 2, 4),
+            256,
+            32,
+            BcastAlgo::Ring2M,
+            true,
+            Fidelity::Timing,
+        );
+        for out in &outs {
+            assert!(out.local.is_none());
+            assert!(out.elapsed > 0.0);
+            assert_eq!(out.records.len(), 8);
+        }
+    }
+
+    #[test]
+    fn functional_and_timing_clocks_agree() {
+        // The same schedule must produce identical simulated time whether
+        // or not the math actually runs.
+        let f = run_factor(
+            ProcessGrid::col_major(2, 2, 4),
+            64,
+            8,
+            BcastAlgo::Lib,
+            true,
+            Fidelity::Functional,
+        );
+        let t = run_factor(
+            ProcessGrid::col_major(2, 2, 4),
+            64,
+            8,
+            BcastAlgo::Lib,
+            true,
+            Fidelity::Timing,
+        );
+        for (a, b) in f.iter().zip(&t) {
+            assert!(
+                (a.elapsed - b.elapsed).abs() < 1e-9,
+                "functional {} vs timing {}",
+                a.elapsed,
+                b.elapsed
+            );
+        }
+    }
+
+    #[test]
+    fn slow_gcd_stalls_everyone() {
+        // §VI-B: "a single slow GPU can severely worsen total performance
+        // by stalling the pipeline".
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let sys = testbed(1, 4);
+        let mut spec = WorldSpec::cluster(1, 4, sys.net);
+        spec.locs = grid.locs();
+        spec.tuning = sys.tuning;
+        let cfg = FactorConfig {
+            n: 256,
+            b: 32,
+            algo: BcastAlgo::Lib,
+            lookahead: false,
+            fidelity: Fidelity::Timing,
+            seed: 1,
+            prec: TrailingPrecision::Fp16,
+        };
+        let nominal = spec
+            .run::<PanelMsg, _, _>(|mut c| factor(&mut c, &grid, &sys, &cfg, 1.0).elapsed)
+            .into_iter()
+            .fold(0.0, f64::max);
+        let degraded = spec
+            .run::<PanelMsg, _, _>(|mut c| {
+                let speed = if c.rank() == 3 { 0.5 } else { 1.0 };
+                factor(&mut c, &grid, &sys, &cfg, speed).elapsed
+            })
+            .into_iter()
+            .fold(0.0, f64::max);
+        assert!(
+            degraded > 1.2 * nominal,
+            "slow GCD must stall the pipeline: {degraded} vs {nominal}"
+        );
+    }
+}

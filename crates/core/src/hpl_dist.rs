@@ -1,0 +1,765 @@
+//! Distributed functional HPL: FP64 right-looking LU **with partial
+//! pivoting** over the same grid/runtime substrate as HPL-AI.
+//!
+//! This is the baseline the paper compares against (§I "9.5× HPL"),
+//! implemented for real rather than only as a cost model: per column the
+//! process column performs a distributed IAMAX (allreduce-max), the two
+//! owner ranks exchange the pivot rows, the pivot row is broadcast down the
+//! column for the rank-1 panel update, swaps are applied to the remainder
+//! of the matrix row-pair by row-pair, and the trailing update runs in
+//! FP64. Unlike HPL-AI, no conditioning assumption is needed — the tests
+//! run it on uniform random matrices where the unpivoted factorization
+//! suffers catastrophic growth.
+
+use crate::grid::ProcessGrid;
+use crate::local::{count_owned, LocalMat};
+use crate::msg::PanelMsg;
+use crate::systems::SystemSpec;
+use mxp_blas::{gemm, trsm, trsv, vec_inf_norm, Diag, Side, Trans, Uplo};
+use mxp_lcg::{MatrixGen, MatrixKind};
+use mxp_msgsim::{BcastAlgo, Comm, Group};
+
+/// Result of a distributed HPL solve on one rank.
+#[derive(Clone, Debug)]
+pub struct HplDistOutcome {
+    /// The solution (replicated on every rank).
+    pub x: Vec<f64>,
+    /// HPL scaled residual `‖b−Ax‖∞ / (ε·(‖A‖∞·‖x‖∞+‖b‖∞)·N)`; passes < 16.
+    pub scaled_residual: f64,
+    /// Number of genuine row interchanges performed.
+    pub swaps: usize,
+    /// Simulated seconds.
+    pub elapsed: f64,
+}
+
+const TAG_PANEL_SWAP: u32 = 0x0010_0000;
+const TAG_TRAIL_SWAP: u32 = 0x0020_0000;
+
+/// Runs the distributed pivoted FP64 factorization and solve.
+///
+/// `kind` selects the matrix class: [`MatrixKind::Uniform`] exercises real
+/// pivoting (the diagonally dominant class never swaps).
+#[allow(clippy::too_many_arguments)]
+pub fn hpl_dist_solve(
+    comm: &mut Comm<PanelMsg>,
+    grid: &ProcessGrid,
+    sys: &SystemSpec,
+    n: usize,
+    b: usize,
+    seed: u64,
+    kind: MatrixKind,
+    speed: f64,
+) -> HplDistOutcome {
+    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let n_b = n / b;
+    let dev = &sys.gcd;
+    let gen = MatrixGen::new(seed, n, kind);
+
+    let mut row_group =
+        Group::new(comm.rank(), grid.row_members(my_r), 0x2100 + my_r as u32).unwrap();
+    let mut col_group =
+        Group::new(comm.rank(), grid.col_members(my_c), 0x2200 + my_c as u32).unwrap();
+    let mut world = Group::new(comm.rank(), (0..grid.size()).collect(), 0x2300).unwrap();
+
+    let mut local: LocalMat<f64> = LocalMat::new(grid, (my_r, my_c), n, b);
+    local.fill_from_f64(&gen);
+    let lda = local.lda();
+    world.barrier(comm);
+    let t0 = comm.now();
+
+    // Global pivot record (every rank learns every panel's pivots).
+    let mut ipiv = vec![0usize; n];
+
+    for k in 0..n_b {
+        let kr = k % grid.p_r;
+        let kc = k % grid.p_c;
+        let in_col = my_c == kc;
+        let in_row = my_r == kr;
+        let lc_panel = if in_col { local.col_of_block(k) } else { 0 };
+
+        // ---- distributed pivoted panel factorization --------------------
+        let mut panel_piv = vec![0.0f64; b]; // pivot rows as f64 for bcast
+        if in_col {
+            for j in 0..b {
+                let g_diag = k * b + j;
+                // Local IAMAX over global rows >= g_diag in column k*b+j.
+                let (mut best_val, mut best_row) = (0.0f64, usize::MAX);
+                for i_blk in (my_r..n_b).step_by(grid.p_r) {
+                    let lr0 = local.row_of_block(i_blk);
+                    for i in 0..b {
+                        let g_row = i_blk * b + i;
+                        if g_row < g_diag {
+                            continue;
+                        }
+                        let v = local.data[local.idx(lr0 + i, lc_panel + j)].abs();
+                        if v > best_val || (v == best_val && g_row < best_row) {
+                            best_val = v;
+                            best_row = g_row;
+                        }
+                    }
+                }
+                comm.charge(8.0 * (n / grid.p_r) as f64 / dev.mem_bw / speed);
+                // Distributed IAMAX: allreduce keeps the largest magnitude
+                // (smallest global row on ties, matching serial IAMAX).
+                let winner = col_group
+                    .allreduce(
+                        comm,
+                        PanelMsg::VecF64(vec![best_val, best_row as f64]),
+                        16,
+                        pivot_max,
+                    )
+                    .into_vec64();
+                let piv_row = winner[1] as usize;
+                assert!(winner[0] > 0.0, "HPL hit an exactly singular column");
+                ipiv[g_diag] = piv_row;
+                if piv_row != g_diag {
+                    swap_rows_panel(
+                        comm, grid, &mut local, lc_panel, b, g_diag, piv_row, my_r, my_c,
+                    );
+                }
+                // Broadcast the pivot row's panel segment [j..b) from its
+                // (post-swap) owner down the column.
+                let owner_r = (g_diag / b) % grid.p_r;
+                let seg = if my_r == owner_r {
+                    let lr = local.row_of_block(g_diag / b) + g_diag % b;
+                    let v: Vec<f64> = (j..b)
+                        .map(|c| local.data[local.idx(lr, lc_panel + c)])
+                        .collect();
+                    Some(PanelMsg::VecF64(v))
+                } else {
+                    None
+                };
+                let seg = col_group
+                    .bcast(comm, owner_r, seg, 8 * (b - j) as u64, BcastAlgo::Lib)
+                    .into_vec64();
+                let piv = seg[0];
+                // Rank-1 update of the local panel below the pivot row.
+                for i_blk in (my_r..n_b).step_by(grid.p_r) {
+                    let lr0 = local.row_of_block(i_blk);
+                    for i in 0..b {
+                        let g_row = i_blk * b + i;
+                        if g_row <= g_diag {
+                            continue;
+                        }
+                        let off_l = local.idx(lr0 + i, lc_panel + j);
+                        let l = local.data[off_l] / piv;
+                        local.data[off_l] = l;
+                        for c in j + 1..b {
+                            let u = seg[c - j];
+                            let off = local.idx(lr0 + i, lc_panel + c);
+                            local.data[off] -= l * u;
+                        }
+                    }
+                }
+                comm.charge(
+                    2.0 * (b - j) as f64 * (n / grid.p_r) as f64 / (dev.fp64_peak * 0.15) / speed,
+                );
+                panel_piv[j] = piv;
+            }
+        }
+        // Everyone learns this panel's pivots (row-group broadcast from the
+        // panel column's member).
+        let piv_msg = if in_col {
+            Some(PanelMsg::VecF64(
+                (0..b).map(|j| ipiv[k * b + j] as f64).collect(),
+            ))
+        } else {
+            None
+        };
+        let got = row_group
+            .bcast(comm, kc, piv_msg, 8 * b as u64, BcastAlgo::Lib)
+            .into_vec64();
+        for (j, &p) in got.iter().enumerate() {
+            ipiv[k * b + j] = p as usize;
+        }
+
+        // ---- apply the swaps to the rest of the matrix -------------------
+        for j in 0..b {
+            let r1 = k * b + j;
+            let r2 = ipiv[r1];
+            if r1 != r2 {
+                swap_rows_trailing(
+                    comm, grid, &mut local, in_col, lc_panel, b, r1, r2, my_r, my_c,
+                );
+            }
+        }
+
+        // ---- TRSM for U12 and broadcasts ---------------------------------
+        let lr_k1 = count_owned(k + 1, my_r, grid.p_r) * b;
+        let lc_k1 = count_owned(k + 1, my_c, grid.p_c) * b;
+        let m_loc = local.n_loc_r - lr_k1;
+        let n_loc = local.n_loc_c - lc_k1;
+
+        // L11 (unit-lower part of the factored diagonal block) to the row.
+        let l11 = if in_row && in_col {
+            Some(PanelMsg::VecF64(pack_f64_block(&local, k)))
+        } else {
+            None
+        };
+        let l11 = if in_row {
+            Some(
+                row_group
+                    .bcast(comm, kc, l11, 8 * (b * b) as u64, BcastAlgo::Lib)
+                    .into_vec64(),
+            )
+        } else {
+            None
+        };
+        if in_row && n_loc > 0 {
+            let l11 = l11.as_ref().expect("row ranks joined the bcast");
+            let lr = local.row_of_block(k);
+            let off = local.idx(lr, lc_k1);
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Diag::Unit,
+                b,
+                n_loc,
+                1.0,
+                l11,
+                b,
+                &mut local.data[off..],
+                lda,
+            );
+            comm.charge((b * b * n_loc) as f64 / (dev.fp64_peak * 0.8) / speed);
+        }
+
+        // Panel broadcasts (FP64: twice the HPL-AI volume even vs FP32).
+        let u12 = if in_row {
+            let v = if n_loc > 0 {
+                let lr = local.row_of_block(k);
+                pack_rows_f64(&local, lr, b, lc_k1, n_loc)
+            } else {
+                Vec::new()
+            };
+            Some(PanelMsg::VecF64(v))
+        } else {
+            None
+        };
+        let u12 = col_group
+            .bcast(comm, kr, u12, 8 * (b * n_loc) as u64, BcastAlgo::Lib)
+            .into_vec64();
+        let l21 = if in_col {
+            let v = if m_loc > 0 {
+                pack_rows_f64(&local, lr_k1, m_loc, lc_panel, b)
+            } else {
+                Vec::new()
+            };
+            Some(PanelMsg::VecF64(v))
+        } else {
+            None
+        };
+        let l21 = row_group
+            .bcast(comm, kc, l21, 8 * (m_loc * b) as u64, BcastAlgo::Lib)
+            .into_vec64();
+
+        // ---- FP64 trailing update ----------------------------------------
+        if m_loc > 0 && n_loc > 0 {
+            let off = local.idx(lr_k1, lc_k1);
+            gemm(
+                Trans::No,
+                Trans::No,
+                m_loc,
+                n_loc,
+                b,
+                -1.0,
+                &l21,
+                m_loc,
+                &u12,
+                b,
+                1.0,
+                &mut local.data[off..],
+                lda,
+            );
+            let flops = 2.0 * (m_loc * n_loc * b) as f64;
+            comm.charge(flops / crate::hpl::dgemm_rate(dev, b) / speed);
+        }
+    }
+
+    // ---- solve with the factors (fan-in, as in iterative refinement) ----
+    let mut b_vec = vec![0.0f64; n];
+    gen.fill_rhs(0..n, &mut b_vec);
+    let b_norm = vec_inf_norm(&b_vec);
+    let mut rhs = b_vec.clone();
+    // Apply the pivots in elimination order.
+    for (j, &p) in ipiv.iter().enumerate() {
+        if p != j {
+            rhs.swap(j, p);
+        }
+    }
+    let x = fan_in_solve(comm, grid, &mut col_group, &mut world, &local, &rhs, n, b);
+
+    // ---- verification -----------------------------------------------------
+    let (r_inf, a_norm, x_norm) = residual_check(comm, grid, &mut world, &gen, &x, &b_vec, n, b);
+    let scaled = r_inf / (f64::EPSILON * (a_norm * x_norm + b_norm) * n as f64);
+
+    HplDistOutcome {
+        x,
+        scaled_residual: scaled,
+        swaps: ipiv.iter().enumerate().filter(|(j, &p)| p != *j).count(),
+        elapsed: comm.now() - t0,
+    }
+}
+
+/// Allreduce combiner: keep the candidate with the larger magnitude,
+/// breaking ties toward the smaller global row (serial IAMAX semantics).
+fn pivot_max(a: PanelMsg, b: PanelMsg) -> PanelMsg {
+    let (av, bv) = match (&a, &b) {
+        (PanelMsg::VecF64(x), PanelMsg::VecF64(y)) => (x, y),
+        _ => panic!("pivot allreduce expects VecF64"),
+    };
+    if av[0] > bv[0] || (av[0] == bv[0] && av[1] <= bv[1]) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Exchanges panel-column segments of global rows `r1` and `r2` between
+/// their owner grid rows (within process column `kc` only).
+#[allow(clippy::too_many_arguments)]
+fn swap_rows_panel(
+    comm: &mut Comm<PanelMsg>,
+    grid: &ProcessGrid,
+    local: &mut LocalMat<f64>,
+    lc_panel: usize,
+    b: usize,
+    r1: usize,
+    r2: usize,
+    my_r: usize,
+    my_c: usize,
+) {
+    let o1 = (r1 / b) % grid.p_r;
+    let o2 = (r2 / b) % grid.p_r;
+    let row_slice = |local: &LocalMat<f64>, g_row: usize| -> Vec<f64> {
+        let lr = local.row_of_block(g_row / b) + g_row % b;
+        (0..b)
+            .map(|c| local.data[local.idx(lr, lc_panel + c)])
+            .collect()
+    };
+    let write_row = |local: &mut LocalMat<f64>, g_row: usize, v: &[f64]| {
+        let lr = local.row_of_block(g_row / b) + g_row % b;
+        for (c, &val) in v.iter().enumerate() {
+            let off = local.idx(lr, lc_panel + c);
+            local.data[off] = val;
+        }
+    };
+    if o1 == o2 {
+        if my_r == o1 {
+            let a = row_slice(local, r1);
+            let bb = row_slice(local, r2);
+            write_row(local, r1, &bb);
+            write_row(local, r2, &a);
+        }
+        return;
+    }
+    let tag = TAG_PANEL_SWAP | (r1 as u32 & 0xFFFF);
+    if my_r == o1 {
+        let mine = row_slice(local, r1);
+        let partner = grid.rank_of(o2, my_c);
+        comm.send(partner, tag, PanelMsg::VecF64(mine), 8 * b as u64);
+        let (msg, _) = comm.recv(partner, tag);
+        write_row(local, r1, &msg.into_vec64());
+    } else if my_r == o2 {
+        let mine = row_slice(local, r2);
+        let partner = grid.rank_of(o1, my_c);
+        comm.send(partner, tag, PanelMsg::VecF64(mine), 8 * b as u64);
+        let (msg, _) = comm.recv(partner, tag);
+        write_row(local, r2, &msg.into_vec64());
+    }
+}
+
+/// Exchanges the *non-panel* column segments of global rows `r1`/`r2`
+/// across every process column.
+#[allow(clippy::too_many_arguments)]
+fn swap_rows_trailing(
+    comm: &mut Comm<PanelMsg>,
+    grid: &ProcessGrid,
+    local: &mut LocalMat<f64>,
+    in_panel_col: bool,
+    lc_panel: usize,
+    b: usize,
+    r1: usize,
+    r2: usize,
+    my_r: usize,
+    my_c: usize,
+) {
+    let o1 = (r1 / b) % grid.p_r;
+    let o2 = (r2 / b) % grid.p_r;
+    if my_r != o1 && my_r != o2 {
+        return;
+    }
+    // Column indices to exchange: everything except the already-swapped
+    // panel block (on the panel's process column).
+    let cols: Vec<usize> = (0..local.n_loc_c)
+        .filter(|&c| !(in_panel_col && c >= lc_panel && c < lc_panel + b))
+        .collect();
+    let gather = |local: &LocalMat<f64>, g_row: usize| -> Vec<f64> {
+        let lr = local.row_of_block(g_row / b) + g_row % b;
+        cols.iter().map(|&c| local.data[local.idx(lr, c)]).collect()
+    };
+    let scatter = |local: &mut LocalMat<f64>, g_row: usize, v: &[f64]| {
+        let lr = local.row_of_block(g_row / b) + g_row % b;
+        for (&c, &val) in cols.iter().zip(v) {
+            let off = local.idx(lr, c);
+            local.data[off] = val;
+        }
+    };
+    if o1 == o2 {
+        if my_r == o1 {
+            let a = gather(local, r1);
+            let bb = gather(local, r2);
+            scatter(local, r1, &bb);
+            scatter(local, r2, &a);
+        }
+        return;
+    }
+    let tag = TAG_TRAIL_SWAP | (r1 as u32 & 0xFFFF);
+    let bytes = 8 * cols.len() as u64;
+    if my_r == o1 {
+        let mine = gather(local, r1);
+        let partner = grid.rank_of(o2, my_c);
+        comm.send(partner, tag, PanelMsg::VecF64(mine), bytes);
+        let (msg, _) = comm.recv(partner, tag);
+        scatter(local, r1, &msg.into_vec64());
+    } else {
+        let mine = gather(local, r2);
+        let partner = grid.rank_of(o1, my_c);
+        comm.send(partner, tag, PanelMsg::VecF64(mine), bytes);
+        let (msg, _) = comm.recv(partner, tag);
+        scatter(local, r2, &msg.into_vec64());
+    }
+}
+
+/// Packs the diagonal block `(k,k)` of an f64 local matrix.
+fn pack_f64_block(local: &LocalMat<f64>, k: usize) -> Vec<f64> {
+    local.pack_block(local.row_of_block(k), local.col_of_block(k))
+}
+
+/// Packs rows `[lr, lr+m)` × columns `[lc, lc+nc)` tightly (column-major).
+fn pack_rows_f64(local: &LocalMat<f64>, lr: usize, m: usize, lc: usize, nc: usize) -> Vec<f64> {
+    let mut out = vec![0.0f64; m * nc];
+    for c in 0..nc {
+        for i in 0..m {
+            out[c * m + i] = local.data[local.idx(lr + i, lc + c)];
+        }
+    }
+    out
+}
+
+/// Distributed fan-in triangular solves on the FP64 factors (structure as
+/// in `crate::ir`, but reading `LocalMat<f64>` directly).
+#[allow(clippy::too_many_arguments)]
+fn fan_in_solve(
+    comm: &mut Comm<PanelMsg>,
+    grid: &ProcessGrid,
+    col_group: &mut Group,
+    world: &mut Group,
+    local: &LocalMat<f64>,
+    rhs: &[f64],
+    n: usize,
+    b: usize,
+) -> Vec<f64> {
+    let n_b = n / b;
+    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let fwd_tag = |k: usize| 0x0040_0000 | k as u32;
+    let bwd_tag = |k: usize| 0x0080_0000 | k as u32;
+
+    let diag_of =
+        |k: usize| -> Vec<f64> { local.pack_block(local.row_of_block(k), local.col_of_block(k)) };
+
+    let mut y_seg = vec![0.0f64; n];
+    for k in 0..n_b {
+        let (kr, kc) = grid.owner_of_block(k, k);
+        if my_c != kc {
+            continue;
+        }
+        let i_own = (my_r, my_c) == (kr, kc);
+        let solved = if i_own {
+            let mut y: Vec<f64> = rhs[k * b..(k + 1) * b].to_vec();
+            for j in 0..k {
+                let src = grid.rank_of(kr, j % grid.p_c);
+                let (msg, _) = comm.recv(src, fwd_tag(k));
+                for (yi, ui) in y.iter_mut().zip(msg.into_vec64()) {
+                    *yi -= ui;
+                }
+            }
+            trsv(Uplo::Lower, Diag::Unit, b, &diag_of(k), b, &mut y);
+            y_seg[k * b..(k + 1) * b].copy_from_slice(&y);
+            Some(PanelMsg::VecF64(y))
+        } else {
+            None
+        };
+        let yk = col_group
+            .bcast(comm, kr, solved, 8 * b as u64, BcastAlgo::Lib)
+            .into_vec64();
+        push_contribs_f64(
+            comm,
+            grid,
+            local,
+            &fwd_tag,
+            b,
+            &yk,
+            (k + 1..n_b).filter(|kp| kp % grid.p_r == my_r),
+            k,
+        );
+    }
+
+    let mut x_seg = vec![0.0f64; n];
+    for k in (0..n_b).rev() {
+        let (kr, kc) = grid.owner_of_block(k, k);
+        if my_c != kc {
+            continue;
+        }
+        let i_own = (my_r, my_c) == (kr, kc);
+        let solved = if i_own {
+            let mut y: Vec<f64> = y_seg[k * b..(k + 1) * b].to_vec();
+            for j in k + 1..n_b {
+                let src = grid.rank_of(kr, j % grid.p_c);
+                let (msg, _) = comm.recv(src, bwd_tag(k));
+                for (yi, ui) in y.iter_mut().zip(msg.into_vec64()) {
+                    *yi -= ui;
+                }
+            }
+            trsv(Uplo::Upper, Diag::NonUnit, b, &diag_of(k), b, &mut y);
+            x_seg[k * b..(k + 1) * b].copy_from_slice(&y);
+            Some(PanelMsg::VecF64(y))
+        } else {
+            None
+        };
+        let xk = col_group
+            .bcast(comm, kr, solved, 8 * b as u64, BcastAlgo::Lib)
+            .into_vec64();
+        push_contribs_f64(
+            comm,
+            grid,
+            local,
+            &bwd_tag,
+            b,
+            &xk,
+            (0..k).filter(|kp| kp % grid.p_r == my_r),
+            k,
+        );
+    }
+
+    world
+        .allreduce(comm, PanelMsg::VecF64(x_seg), 8 * n as u64, |a, b| {
+            match (a, b) {
+                (PanelMsg::VecF64(mut x), PanelMsg::VecF64(y)) => {
+                    for (xi, yi) in x.iter_mut().zip(y) {
+                        *xi += yi;
+                    }
+                    PanelMsg::VecF64(x)
+                }
+                _ => panic!("allreduce expects VecF64"),
+            }
+        })
+        .into_vec64()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_contribs_f64(
+    comm: &mut Comm<PanelMsg>,
+    grid: &ProcessGrid,
+    local: &LocalMat<f64>,
+    tag: &dyn Fn(usize) -> u32,
+    b: usize,
+    v: &[f64],
+    targets: impl Iterator<Item = usize>,
+    k: usize,
+) {
+    for kp in targets {
+        let lr = local.row_of_block(kp);
+        let lc = local.col_of_block(k);
+        let mut u = vec![0.0f64; b];
+        for (j, &vj) in v.iter().enumerate().take(b) {
+            if vj != 0.0 {
+                for (i, ui) in u.iter_mut().enumerate() {
+                    *ui += local.data[local.idx(lr + i, lc + j)] * vj;
+                }
+            }
+        }
+        let dst = grid.rank_of(kp % grid.p_r, kp % grid.p_c);
+        comm.send(dst, tag(kp), PanelMsg::VecF64(u), 8 * b as u64);
+    }
+}
+
+/// Residual of `x` against the regenerated system (distributed as in IR).
+#[allow(clippy::too_many_arguments)]
+fn residual_check(
+    comm: &mut Comm<PanelMsg>,
+    grid: &ProcessGrid,
+    world: &mut Group,
+    gen: &MatrixGen,
+    x: &[f64],
+    b_vec: &[f64],
+    n: usize,
+    b: usize,
+) -> (f64, f64, f64) {
+    let n_b = n / b;
+    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let mut ax = vec![0.0f64; n];
+    let mut col_buf = vec![0.0f64; n * b];
+    let mut a_rowsum_part = vec![0.0f64; n];
+    for k in 0..n_b {
+        if grid.owner_of_block(k, k) != (my_r, my_c) {
+            continue;
+        }
+        gen.fill_tile(0..n, k * b..(k + 1) * b, n, &mut col_buf);
+        for j in 0..b {
+            let xj = x[k * b + j];
+            let col = &col_buf[j * n..(j + 1) * n];
+            for (i, &c) in col.iter().enumerate() {
+                ax[i] += c * xj;
+                a_rowsum_part[i] += c.abs();
+            }
+        }
+    }
+    let combined = world
+        .allreduce(
+            comm,
+            PanelMsg::VecF64(ax.into_iter().chain(a_rowsum_part).collect()),
+            16 * n as u64,
+            |a, b| match (a, b) {
+                (PanelMsg::VecF64(mut x), PanelMsg::VecF64(y)) => {
+                    for (xi, yi) in x.iter_mut().zip(y) {
+                        *xi += yi;
+                    }
+                    PanelMsg::VecF64(x)
+                }
+                _ => panic!("allreduce expects VecF64"),
+            },
+        )
+        .into_vec64();
+    let (ax, rowsums) = combined.split_at(n);
+    let r_inf = ax
+        .iter()
+        .zip(b_vec)
+        .map(|(a, bb)| (bb - a).abs())
+        .fold(0.0f64, f64::max);
+    let a_norm = rowsums.iter().copied().fold(0.0f64, f64::max);
+    let x_norm = vec_inf_norm(x);
+    (r_inf, a_norm, x_norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::testbed;
+    use mxp_msgsim::WorldSpec;
+
+    fn run_hpl(grid: ProcessGrid, n: usize, b: usize, kind: MatrixKind) -> Vec<HplDistOutcome> {
+        let q = grid.gcds_per_node();
+        let sys = testbed(grid.size() / q, q);
+        let mut spec = WorldSpec::cluster(grid.size() / q, q, sys.net);
+        spec.locs = grid.locs();
+        spec.tuning = sys.tuning;
+        spec.run::<PanelMsg, _, _>(|mut c| {
+            hpl_dist_solve(&mut c, &grid, &sys, n, b, 4242, kind, 1.0)
+        })
+    }
+
+    #[test]
+    fn solves_uniform_random_with_pivoting() {
+        // The matrix class where unpivoted LU blows up: HPL handles it.
+        let outs = run_hpl(ProcessGrid::col_major(2, 2, 4), 64, 8, MatrixKind::Uniform);
+        for o in &outs {
+            assert!(o.scaled_residual < 16.0, "residual {}", o.scaled_residual);
+        }
+        // Real pivoting happened.
+        assert!(outs[0].swaps > 10, "swaps: {}", outs[0].swaps);
+    }
+
+    #[test]
+    fn matches_serial_hpl() {
+        let n = 48;
+        let outs = run_hpl(ProcessGrid::col_major(2, 2, 4), n, 8, MatrixKind::Uniform);
+        // Solve the same system serially (same seed and kind).
+        let gen = MatrixGen::new(4242, n, MatrixKind::Uniform);
+        let mut a = vec![0.0f64; n * n];
+        gen.fill_tile(0..n, 0..n, n, &mut a);
+        let mut rhs = vec![0.0f64; n];
+        gen.fill_rhs(0..n, &mut rhs);
+        let ipiv = mxp_blas::getrf_pivoted(n, &mut a, n).unwrap();
+        mxp_blas::apply_pivots(&ipiv, &mut rhs);
+        trsv(Uplo::Lower, Diag::Unit, n, &a, n, &mut rhs);
+        trsv(Uplo::Upper, Diag::NonUnit, n, &a, n, &mut rhs);
+        for (i, (&d, &s)) in outs[0].x.iter().zip(&rhs).enumerate() {
+            assert!(
+                (d - s).abs() < 1e-6 * s.abs().max(1.0),
+                "x[{i}]: {d} vs {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn diag_dominant_never_swaps() {
+        let outs = run_hpl(
+            ProcessGrid::col_major(2, 2, 4),
+            48,
+            8,
+            MatrixKind::DiagDominant,
+        );
+        assert_eq!(outs[0].swaps, 0);
+        assert!(outs[0].scaled_residual < 16.0);
+    }
+
+    #[test]
+    fn rectangular_grids_and_single_rank_agree() {
+        let single = run_hpl(ProcessGrid::col_major(1, 1, 1), 48, 8, MatrixKind::Uniform);
+        let wide = run_hpl(ProcessGrid::col_major(2, 3, 6), 48, 8, MatrixKind::Uniform);
+        for (a, b) in single[0].x.iter().zip(&wide[0].x) {
+            assert!((a - b).abs() < 1e-7 * a.abs().max(1.0));
+        }
+        // Everyone holds the same replicated solution.
+        for o in &wide {
+            assert_eq!(o.x, wide[0].x);
+        }
+    }
+
+    #[test]
+    fn hplai_and_distributed_hpl_agree_on_the_answer() {
+        // Same system, two very different solvers (mixed-precision + IR vs
+        // pivoted FP64): the answers must coincide to FP64 accuracy.
+        //
+        // Note on speed: at this toy N the FP64 run is *faster* in
+        // simulated time — tensor-path GEMM rates need large tiles, so
+        // mixed precision only pays off at scale (the claim the critical-
+        // path models assert in `hpl::tests` and `tests/paper_claims.rs`).
+        use crate::solve::{run, RunConfig};
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let sys = testbed(1, 4);
+        let mut cfg = RunConfig::functional(sys, grid, 256, 32);
+        cfg.seed = 4242;
+        let ai = run(&cfg);
+        assert!(ai.converged);
+        let hpl = run_hpl(grid, 256, 32, MatrixKind::DiagDominant);
+        assert!(hpl[0].scaled_residual < 16.0);
+        // Recover HPL-AI's solution for comparison.
+        use crate::factor::{factor, FactorConfig, Fidelity};
+        use crate::ir::refine;
+        use mxp_msgsim::WorldSpec;
+        let mut spec = WorldSpec::cluster(1, 4, testbed(1, 4).net);
+        spec.locs = grid.locs();
+        let sys2 = testbed(1, 4);
+        let fcfg = FactorConfig {
+            n: 256,
+            b: 32,
+            algo: BcastAlgo::Lib,
+            lookahead: true,
+            fidelity: Fidelity::Functional,
+            seed: 4242,
+            prec: crate::msg::TrailingPrecision::Fp16,
+        };
+        let ai_x = spec.run::<PanelMsg, _, _>(|mut c| {
+            let f = factor(&mut c, &grid, &sys2, &fcfg, 1.0);
+            refine(&mut c, &grid, &sys2, &fcfg, f.local.as_ref().unwrap(), 1.0).x
+        });
+        for (i, (a, h)) in ai_x[0].iter().zip(&hpl[0].x).enumerate() {
+            assert!(
+                (a - h).abs() < 1e-7 * h.abs().max(1.0),
+                "x[{i}]: {a} vs {h}"
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The slow-node identification mini-benchmark (§VI-B "Identify slow
+//! nodes").
+//!
+//! "Using a mini-benchmark code, we scan through the GCDs, and thereby
+//! whole nodes, to exclude them from scaling runs. The mini-benchmark code
+//! is implemented with a single GPU LU factorization and an MPI aggregator
+//! to identify the slow GCDs."
+//!
+//! [`scan_fleet`] runs the single-GCD LU mini-benchmark (modeled) on every
+//! GCD of a fleet, aggregates the times, and flags outliers against the
+//! fleet median. [`scan_report`] turns the result into the exclusion list
+//! used before a top-performance run.
+
+use mxp_gpusim::{GcdFleet, GcdModel};
+
+/// Measured mini-benchmark result for one GCD.
+#[derive(Clone, Copy, Debug)]
+pub struct GcdMeasurement {
+    /// GCD index in the fleet.
+    pub gcd: usize,
+    /// Mini-benchmark wall time, seconds.
+    pub time: f64,
+    /// Time relative to the fleet median (1.0 = nominal).
+    pub relative: f64,
+}
+
+/// Scan outcome: all measurements plus the flagged slow set.
+#[derive(Clone, Debug)]
+pub struct ScanOutcome {
+    /// Per-GCD measurements, sorted by index.
+    pub measurements: Vec<GcdMeasurement>,
+    /// Indices slower than the threshold (to be excluded).
+    pub slow: Vec<usize>,
+    /// Median mini-benchmark time.
+    pub median_time: f64,
+}
+
+/// Simulated wall time of the single-GCD LU mini-benchmark at problem size
+/// `n`, block `b`, on a GCD running at `speed` × nominal.
+pub fn mini_benchmark_time(dev: &GcdModel, n: usize, b: usize, speed: f64) -> f64 {
+    let n_b = n / b;
+    let mut t = 0.0;
+    for k in 0..n_b {
+        let trail = n - (k + 1) * b;
+        t += dev.getrf_time(b);
+        if trail > 0 {
+            t += 2.0 * dev.trsm_time(b, trail);
+            t += dev.cast_time(2 * b * trail);
+            t += dev.gemm_mixed_time(trail, trail, b, n);
+        }
+    }
+    t / speed
+}
+
+/// Runs the scan over a fleet: every GCD factors the same `n × n` problem;
+/// an aggregation step (the "MPI aggregator") computes the median and flags
+/// GCDs slower than `threshold` × median (e.g. 1.1 = 10% slower).
+pub fn scan_fleet(
+    dev: &GcdModel,
+    fleet: &GcdFleet,
+    n: usize,
+    b: usize,
+    threshold: f64,
+) -> ScanOutcome {
+    assert!(threshold > 1.0, "threshold must exceed 1.0");
+    let times: Vec<f64> = (0..fleet.len())
+        .map(|i| mini_benchmark_time(dev, n, b, fleet.speed(i)))
+        .collect();
+    let mut sorted = times.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let measurements: Vec<GcdMeasurement> = times
+        .iter()
+        .enumerate()
+        .map(|(gcd, &time)| GcdMeasurement {
+            gcd,
+            time,
+            relative: time / median,
+        })
+        .collect();
+    let slow = measurements
+        .iter()
+        .filter(|m| m.relative > threshold)
+        .map(|m| m.gcd)
+        .collect();
+    ScanOutcome {
+        measurements,
+        slow,
+        median_time: median,
+    }
+}
+
+/// Human-readable exclusion report.
+pub fn scan_report(outcome: &ScanOutcome, gcds_per_node: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "fleet scan: {} GCDs, median {:.3}s, {} flagged",
+        outcome.measurements.len(),
+        outcome.median_time,
+        outcome.slow.len()
+    );
+    let mut nodes: Vec<usize> = outcome.slow.iter().map(|g| g / gcds_per_node).collect();
+    nodes.dedup();
+    for &g in &outcome.slow {
+        let m = &outcome.measurements[g];
+        let _ = writeln!(
+            s,
+            "  GCD {:>6} (node {:>5}): {:.3}s = {:.1}% slower than median",
+            g,
+            g / gcds_per_node,
+            m.time,
+            (m.relative - 1.0) * 100.0
+        );
+    }
+    let _ = writeln!(s, "exclude nodes: {nodes:?}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mxp_gpusim::GcdModel;
+
+    #[test]
+    fn injected_slow_gcds_are_flagged() {
+        let dev = GcdModel::mi250x_gcd();
+        let fleet = GcdFleet::generate(64, 9, 0.05, 2, 0.7);
+        let out = scan_fleet(&dev, &fleet, 8192, 1024, 1.15);
+        assert_eq!(out.slow.len(), 2, "flagged: {:?}", out.slow);
+        for &g in &out.slow {
+            assert!(fleet.speed(g) < 0.75);
+        }
+    }
+
+    #[test]
+    fn clean_fleet_passes() {
+        let dev = GcdModel::v100();
+        let fleet = GcdFleet::generate(64, 4, 0.05, 0, 1.0);
+        let out = scan_fleet(&dev, &fleet, 8192, 768, 1.15);
+        assert!(out.slow.is_empty(), "{:?}", out.slow);
+    }
+
+    #[test]
+    fn five_percent_variation_is_within_family() {
+        // §VI-B: "approximately 5% maximum variation between GCDs" — the
+        // in-family spread must not be flagged at a 10%-over-median gate.
+        let dev = GcdModel::mi250x_gcd();
+        let fleet = GcdFleet::generate(256, 3, 0.05, 0, 1.0);
+        let out = scan_fleet(&dev, &fleet, 8192, 1024, 1.10);
+        assert!(out.slow.is_empty());
+        let worst = out
+            .measurements
+            .iter()
+            .map(|m| m.relative)
+            .fold(0.0, f64::max);
+        assert!(worst < 1.08, "worst relative {worst}");
+    }
+
+    #[test]
+    fn mini_benchmark_scales_with_speed() {
+        let dev = GcdModel::v100();
+        let nominal = mini_benchmark_time(&dev, 4096, 512, 1.0);
+        let slow = mini_benchmark_time(&dev, 4096, 512, 0.5);
+        assert!((slow / nominal - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_names_nodes() {
+        let dev = GcdModel::mi250x_gcd();
+        let fleet = GcdFleet::generate(32, 5, 0.05, 1, 0.6);
+        let out = scan_fleet(&dev, &fleet, 4096, 1024, 1.2);
+        let report = scan_report(&out, 8);
+        assert!(report.contains("flagged"));
+        assert!(report.contains("exclude nodes"));
+    }
+}

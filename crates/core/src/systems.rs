@@ -1,0 +1,227 @@
+//! System presets: Summit, Frontier, and a small testbed (Table I).
+
+use mxp_gpusim::thermal::WarmupProfile;
+use mxp_gpusim::GcdModel;
+#[cfg(test)]
+use mxp_gpusim::Vendor;
+use mxp_msgsim::CollectiveTuning;
+use mxp_netsim::{frontier_network, summit_network, NetworkConfig};
+
+/// CPU-side performance model for the iterative-refinement phase, which
+/// Algorithm 1 runs on the host (GEMV over regenerated entries + TRSV).
+#[derive(Clone, Copy, Debug)]
+pub struct CpuModel {
+    /// Matrix entries regenerated per second per rank (LCG jump + draw).
+    pub gen_rate: f64,
+    /// FP64 flop rate per rank for GEMV/TRSV (one rank's share of the
+    /// node's CPU).
+    pub flop_rate: f64,
+}
+
+/// A complete machine description: everything Table I records plus the
+/// software-stack behaviour the paper characterizes.
+#[derive(Clone, Debug)]
+pub struct SystemSpec {
+    /// Machine name.
+    pub name: &'static str,
+    /// Total node count (Table I).
+    pub nodes: usize,
+    /// GCDs per node (`Q`): 6 V100s on Summit, 8 MI250X GCDs on Frontier.
+    pub gcds_per_node: usize,
+    /// CPU memory per node, bytes (Table I).
+    pub cpu_mem_per_node: u64,
+    /// The accelerator model.
+    pub gcd: GcdModel,
+    /// The interconnect model.
+    pub net: NetworkConfig,
+    /// Vendor MPI behaviour for collectives.
+    pub tuning: CollectiveTuning,
+    /// Run-sequence warm-up/thermal profile (Fig. 12).
+    pub warmup: WarmupProfile,
+    /// Host-side model for iterative refinement.
+    pub cpu: CpuModel,
+    /// The paper's tuned local problem size for this machine (§V-A).
+    pub paper_n_local: usize,
+    /// The paper's tuned block size for this machine (§V-C).
+    pub paper_b: usize,
+}
+
+impl SystemSpec {
+    /// Total GCD count of the full machine.
+    pub fn total_gcds(&self) -> usize {
+        self.nodes * self.gcds_per_node
+    }
+
+    /// Peak node FP16 TFLOPS (the Table I row).
+    pub fn node_fp16_tflops(&self) -> f64 {
+        self.gcds_per_node as f64 * self.gcd.fp16_peak / 1e12
+    }
+}
+
+/// Summit: 4608 nodes × 6 V100 (Table I).
+pub fn summit() -> SystemSpec {
+    SystemSpec {
+        name: "Summit",
+        nodes: 4608,
+        gcds_per_node: 6,
+        cpu_mem_per_node: 512 * (1 << 30),
+        gcd: GcdModel::v100(),
+        net: summit_network(),
+        tuning: CollectiveTuning::summit(),
+        warmup: WarmupProfile::Summit,
+        cpu: CpuModel {
+            // 7 Power9 cores per rank; column-independent jump-ahead LCG
+            // vectorizes, so draws stream at multi-GHz aggregate rates.
+            gen_rate: 1.0e10,
+            flop_rate: 5.0e10,
+        },
+        paper_n_local: 61440,
+        paper_b: 768,
+    }
+}
+
+/// Frontier: 9408 nodes × 8 MI250X GCDs (Table I).
+pub fn frontier() -> SystemSpec {
+    SystemSpec {
+        name: "Frontier",
+        nodes: 9408,
+        gcds_per_node: 8,
+        cpu_mem_per_node: 512 * (1 << 30),
+        gcd: GcdModel::mi250x_gcd(),
+        net: frontier_network(),
+        tuning: CollectiveTuning::frontier(),
+        warmup: WarmupProfile::Frontier,
+        cpu: CpuModel {
+            // 8 EPYC cores per rank with AVX2 LCG lanes.
+            gen_rate: 1.5e10,
+            flop_rate: 6.0e10,
+        },
+        paper_n_local: 119808,
+        paper_b: 3072,
+    }
+}
+
+/// A small Frontier-like testbed used by functional tests and examples:
+/// same per-GCD behaviour, few nodes, so a laptop can run real solves.
+pub fn testbed(nodes: usize, gcds_per_node: usize) -> SystemSpec {
+    let mut spec = frontier();
+    spec.name = "Testbed";
+    spec.nodes = nodes;
+    spec.gcds_per_node = gcds_per_node;
+    spec
+}
+
+/// One row of Table I, as `(label, summit value, frontier value)` — printed
+/// verbatim by the `table1` harness.
+pub fn table1_rows() -> Vec<(&'static str, String, String)> {
+    let s = summit();
+    let f = frontier();
+    vec![
+        ("Number of Nodes", s.nodes.to_string(), f.nodes.to_string()),
+        ("Processor", "Power9".into(), "3rd Gen EPYC".into()),
+        ("CPU memory (Node)", "512 GB".into(), "512 GB".into()),
+        (
+            "GPU / # of GCDs (Node)",
+            format!("NVIDIA V100 / {}", s.gcds_per_node),
+            format!("AMD MI250X / {}", f.gcds_per_node),
+        ),
+        (
+            "per GPU / per Node memory",
+            "16 / 96 GB".into(),
+            "128 / 512 GB".into(),
+        ),
+        (
+            "GPU Interconnect",
+            "NVLINK".into(),
+            "Infinity Fabric".into(),
+        ),
+        (
+            "GPU Interconnect B/W",
+            "50+50 GB/s".into(),
+            "50+50 GB/s".into(),
+        ),
+        (
+            "FP16 TFLOPS (Node)",
+            format!("{:.0}", s.node_fp16_tflops()),
+            format!("{:.0}", f.node_fp16_tflops()),
+        ),
+        (
+            "# of NICs",
+            format!("{}x Mellanox EDR IB", s.net.nics.count),
+            format!("{}x Slingshot-11", f.net.nics.count),
+        ),
+        (
+            "NIC B/W (node)",
+            format!("{0:.1}+{0:.1} GB/s", s.net.nics.bw_per_nic / 1e9),
+            format!("{0:.0}+{0:.0} GB/s", f.net.nics.bw_per_nic / 1e9),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summit_matches_table1() {
+        let s = summit();
+        assert_eq!(s.nodes, 4608);
+        assert_eq!(s.gcds_per_node, 6);
+        assert_eq!(s.total_gcds(), 27648);
+        assert!((s.node_fp16_tflops() - 750.0).abs() < 0.5);
+        assert_eq!(s.gcd.vendor, Vendor::Nvidia);
+        assert_eq!(s.paper_b, 768);
+        assert_eq!(s.paper_n_local, 61440);
+    }
+
+    #[test]
+    fn frontier_matches_table1() {
+        let f = frontier();
+        assert_eq!(f.nodes, 9408);
+        assert_eq!(f.gcds_per_node, 8);
+        assert_eq!(f.total_gcds(), 75264);
+        assert!((f.node_fp16_tflops() - 1192.0).abs() < 0.5);
+        assert_eq!(f.gcd.vendor, Vendor::Amd);
+        assert_eq!(f.paper_b, 3072);
+        assert_eq!(f.paper_n_local, 119808);
+    }
+
+    #[test]
+    fn frontier_node_is_1_58x_summit() {
+        let r = frontier().node_fp16_tflops() / summit().node_fp16_tflops();
+        assert!((r - 1.589).abs() < 0.01, "ratio {r}");
+    }
+
+    #[test]
+    fn paper_headline_configs_fit_memory() {
+        let s = summit();
+        assert!(s.gcd.fits_local_matrix(s.paper_n_local, s.paper_b));
+        let f = frontier();
+        assert!(f.gcd.fits_local_matrix(f.paper_n_local, f.paper_b));
+    }
+
+    #[test]
+    fn finding1_gpu_memory_exceeds_usable_cpu_memory() {
+        // Finding 1: Frontier's aggregate GPU memory (8 × 64 GB) exceeds
+        // the *usable* CPU memory (512 GB minus OS/caches, "over 30GB").
+        let f = frontier();
+        let gpu_total = f.gcds_per_node as u64 * f.gcd.mem_bytes;
+        let usable_cpu = f.cpu_mem_per_node - 30 * (1 << 30);
+        assert!(gpu_total > usable_cpu);
+    }
+
+    #[test]
+    fn testbed_is_small_frontier() {
+        let t = testbed(2, 4);
+        assert_eq!(t.total_gcds(), 8);
+        assert_eq!(t.gcd.vendor, Vendor::Amd);
+    }
+
+    #[test]
+    fn table1_has_all_rows() {
+        let rows = table1_rows();
+        assert!(rows.len() >= 10);
+        assert_eq!(rows[0].1, "4608");
+        assert_eq!(rows[0].2, "9408");
+    }
+}

@@ -1,0 +1,208 @@
+//! Run tracing: converts per-iteration records into a Chrome-tracing
+//! (`about:tracing` / Perfetto) JSON timeline and aggregate summaries.
+//!
+//! Complements the §VI-B progress monitoring: the paper's team watched
+//! per-component progress output and power draw to spot sick runs early;
+//! a timeline view makes the same structure visually obvious (the
+//! compute-bound head and communication-bound tail of Fig. 10).
+
+use crate::factor::IterRecord;
+use std::fmt::Write as _;
+
+/// Aggregate time per component over a run (one rank).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTotals {
+    /// Total GETRF seconds.
+    pub getrf: f64,
+    /// Total panel-TRSM seconds.
+    pub trsm: f64,
+    /// Total CAST/TRANS_CAST seconds.
+    pub cast: f64,
+    /// Total trailing-GEMM seconds.
+    pub gemm: f64,
+    /// Total communication-wait seconds.
+    pub wait: f64,
+}
+
+impl PhaseTotals {
+    /// Sums a record series.
+    pub fn from_records(records: &[IterRecord]) -> Self {
+        let mut t = PhaseTotals::default();
+        for r in records {
+            t.getrf += r.getrf;
+            t.trsm += r.trsm;
+            t.cast += r.cast;
+            t.gemm += r.gemm;
+            t.wait += r.wait;
+        }
+        t
+    }
+
+    /// Total accounted seconds.
+    pub fn total(&self) -> f64 {
+        self.getrf + self.trsm + self.cast + self.gemm + self.wait
+    }
+
+    /// Fraction of accounted time spent in the trailing GEMM — the
+    /// "computational bounded" indicator of Fig. 10.
+    pub fn gemm_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.gemm / self.total()
+        }
+    }
+}
+
+/// Serializes a rank's records as a Chrome-tracing JSON array: one complete
+/// ("X") event per nonzero component per iteration, on one thread lane per
+/// component. Timestamps are microseconds; iterations are laid out
+/// back-to-back in component order (the records carry durations, not
+/// absolute starts).
+pub fn chrome_trace(records: &[IterRecord], rank: usize) -> String {
+    let mut out = String::from("[\n");
+    let mut t_us = 0.0f64;
+    let mut first = true;
+    for rec in records {
+        for (name, dur, lane) in [
+            ("getrf", rec.getrf, 0),
+            ("trsm", rec.trsm, 1),
+            ("cast", rec.cast, 2),
+            ("gemm", rec.gemm, 3),
+            ("wait", rec.wait, 4),
+        ] {
+            if dur <= 0.0 {
+                continue;
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                r#"  {{"name":"{name}","cat":"iter{k}","ph":"X","ts":{ts:.3},"dur":{dur:.3},"pid":0,"tid":{lane},"args":{{"k":{k},"rank":{rank}}}}}"#,
+                k = rec.k,
+                ts = t_us,
+                dur = dur * 1e6,
+            );
+            t_us += dur * 1e6;
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Renders a compact per-phase summary table (plain text).
+pub fn summary(records: &[IterRecord]) -> String {
+    let t = PhaseTotals::from_records(records);
+    let pct = |v: f64| {
+        if t.total() > 0.0 {
+            100.0 * v / t.total()
+        } else {
+            0.0
+        }
+    };
+    format!(
+        "phase totals over {} iterations (accounted {:.3} s):\n\
+         \x20 getrf {:>9.3} ms ({:>5.1}%)\n\
+         \x20 trsm  {:>9.3} ms ({:>5.1}%)\n\
+         \x20 cast  {:>9.3} ms ({:>5.1}%)\n\
+         \x20 gemm  {:>9.3} ms ({:>5.1}%)\n\
+         \x20 wait  {:>9.3} ms ({:>5.1}%)\n",
+        records.len(),
+        t.total(),
+        t.getrf * 1e3,
+        pct(t.getrf),
+        t.trsm * 1e3,
+        pct(t.trsm),
+        t.cast * 1e3,
+        pct(t.cast),
+        t.gemm * 1e3,
+        pct(t.gemm),
+        t.wait * 1e3,
+        pct(t.wait),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<IterRecord> {
+        vec![
+            IterRecord {
+                k: 0,
+                getrf: 0.001,
+                trsm: 0.002,
+                cast: 0.0005,
+                gemm: 0.01,
+                wait: 0.0,
+            },
+            IterRecord {
+                k: 1,
+                getrf: 0.0,
+                trsm: 0.002,
+                cast: 0.0005,
+                gemm: 0.008,
+                wait: 0.003,
+            },
+        ]
+    }
+
+    #[test]
+    fn totals_sum() {
+        let t = PhaseTotals::from_records(&sample());
+        assert!((t.getrf - 0.001).abs() < 1e-12);
+        assert!((t.gemm - 0.018).abs() < 1e-12);
+        assert!((t.total() - 0.027).abs() < 1e-12);
+        assert!(t.gemm_fraction() > 0.6);
+    }
+
+    #[test]
+    fn empty_records() {
+        let t = PhaseTotals::from_records(&[]);
+        assert_eq!(t.total(), 0.0);
+        assert_eq!(t.gemm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let json = chrome_trace(&sample(), 0);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = parsed.as_array().unwrap();
+        // 4 nonzero components in iter 0 + 4 in iter 1.
+        assert_eq!(events.len(), 8);
+        assert_eq!(events[0]["name"], "getrf");
+        assert_eq!(events[0]["ph"], "X");
+        // Events are laid out without overlap: ts nondecreasing.
+        let mut prev = -1.0;
+        for e in events {
+            let ts = e["ts"].as_f64().unwrap();
+            assert!(ts >= prev);
+            prev = ts;
+        }
+    }
+
+    #[test]
+    fn summary_mentions_every_phase() {
+        let s = summary(&sample());
+        for phase in ["getrf", "trsm", "cast", "gemm", "wait"] {
+            assert!(s.contains(phase), "missing {phase} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn trace_from_a_real_run() {
+        use crate::solve::{run, RunConfig};
+        use crate::systems::testbed;
+        use crate::ProcessGrid;
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let out = run(&RunConfig::timing(testbed(1, 4), grid, 1024, 128));
+        let json = chrome_trace(&out.records_rank0, 0);
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert!(parsed.as_array().unwrap().len() >= out.records_rank0.len());
+        let t = PhaseTotals::from_records(&out.records_rank0);
+        // The accounted time is within the rank's elapsed factor time.
+        assert!(t.total() <= out.factor_time * 1.01);
+    }
+}

@@ -1,0 +1,38 @@
+//! # mxp-gpusim — simulated Summit/Frontier accelerators
+//!
+//! Stand-in for the V100 GPUs and MI250X GCDs (plus their vendor BLAS
+//! libraries) that the paper runs on. Three concerns live here:
+//!
+//! 1. **Kernel-time surfaces** ([`GcdModel`]) — analytic flop-rate models
+//!    `rate(kernel, m, n, k, lda)` calibrated to Table I peaks and to the
+//!    *shapes* the paper measures: the rocBLAS GEMM heat-map non-uniformity
+//!    (Fig. 3), the per-iteration GEMM/GETRF/TRSM curves (Figs. 5/6), the
+//!    LDA = 122880 performance cliff (Fig. 7), and the under-performing
+//!    `rocsolver_sgetrf` on the critical path (Finding 3).
+//! 2. **Fleet effects** — per-GCD manufacturing variability (§VI-B "Identify
+//!    slow nodes", ≈5% max spread) and the warm-up / thermal run-sequence
+//!    behaviour of Fig. 12 ([`fleet`], [`thermal`]).
+//! 3. **Power/energy** ([`power`]) — per-activity-class board power, so
+//!    drivers can integrate the energy profile of a run (the paper's §VIII
+//!    outlook, implemented).
+//! 4. **The cross-platform shim** ([`shim`]) — Table II's mapping from BLAS
+//!    operations to vendor library entry points, including the API quirks
+//!    (cuSOLVER's separate `…_bufferSize` workspace query) that forced the
+//!    paper's macro-based shim; functional dispatch lands on `mxp-blas`.
+//!
+//! Times are seconds; rates are FLOP/s; sizes are elements unless a name
+//! says bytes.
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod fleet;
+pub mod power;
+pub mod shim;
+pub mod thermal;
+
+pub use device::{gemm_heatmap, kernel_curves, GcdModel, KernelRates, Vendor};
+pub use fleet::GcdFleet;
+pub use power::{integrate_energy, EnergyAccount, PowerModel};
+pub use shim::{BlasShim, Workspace};
+pub use thermal::RunSequence;

@@ -1,0 +1,160 @@
+//! Power and energy modeling — the paper's §VIII outlook, implemented.
+//!
+//! "Of great interest would be investigating how mixed precision operations
+//! effects the energy profile required for various calculations. One would
+//! expect that the improvements seen in performance would translate
+//! directly to energy utilization." This module prices each kernel class in
+//! watts so the drivers can integrate energy over a run and test that
+//! hypothesis quantitatively.
+//!
+//! Numbers are board-level draws in the neighbourhood of the parts'
+//! published TDPs (V100: 300 W; MI250X: 560 W per package → 280 W per
+//! GCD), split by activity class: dense tensor math pins the power ceiling,
+//! memory-bound phases draw less, and stalls idle at the floor.
+
+use crate::device::{GcdModel, Vendor};
+
+/// Board power by activity class for one GCD, in watts.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// Idle / waiting on communication.
+    pub idle_w: f64,
+    /// Mixed-precision (tensor/matrix core) GEMM.
+    pub gemm_mixed_w: f64,
+    /// FP32 vector math (GETRF, TRSM).
+    pub fp32_w: f64,
+    /// FP64 math (the HPL baseline's DGEMM).
+    pub fp64_w: f64,
+    /// Memory-bound kernels (CAST/TRANS_CAST, packing).
+    pub mem_w: f64,
+    /// Host CPU share attributable to one rank during IR.
+    pub cpu_w: f64,
+}
+
+impl PowerModel {
+    /// Power preset for a device.
+    pub fn for_device(dev: &GcdModel) -> Self {
+        match dev.vendor {
+            Vendor::Nvidia => PowerModel {
+                idle_w: 55.0,
+                gemm_mixed_w: 295.0,
+                fp32_w: 250.0,
+                fp64_w: 260.0,
+                mem_w: 180.0,
+                cpu_w: 35.0,
+            },
+            Vendor::Amd => PowerModel {
+                idle_w: 45.0,
+                gemm_mixed_w: 275.0,
+                fp32_w: 230.0,
+                fp64_w: 245.0,
+                mem_w: 170.0,
+                cpu_w: 30.0,
+            },
+        }
+    }
+}
+
+/// Integrated per-GCD energy for one run, by activity class (joules).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EnergyAccount {
+    /// Joules in the mixed-precision trailing GEMM.
+    pub gemm_j: f64,
+    /// Joules in FP32 panel work (GETRF + TRSM).
+    pub fp32_j: f64,
+    /// Joules in FP64 work (HPL baseline).
+    pub fp64_j: f64,
+    /// Joules in memory-bound casts.
+    pub mem_j: f64,
+    /// Joules idling (communication waits, pipeline stalls).
+    pub idle_j: f64,
+    /// Host-side joules (iterative refinement).
+    pub cpu_j: f64,
+}
+
+impl EnergyAccount {
+    /// Total joules for one GCD.
+    pub fn total_j(&self) -> f64 {
+        self.gemm_j + self.fp32_j + self.fp64_j + self.mem_j + self.idle_j + self.cpu_j
+    }
+
+    /// Energy efficiency in GFLOPS/W given the useful flop count and the
+    /// run's wall time (per GCD).
+    pub fn gflops_per_watt(&self, flops: f64, runtime: f64) -> f64 {
+        let avg_watts = self.total_j() / runtime;
+        flops / runtime / 1e9 / avg_watts
+    }
+}
+
+/// Integrates energy for a run phase profile: each argument is the *busy
+/// seconds* in that class; the remainder of `runtime` idles.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_energy(
+    power: &PowerModel,
+    runtime: f64,
+    gemm_s: f64,
+    fp32_s: f64,
+    fp64_s: f64,
+    mem_s: f64,
+    cpu_s: f64,
+) -> EnergyAccount {
+    let busy = gemm_s + fp32_s + fp64_s + mem_s + cpu_s;
+    let idle_s = (runtime - busy).max(0.0);
+    EnergyAccount {
+        gemm_j: gemm_s * power.gemm_mixed_w,
+        fp32_j: fp32_s * power.fp32_w,
+        fp64_j: fp64_s * power.fp64_w,
+        mem_j: mem_s * power.mem_w,
+        idle_j: idle_s * power.idle_w,
+        cpu_j: cpu_s * power.cpu_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_near_tdp() {
+        let v = PowerModel::for_device(&GcdModel::v100());
+        assert!((v.gemm_mixed_w - 300.0).abs() < 20.0);
+        let m = PowerModel::for_device(&GcdModel::mi250x_gcd());
+        assert!((m.gemm_mixed_w - 280.0).abs() < 20.0);
+        assert!(v.idle_w < v.mem_w && v.mem_w < v.gemm_mixed_w);
+    }
+
+    #[test]
+    fn integration_accounts_for_idle() {
+        let p = PowerModel::for_device(&GcdModel::mi250x_gcd());
+        let e = integrate_energy(&p, 10.0, 6.0, 1.0, 0.0, 0.5, 0.5);
+        // 2 seconds idle.
+        assert!((e.idle_j - 2.0 * p.idle_w).abs() < 1e-9);
+        assert!((e.gemm_j - 6.0 * p.gemm_mixed_w).abs() < 1e-9);
+        assert!(e.total_j() > 0.0);
+    }
+
+    #[test]
+    fn busier_run_draws_more_energy_but_finishes() {
+        let p = PowerModel::for_device(&GcdModel::v100());
+        let packed = integrate_energy(&p, 10.0, 9.0, 0.5, 0.0, 0.5, 0.0);
+        let idle_heavy = integrate_energy(&p, 10.0, 2.0, 0.5, 0.0, 0.5, 0.0);
+        assert!(packed.total_j() > idle_heavy.total_j());
+    }
+
+    #[test]
+    fn gflops_per_watt_sane() {
+        let p = PowerModel::for_device(&GcdModel::mi250x_gcd());
+        // 100 TF useful work over 1s at full tensor power.
+        let e = integrate_energy(&p, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0);
+        let gpw = e.gflops_per_watt(100e12, 1.0);
+        // ~100000 GFLOPS / 275 W ≈ 364 GFLOPS/W.
+        assert!((gpw - 363.6).abs() < 1.0, "{gpw}");
+    }
+
+    #[test]
+    fn overlong_busy_time_clamps_idle() {
+        let p = PowerModel::for_device(&GcdModel::v100());
+        let e = integrate_energy(&p, 1.0, 2.0, 0.0, 0.0, 0.0, 0.0);
+        assert_eq!(e.idle_j, 0.0);
+    }
+}

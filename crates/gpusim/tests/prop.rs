@@ -1,0 +1,90 @@
+//! Property-based tests of the device models: physical sanity for any
+//! kernel shape the driver can throw at them.
+
+use mxp_gpusim::{GcdFleet, GcdModel};
+use proptest::prelude::*;
+
+fn devices() -> Vec<GcdModel> {
+    vec![GcdModel::v100(), GcdModel::mi250x_gcd()]
+}
+
+proptest! {
+    /// Rates never exceed the relevant peak, for any shape.
+    #[test]
+    fn rates_bounded_by_peak(
+        m in 1usize..200_000,
+        n in 1usize..200_000,
+        k in 1usize..8192,
+        lda in 1usize..200_000,
+    ) {
+        for dev in devices() {
+            prop_assert!(dev.gemm_mixed_rate(m, n, k, lda) <= dev.fp16_peak);
+            prop_assert!(dev.getrf_rate(k) <= dev.fp32_peak);
+            prop_assert!(dev.trsm_rate(k, n) <= dev.fp32_peak);
+        }
+    }
+
+    /// Kernel times are positive and monotone in the work: growing any
+    /// dimension never reduces the time.
+    #[test]
+    fn times_monotone(
+        m in 64usize..32_768,
+        n in 64usize..32_768,
+        k in 64usize..4096,
+    ) {
+        for dev in devices() {
+            let lda = 119_807; // off every penalty stripe
+            let t = dev.gemm_mixed_time(m, n, k, lda);
+            prop_assert!(t > 0.0);
+            prop_assert!(dev.gemm_mixed_time(2 * m, n, k, lda) >= t);
+            prop_assert!(dev.gemm_mixed_time(m, 2 * n, k, lda) >= t);
+            // k both adds flops and improves the rate; flops win.
+            prop_assert!(dev.gemm_mixed_time(m, n, 2 * k, lda) > t);
+            prop_assert!(dev.getrf_time(2 * k) > dev.getrf_time(k));
+            prop_assert!(dev.trsm_time(k, 2 * n) > dev.trsm_time(k, n));
+            prop_assert!(dev.cast_time(2 * m * k) > dev.cast_time(m * k));
+        }
+    }
+
+    /// The LDA penalty only ever reduces the rate, and only on the AMD
+    /// stack (Fig. 7 is a rocBLAS artifact).
+    #[test]
+    fn lda_penalty_direction(lda in 1usize..300_000) {
+        let v = GcdModel::v100();
+        prop_assert_eq!(v.lda_penalty(lda), 1.0);
+        let m = GcdModel::mi250x_gcd();
+        let p = m.lda_penalty(lda);
+        prop_assert!(p <= 1.0 && p > 0.0);
+        if !lda.is_multiple_of(2048) {
+            prop_assert_eq!(p, 1.0);
+        }
+    }
+
+    /// Memory-capacity check is monotone: if N_L fits, anything smaller
+    /// fits too.
+    #[test]
+    fn memory_fit_monotone(n_l in 1024usize..150_000, b in 256usize..4096) {
+        for dev in devices() {
+            if dev.fits_local_matrix(n_l, b) {
+                prop_assert!(dev.fits_local_matrix(n_l / 2, b));
+            }
+        }
+    }
+
+    /// Fleet generation respects its contract for any parameters: spread
+    /// bounds hold and exactly `slow` outliers degrade further.
+    #[test]
+    fn fleet_contract(count in 4usize..200, seed: u64, slow in 0usize..4) {
+        let spread = 0.05;
+        let factor = 0.6;
+        let fleet = GcdFleet::generate(count, seed, spread, slow, factor);
+        prop_assert_eq!(fleet.len(), count);
+        let below: Vec<usize> = (0..count)
+            .filter(|&i| fleet.speed(i) < 1.0 - spread - 1e-9)
+            .collect();
+        prop_assert_eq!(below.len(), slow.min(count), "outliers: {:?}", below);
+        for i in 0..count {
+            prop_assert!(fleet.speed(i) > 0.5 && fleet.speed(i) <= 1.0);
+        }
+    }
+}

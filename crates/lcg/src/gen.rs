@@ -1,0 +1,284 @@
+//! HPL-AI matrix and right-hand-side generation on top of the jump-ahead LCG.
+
+use crate::lcg::Lcg;
+
+/// How the diagonal of the generated matrix is constructed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MatrixKind {
+    /// The HPL-AI input class: off-diagonal entries uniform in `[-0.5, 0.5)`
+    /// and diagonal `A(i,i) = n/2 + 1`, which makes `A` strictly diagonally
+    /// dominant (each off-diagonal row sum is `< (n-1)/2`), so LU
+    /// factorization without pivoting is backward stable — the property the
+    /// benchmark's no-pivoting rule depends on (§II of the paper).
+    DiagDominant,
+    /// Pure uniform `[-0.5, 0.5)` entries everywhere. *Not* safe for
+    /// unpivoted LU; provided as the negative control used by tests to show
+    /// that the benchmark's conditioning requirement is load-bearing.
+    Uniform,
+}
+
+/// Deterministic generator of the global HPL-AI system `A·x = b`.
+///
+/// Every entry is a pure function of `(i, j)` (column-major stream indexing),
+/// so any rank can materialize any tile without communication, and the
+/// iterative-refinement phase can regenerate `A` in FP64 on the fly.
+///
+/// ```
+/// use mxp_lcg::{MatrixGen, MatrixKind};
+/// let g = MatrixGen::new(42, 100, MatrixKind::DiagDominant);
+/// // Pure: the same entry twice is identical.
+/// assert_eq!(g.entry(3, 7), g.entry(3, 7));
+/// // Diagonal dominance.
+/// assert_eq!(g.entry(5, 5), 51.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MatrixGen {
+    seed: u64,
+    n: usize,
+    kind: MatrixKind,
+}
+
+impl MatrixGen {
+    /// Creates a generator for an `n × n` system with the given seed.
+    pub fn new(seed: u64, n: usize, kind: MatrixKind) -> Self {
+        MatrixGen { seed, n, kind }
+    }
+
+    /// Global problem size `N`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The diagonal value used by [`MatrixKind::DiagDominant`].
+    #[inline]
+    pub fn diag_value(&self) -> f64 {
+        self.n as f64 / 2.0 + 1.0
+    }
+
+    /// Matrix entry `A(i,j)` in FP64.
+    ///
+    /// Stream position is `j·n + i` (column-major), so filling a column is a
+    /// single jump followed by sequential draws.
+    #[inline]
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n && j < self.n);
+        if i == j && self.kind == MatrixKind::DiagDominant {
+            return self.diag_value();
+        }
+        let idx = j as u128 * self.n as u128 + i as u128;
+        let mut g = Lcg::at(self.seed, idx);
+        g.next_unit()
+    }
+
+    /// Right-hand-side entry `b(i)`, drawn from the stream region after the
+    /// matrix (positions `n² + i`).
+    #[inline]
+    pub fn rhs(&self, i: usize) -> f64 {
+        debug_assert!(i < self.n);
+        let idx = self.n as u128 * self.n as u128 + i as u128;
+        let mut g = Lcg::at(self.seed, idx);
+        g.next_unit()
+    }
+
+    /// Fills a column-major tile `out[r + c·lda] = A(rows.start + r,
+    /// cols.start + c)` using one jump per column plus sequential draws —
+    /// the fast path used by ranks to materialize their local blocks.
+    pub fn fill_tile(
+        &self,
+        rows: core::ops::Range<usize>,
+        cols: core::ops::Range<usize>,
+        lda: usize,
+        out: &mut [f64],
+    ) {
+        let m = rows.end - rows.start;
+        assert!(rows.end <= self.n && cols.end <= self.n);
+        assert!(lda >= m);
+        assert!(out.len() >= (cols.len() - 1) * lda + m || cols.is_empty());
+        for (c, j) in cols.clone().enumerate() {
+            let base = j as u128 * self.n as u128 + rows.start as u128;
+            let mut g = Lcg::at(self.seed, base);
+            let col = &mut out[c * lda..c * lda + m];
+            for (r, slot) in col.iter_mut().enumerate() {
+                let v = g.next_unit();
+                let i = rows.start + r;
+                *slot = if i == j && self.kind == MatrixKind::DiagDominant {
+                    self.diag_value()
+                } else {
+                    v
+                };
+            }
+        }
+    }
+
+    /// Same as [`fill_tile`](Self::fill_tile) but producing FP32, the
+    /// precision the factorization works in after the initial cast.
+    pub fn fill_tile_f32(
+        &self,
+        rows: core::ops::Range<usize>,
+        cols: core::ops::Range<usize>,
+        lda: usize,
+        out: &mut [f32],
+    ) {
+        let m = rows.end - rows.start;
+        assert!(rows.end <= self.n && cols.end <= self.n);
+        assert!(lda >= m);
+        for (c, j) in cols.clone().enumerate() {
+            let base = j as u128 * self.n as u128 + rows.start as u128;
+            let mut g = Lcg::at(self.seed, base);
+            let col = &mut out[c * lda..c * lda + m];
+            for (r, slot) in col.iter_mut().enumerate() {
+                let v = g.next_unit();
+                let i = rows.start + r;
+                *slot = if i == j && self.kind == MatrixKind::DiagDominant {
+                    self.diag_value() as f32
+                } else {
+                    v as f32
+                };
+            }
+        }
+    }
+
+    /// Fills `out[i] = b(rows.start + i)` for a contiguous row range.
+    pub fn fill_rhs(&self, rows: core::ops::Range<usize>, out: &mut [f64]) {
+        assert!(rows.end <= self.n);
+        let base = self.n as u128 * self.n as u128 + rows.start as u128;
+        let mut g = Lcg::at(self.seed, base);
+        for slot in out.iter_mut().take(rows.len()) {
+            *slot = g.next_unit();
+        }
+    }
+
+    /// Infinity norm of the diagonal, `‖diag(A)‖∞`, needed by the paper's
+    /// iterative-refinement stopping criterion (Algorithm 1, line 44).
+    pub fn diag_inf_norm(&self) -> f64 {
+        match self.kind {
+            MatrixKind::DiagDominant => self.diag_value(),
+            MatrixKind::Uniform => {
+                // No closed form; scan (only used in tests at small n).
+                (0..self.n)
+                    .map(|i| self.entry(i, i).abs())
+                    .fold(0.0, f64::max)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_are_pure() {
+        let g = MatrixGen::new(7, 64, MatrixKind::DiagDominant);
+        for i in [0usize, 5, 63] {
+            for j in [0usize, 5, 63] {
+                assert_eq!(g.entry(i, j), g.entry(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn offdiag_in_range() {
+        let g = MatrixGen::new(3, 32, MatrixKind::DiagDominant);
+        for i in 0..32 {
+            for j in 0..32 {
+                if i != j {
+                    let v = g.entry(i, j);
+                    assert!((-0.5..0.5).contains(&v), "A({i},{j}) = {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strictly_diagonally_dominant() {
+        let n = 48;
+        let g = MatrixGen::new(11, n, MatrixKind::DiagDominant);
+        for i in 0..n {
+            let row_sum: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| g.entry(i, j).abs())
+                .sum();
+            assert!(
+                g.entry(i, i) > row_sum,
+                "row {i} not dominant: diag {} vs sum {row_sum}",
+                g.entry(i, i)
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_kind_has_random_diagonal() {
+        let g = MatrixGen::new(11, 16, MatrixKind::Uniform);
+        assert!(g.entry(4, 4).abs() < 0.5);
+    }
+
+    #[test]
+    fn tile_matches_entry() {
+        let n = 40;
+        let g = MatrixGen::new(99, n, MatrixKind::DiagDominant);
+        let (r0, r1, c0, c1) = (5, 17, 30, 38);
+        let lda = 16;
+        let mut tile = vec![0.0f64; lda * (c1 - c0)];
+        g.fill_tile(r0..r1, c0..c1, lda, &mut tile);
+        for j in c0..c1 {
+            for i in r0..r1 {
+                assert_eq!(tile[(j - c0) * lda + (i - r0)], g.entry(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn tile_f32_matches_entry() {
+        let n = 24;
+        let g = MatrixGen::new(5, n, MatrixKind::DiagDominant);
+        let mut tile = vec![0.0f32; 24 * 24];
+        g.fill_tile_f32(0..n, 0..n, n, &mut tile);
+        for j in 0..n {
+            for i in 0..n {
+                assert_eq!(tile[j * n + i], g.entry(i, j) as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_crossing_diagonal() {
+        let n = 20;
+        let g = MatrixGen::new(1, n, MatrixKind::DiagDominant);
+        let mut tile = vec![0.0f64; n * n];
+        g.fill_tile(0..n, 0..n, n, &mut tile);
+        for i in 0..n {
+            assert_eq!(tile[i * n + i], g.diag_value());
+        }
+    }
+
+    #[test]
+    fn rhs_matches_bulk_fill() {
+        let n = 33;
+        let g = MatrixGen::new(77, n, MatrixKind::DiagDominant);
+        let mut all = vec![0.0; n];
+        g.fill_rhs(0..n, &mut all);
+        for (i, &v) in all.iter().enumerate() {
+            assert_eq!(v, g.rhs(i));
+        }
+        // RHS must differ from matrix entries (distinct stream region).
+        assert_ne!(g.rhs(0), g.entry(0, 0));
+    }
+
+    #[test]
+    fn different_seeds_give_different_matrices() {
+        let a = MatrixGen::new(1, 16, MatrixKind::DiagDominant);
+        let b = MatrixGen::new(2, 16, MatrixKind::DiagDominant);
+        assert_ne!(a.entry(0, 1), b.entry(0, 1));
+    }
+
+    #[test]
+    fn large_n_entry_access_is_fast_enough() {
+        // O(log(N²)) jumps even for the Frontier-scale N; this would hang if
+        // access were O(N²).
+        let g = MatrixGen::new(9, 20_606_976, MatrixKind::DiagDominant);
+        let v = g.entry(20_000_000, 123_456);
+        assert!((-0.5..0.5).contains(&v));
+    }
+}

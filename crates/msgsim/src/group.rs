@@ -1,0 +1,96 @@
+//! Sub-communicators: the row and column groups of the 2D process grid.
+
+/// A subset of world ranks acting as a communicator (like an
+/// `MPI_Comm_split` result). All members must invoke each collective in the
+/// same order; a per-group sequence number keeps their tags matched.
+#[derive(Clone, Debug)]
+pub struct Group {
+    members: Vec<usize>,
+    my_idx: usize,
+    color: u32,
+    seq: u32,
+}
+
+impl Group {
+    /// Builds the group for a member rank. Returns `None` if `world_rank`
+    /// is not in `members`. `color` must be unique among groups that a rank
+    /// uses concurrently (e.g. row index vs column index with distinct
+    /// namespaces).
+    pub fn new(world_rank: usize, members: Vec<usize>, color: u32) -> Option<Self> {
+        assert!(color < 0x4000, "color {color} out of tag space");
+        let my_idx = members.iter().position(|&m| m == world_rank)?;
+        Some(Group {
+            members,
+            my_idx,
+            color,
+            seq: 0,
+        })
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` if the group has no members (never constructible via `new`).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// This rank's index within the group.
+    pub fn my_idx(&self) -> usize {
+        self.my_idx
+    }
+
+    /// World rank of group member `idx`.
+    pub fn member(&self, idx: usize) -> usize {
+        self.members[idx]
+    }
+
+    /// All member world ranks, in group order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Allocates the tag for the next collective on this group.
+    pub(crate) fn next_tag(&mut self) -> u32 {
+        let tag = 0x8000_0000 | (self.color << 16) | (self.seq & 0xFFFF);
+        self.seq = self.seq.wrapping_add(1);
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let g = Group::new(7, vec![3, 7, 11], 5).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.my_idx(), 1);
+        assert_eq!(g.member(2), 11);
+        assert!(Group::new(8, vec![3, 7, 11], 5).is_none());
+    }
+
+    #[test]
+    fn tags_are_distinct_per_color_and_seq() {
+        let mut a = Group::new(0, vec![0, 1], 1).unwrap();
+        let mut b = Group::new(0, vec![0, 1], 2).unwrap();
+        let t1 = a.next_tag();
+        let t2 = a.next_tag();
+        let t3 = b.next_tag();
+        assert_ne!(t1, t2);
+        assert_ne!(t1, t3);
+        // All collective tags carry the high bit.
+        assert!(t1 & 0x8000_0000 != 0);
+    }
+
+    #[test]
+    fn matching_order_produces_matching_tags() {
+        let mut on_rank0 = Group::new(0, vec![0, 1, 2], 9).unwrap();
+        let mut on_rank2 = Group::new(2, vec![0, 1, 2], 9).unwrap();
+        assert_eq!(on_rank0.next_tag(), on_rank2.next_tag());
+        assert_eq!(on_rank0.next_tag(), on_rank2.next_tag());
+    }
+}

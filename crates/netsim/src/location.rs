@@ -1,0 +1,48 @@
+//! Physical placement of a GCD and the cost record of a point-to-point hop.
+
+/// Physical location of a GCD (one MPI rank in the paper's mapping) in the
+/// machine: which node it lives on and which GCD slot within the node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct GcdLoc {
+    /// Node index in the machine.
+    pub node: usize,
+    /// GCD slot within the node (0..Q).
+    pub gcd: usize,
+}
+
+/// LogGP-style cost of a point-to-point message on a particular path.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct P2pCost {
+    /// One-way latency in seconds (the `L` term).
+    pub latency: f64,
+    /// Serialization cost per byte in seconds (the `G` term).
+    pub sec_per_byte: f64,
+}
+
+impl P2pCost {
+    /// Total time for a message of `bytes` bytes.
+    #[inline]
+    pub fn time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 * self.sec_per_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_time() {
+        let c = P2pCost {
+            latency: 1e-6,
+            sec_per_byte: 1e-9,
+        };
+        assert!((c.time(1000) - 2e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loc_equality() {
+        assert_eq!(GcdLoc { node: 1, gcd: 2 }, GcdLoc { node: 1, gcd: 2 });
+        assert_ne!(GcdLoc { node: 1, gcd: 2 }, GcdLoc { node: 2, gcd: 1 });
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the interconnect model.
+
+use mxp_netsim::{frontier_network, summit_network, GcdLoc, NetworkConfig};
+use proptest::prelude::*;
+
+fn nets() -> Vec<NetworkConfig> {
+    vec![summit_network(), frontier_network()]
+}
+
+proptest! {
+    /// Transfer time is monotone non-decreasing in bytes on every path.
+    #[test]
+    fn monotone_in_bytes(
+        b1 in 0u64..(1 << 30),
+        b2 in 0u64..(1 << 30),
+        src_node in 0usize..4,
+        dst_node in 0usize..4,
+        gcd in 0usize..6,
+        sharers in 0u32..10,
+    ) {
+        let (lo, hi) = (b1.min(b2), b1.max(b2));
+        for net in nets() {
+            let s = GcdLoc { node: src_node, gcd };
+            let d = GcdLoc { node: dst_node, gcd: (gcd + 1) % 6 };
+            prop_assert!(net.transfer_time(s, d, lo, sharers) <= net.transfer_time(s, d, hi, sharers));
+        }
+    }
+
+    /// More sharers never make a transfer faster.
+    #[test]
+    fn monotone_in_sharers(bytes in 1u64..(1 << 28), s1 in 1u32..12, s2 in 1u32..12) {
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        for net in nets() {
+            let a = GcdLoc { node: 0, gcd: 0 };
+            let b = GcdLoc { node: 1, gcd: 0 };
+            prop_assert!(net.transfer_time(a, b, bytes, lo) <= net.transfer_time(a, b, bytes, hi));
+        }
+    }
+
+    /// The path hierarchy holds for any size: local <= intra-node <=
+    /// inter-node (strict once the payload is nontrivial).
+    #[test]
+    fn path_hierarchy(bytes in 1u64..(1 << 28)) {
+        for net in nets() {
+            let same = net.transfer_time(GcdLoc { node: 0, gcd: 0 }, GcdLoc { node: 0, gcd: 0 }, bytes, 1);
+            let intra = net.transfer_time(GcdLoc { node: 0, gcd: 0 }, GcdLoc { node: 0, gcd: 1 }, bytes, 1);
+            let inter = net.transfer_time(GcdLoc { node: 0, gcd: 0 }, GcdLoc { node: 1, gcd: 0 }, bytes, 1);
+            prop_assert!(same <= intra);
+            prop_assert!(intra <= inter);
+        }
+    }
+
+    /// Disabling GPU-aware transfers or port binding never speeds anything
+    /// up (ablation switches point the right way for all sizes).
+    #[test]
+    fn ablations_never_help(bytes in 0u64..(1 << 28), sharers in 1u32..9) {
+        for base in nets() {
+            let a = GcdLoc { node: 0, gcd: 0 };
+            let b = GcdLoc { node: 1, gcd: 0 };
+            let t0 = base.transfer_time(a, b, bytes, sharers);
+            let mut staged = base;
+            staged.gpu_aware = false;
+            prop_assert!(staged.transfer_time(a, b, bytes, sharers) >= t0);
+            let mut unbound = base;
+            unbound.port_binding = false;
+            prop_assert!(unbound.transfer_time(a, b, bytes, sharers) >= t0);
+        }
+    }
+
+    /// Effective node bandwidth is capped by one port and by the pool.
+    #[test]
+    fn effective_bw_bounds(sharers in 1u32..32) {
+        for net in nets() {
+            let bw = net.effective_node_bw(sharers);
+            prop_assert!(bw <= net.nics.bw_per_nic + 1.0);
+            let pool = net.nics.count as f64 * net.nics.bw_per_nic;
+            prop_assert!(bw * sharers as f64 <= pool * 1.0001 + 1.0 || bw == net.nics.bw_per_nic);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! bfloat16: the truncated-exponent-preserving 16-bit format.
+//!
+//! Not used by the paper's headline runs (V100/MI250X tensor cores take
+//! binary16), but HPL-MxP rules allow any reduced format, and bfloat16 is
+//! the natural ablation point: same dynamic range as f32, three fewer
+//! mantissa bits than binary16.
+
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A bfloat16 floating-point number (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// ```
+/// use mxp_precision::B16;
+/// let x = B16::from_f32(1.0);
+/// assert_eq!(x.to_f32(), 1.0);
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(transparent)]
+pub struct B16(pub u16);
+
+impl B16 {
+    /// Positive zero.
+    pub const ZERO: B16 = B16(0);
+    /// One.
+    pub const ONE: B16 = B16(0x3f80);
+    /// Positive infinity.
+    pub const INFINITY: B16 = B16(0x7f80);
+    /// A canonical quiet NaN.
+    pub const NAN: B16 = B16(0x7fc0);
+    /// Machine epsilon (2^-7): distance from 1.0 to the next value.
+    pub const EPSILON: B16 = B16(0x3c00);
+
+    /// Builds a value from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        B16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    ///
+    /// bfloat16 is the upper half of binary32, so RNE reduces to integer
+    /// rounding on the low 16 bits.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Keep sign + quiet bit; avoid rounding a NaN payload into inf.
+            return B16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 0x0000_8000u32;
+        let lower = bits & 0xffff;
+        let mut upper = bits >> 16;
+        if lower > round_bit || (lower == round_bit && (upper & 1) == 1) {
+            upper += 1; // carry may roll into exponent / infinity: correct RNE
+        }
+        B16(upper as u16)
+    }
+
+    /// Converts from `f64` by first rounding to `f32`.
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        Self::from_f32(x as f32)
+    }
+
+    /// Widens to `f32` exactly.
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Widens to `f64` exactly.
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// `true` if the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+
+    /// `true` if the value is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.to_f32().is_finite()
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub const fn abs(self) -> Self {
+        B16(self.0 & 0x7fff)
+    }
+}
+
+impl fmt::Debug for B16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "B16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for B16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+impl PartialOrd for B16 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+macro_rules! impl_b16_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $op:tt) => {
+        impl $trait for B16 {
+            type Output = B16;
+            #[inline]
+            fn $method(self, rhs: B16) -> B16 {
+                B16::from_f32(self.to_f32() $op rhs.to_f32())
+            }
+        }
+        impl $assign_trait for B16 {
+            #[inline]
+            fn $assign_method(&mut self, rhs: B16) {
+                *self = *self $op rhs;
+            }
+        }
+    };
+}
+
+impl_b16_binop!(Add, add, AddAssign, add_assign, +);
+impl_b16_binop!(Sub, sub, SubAssign, sub_assign, -);
+impl_b16_binop!(Mul, mul, MulAssign, mul_assign, *);
+impl_b16_binop!(Div, div, DivAssign, div_assign, /);
+
+impl Neg for B16 {
+    type Output = B16;
+    #[inline]
+    fn neg(self) -> B16 {
+        B16(self.0 ^ 0x8000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(B16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(B16::from_f32(1.0).to_bits(), 0x3f80);
+        assert_eq!(B16::from_f32(-2.0).to_bits(), 0xc000);
+        assert_eq!(B16::from_f32(f32::INFINITY), B16::INFINITY);
+        assert!(B16::from_f32(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn dynamic_range_matches_f32() {
+        // 1e38 overflows f16 but not bf16.
+        assert!(B16::from_f32(1e38).is_finite());
+        assert!(!B16::from_f32(3.4e38).is_finite());
+        assert!(B16::from_f32(1e-38).to_f32() > 0.0);
+    }
+
+    #[test]
+    fn rne_ties() {
+        // 1 + 2^-8 is the midpoint between 1.0 and 1 + 2^-7: ties to even.
+        let tie = 1.0f32 + 2.0f32.powi(-8);
+        assert_eq!(B16::from_f32(tie).to_bits(), 0x3f80);
+        let tie2 = 1.0f32 + 3.0 * 2.0f32.powi(-8);
+        assert_eq!(B16::from_f32(tie2).to_bits(), 0x3f82);
+    }
+
+    #[test]
+    fn exhaustive_roundtrip() {
+        for bits in 0u16..=0xffff {
+            let b = B16::from_bits(bits);
+            let back = B16::from_f32(b.to_f32());
+            if b.is_nan() {
+                assert!(back.is_nan());
+            } else {
+                assert_eq!(back.to_bits(), bits, "roundtrip failed at {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_carry_into_infinity() {
+        // Largest finite bf16 is 0x7f7f; anything at or past the midpoint to
+        // the next step must round to infinity.
+        let max = B16::from_bits(0x7f7f).to_f32();
+        let step = max * 2.0f32.powi(-7);
+        assert_eq!(B16::from_f32(max + step), B16::INFINITY);
+        assert_eq!(B16::from_f32(max).to_bits(), 0x7f7f);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = B16::from_f32(1.5);
+        let b = B16::from_f32(2.5);
+        assert_eq!((a + b).to_f32(), 4.0);
+        assert_eq!((a * b).to_f32(), 3.75);
+        assert_eq!((-a).to_f32(), -1.5);
+        assert_eq!(a.abs(), a);
+        assert_eq!((-a).abs(), a);
+    }
+
+    #[test]
+    fn precision_is_coarser_than_f16() {
+        // bf16 has 8 significand bits vs f16's 11: 1 + 2^-9 is representable
+        // in f16 but rounds away in bf16.
+        let x = 1.0f32 + 2.0f32.powi(-9);
+        assert_eq!(B16::from_f32(x).to_f32(), 1.0);
+        assert_ne!(crate::F16::from_f32(x).to_f32(), 1.0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # mxp-precision — software reduced-precision floating point
+//!
+//! The paper's mixed-precision LU factorization stores the `L` and `U`
+//! panels in IEEE-754 binary16 (FP16) and multiplies them on tensor cores
+//! that accumulate in FP32 (`cublasSgemmEx` / `rocblas_gemm_ex`). This crate
+//! provides the arithmetic substrate for reproducing that behaviour on a CPU:
+//!
+//! * [`F16`] — IEEE-754 binary16 with round-to-nearest-even conversions,
+//!   exactly the storage format the paper's CAST / TRANS_CAST phases produce.
+//! * [`B16`] — bfloat16, included because HPL-MxP submissions are permitted
+//!   to use any reduced format; useful for precision ablations.
+//! * [`Real`] / [`LowPrec`] — the traits the BLAS layer (`mxp-blas`) is
+//!   generic over, so the same GEMM kernel runs in f64, f32, or mixed
+//!   f16×f16→f32 exactly as the benchmark requires.
+//! * [`ulp`] — ULP-distance helpers used by the test suites to state
+//!   accuracy bounds precisely.
+//!
+//! All conversions are implemented from first principles (no `half` crate)
+//! and are exhaustively tested against every one of the 65536 binary16 bit
+//! patterns.
+
+#![deny(missing_docs)]
+
+mod bf16;
+mod f16;
+mod traits;
+pub mod ulp;
+
+pub use bf16::B16;
+pub use f16::F16;
+pub use traits::{LowPrec, Real};
+
+/// Unit roundoff of IEEE binary16 (2^-11).
+pub const F16_EPS: f64 = 4.8828125e-4;
+/// Unit roundoff of bfloat16 (2^-8).
+pub const B16_EPS: f64 = 3.90625e-3;
+/// Largest finite binary16 value.
+pub const F16_MAX: f64 = 65504.0;
+/// Smallest positive normal binary16 value (2^-14).
+pub const F16_MIN_POSITIVE: f64 = 6.103515625e-5;
+/// Smallest positive subnormal binary16 value (2^-24).
+pub const F16_MIN_SUBNORMAL: f64 = 5.960464477539063e-8;

@@ -1,0 +1,249 @@
+//! Numeric traits the BLAS and solver layers are generic over.
+
+use crate::{B16, F16};
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A full-precision IEEE real type (`f32` or `f64`).
+///
+/// This is the "working precision" of a kernel: GETRF/TRSM run in `f32`,
+/// iterative refinement in `f64`. Only the operations the solvers actually
+/// need are included.
+pub trait Real:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon (distance from 1.0 to the next value).
+    const EPSILON: Self;
+
+    /// Lossless-or-rounded conversion from `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Widening (or identity) conversion to `f64`.
+    fn to_f64(self) -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// `self * a + b`, fused when the platform provides FMA.
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// `true` if not NaN and not infinite.
+    fn is_finite(self) -> bool;
+    /// Larger of two values (NaN-propagating like `f64::max` is not needed;
+    /// this is used on norms which are non-NaN by construction).
+    fn max(self, other: Self) -> Self;
+}
+
+impl Real for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f32::EPSILON;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f32::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+}
+
+impl Real for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const EPSILON: Self = f64::EPSILON;
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        f64::mul_add(self, a, b)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+    #[inline]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+}
+
+/// A storage format usable as the *input* side of a mixed-precision GEMM.
+///
+/// The paper's trailing-matrix update multiplies FP16 `L` and `U` panels into
+/// an FP32 accumulator (`A ← A − L·U`). The GEMM kernel in `mxp-blas` is
+/// generic over this trait so the identical code path runs:
+///
+/// * `F16` — the paper's configuration (tensor-core emulation),
+/// * `B16` — the bfloat16 ablation,
+/// * `f32` — the "no precision loss" control.
+pub trait LowPrec: Copy + Debug + Default + Send + Sync + 'static {
+    /// Round an `f32` into this storage format.
+    fn from_f32(x: f32) -> Self;
+    /// Widen back to `f32` (exact for all three implementors).
+    fn to_f32(self) -> f32;
+    /// Unit roundoff of the format, used by error-bound tests.
+    fn unit_roundoff() -> f64;
+    /// Short human-readable tag ("fp16", "bf16", "fp32") for reports.
+    fn tag() -> &'static str;
+}
+
+impl LowPrec for F16 {
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F16::to_f32(self)
+    }
+    #[inline]
+    fn unit_roundoff() -> f64 {
+        crate::F16_EPS
+    }
+    fn tag() -> &'static str {
+        "fp16"
+    }
+}
+
+impl LowPrec for B16 {
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        B16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        B16::to_f32(self)
+    }
+    #[inline]
+    fn unit_roundoff() -> f64 {
+        crate::B16_EPS
+    }
+    fn tag() -> &'static str {
+        "bf16"
+    }
+}
+
+impl LowPrec for f32 {
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+    #[inline]
+    fn unit_roundoff() -> f64 {
+        f32::EPSILON as f64 / 2.0
+    }
+    fn tag() -> &'static str {
+        "fp32"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_exact<L: LowPrec>(vals: &[f32]) {
+        for &v in vals {
+            let low = L::from_f32(v);
+            assert_eq!(L::from_f32(low.to_f32()).to_f32(), low.to_f32());
+        }
+    }
+
+    #[test]
+    fn lowprec_roundtrip_stability() {
+        let vals = [0.0, 1.0, -1.0, 0.333, 1234.5, -9.75e-3];
+        roundtrip_exact::<F16>(&vals);
+        roundtrip_exact::<B16>(&vals);
+        roundtrip_exact::<f32>(&vals);
+    }
+
+    #[test]
+    fn unit_roundoffs_ordered() {
+        // fp32 < fp16 < bf16 in coarseness.
+        assert!(f32::unit_roundoff() < F16::unit_roundoff());
+        assert!(F16::unit_roundoff() < B16::unit_roundoff());
+    }
+
+    #[test]
+    fn real_ops_f32_f64() {
+        fn check<R: Real>() {
+            assert_eq!(R::ZERO + R::ONE, R::ONE);
+            assert!((R::from_f64(2.0).sqrt().to_f64() - std::f64::consts::SQRT_2).abs() < 1e-6);
+            assert!((R::from_f64(-3.5).abs().to_f64() - 3.5).abs() < 1e-6);
+            assert!(
+                (R::from_f64(2.0).mul_add(R::from_f64(3.0), R::ONE).to_f64() - 7.0).abs() < 1e-12
+            );
+            assert!(R::ONE.is_finite());
+            assert_eq!(R::ZERO.max(R::ONE), R::ONE);
+        }
+        check::<f32>();
+        check::<f64>();
+    }
+
+    #[test]
+    fn tags() {
+        assert_eq!(F16::tag(), "fp16");
+        assert_eq!(B16::tag(), "bf16");
+        assert_eq!(<f32 as LowPrec>::tag(), "fp32");
+    }
+}

@@ -1,0 +1,145 @@
+//! ULP (units in the last place) distance helpers.
+//!
+//! Accuracy assertions in the test suites are stated in ULPs rather than
+//! absolute tolerances so they remain meaningful across the five orders of
+//! magnitude the benchmark's values span.
+
+/// ULP distance between two `f32` values.
+///
+/// Uses the standard monotone integer mapping (sign-magnitude → two's
+/// complement), so adjacent floats are at distance 1 and `+0.0`/`-0.0` are at
+/// distance 0. Returns `u32::MAX` if either input is NaN.
+pub fn ulp_diff_f32(a: f32, b: f32) -> u32 {
+    if a.is_nan() || b.is_nan() {
+        return u32::MAX;
+    }
+    let ia = monotone_f32(a);
+    let ib = monotone_f32(b);
+    ia.abs_diff(ib) as u32
+}
+
+/// ULP distance between two `f64` values. Returns `u64::MAX` on NaN.
+pub fn ulp_diff_f64(a: f64, b: f64) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    let ia = monotone_f64(a);
+    let ib = monotone_f64(b);
+    ia.abs_diff(ib) as u64
+}
+
+/// ULP distance between two binary16 bit patterns.
+pub fn ulp_diff_f16(a: crate::F16, b: crate::F16) -> u16 {
+    if a.is_nan() || b.is_nan() {
+        return u16::MAX;
+    }
+    let ia = monotone_f16(a.to_bits());
+    let ib = monotone_f16(b.to_bits());
+    ia.abs_diff(ib) as u16
+}
+
+#[inline]
+fn monotone_f32(x: f32) -> i64 {
+    let bits = x.to_bits() as i64;
+    if bits & 0x8000_0000 != 0 {
+        0x8000_0000 - bits
+    } else {
+        bits
+    }
+}
+
+#[inline]
+fn monotone_f64(x: f64) -> i128 {
+    let bits = x.to_bits() as i128;
+    if bits & 0x8000_0000_0000_0000 != 0 {
+        0x8000_0000_0000_0000 - bits
+    } else {
+        bits
+    }
+}
+
+#[inline]
+fn monotone_f16(bits: u16) -> i32 {
+    let b = bits as i32;
+    if b & 0x8000 != 0 {
+        0x8000 - b
+    } else {
+        b
+    }
+}
+
+/// `true` if `a` and `b` are within `tol` ULPs of each other (f32).
+pub fn approx_eq_ulps_f32(a: f32, b: f32, tol: u32) -> bool {
+    ulp_diff_f32(a, b) <= tol
+}
+
+/// `true` if `a` and `b` are within `tol` ULPs of each other (f64).
+pub fn approx_eq_ulps_f64(a: f64, b: f64, tol: u64) -> bool {
+    ulp_diff_f64(a, b) <= tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::F16;
+
+    #[test]
+    fn zero_distance() {
+        assert_eq!(ulp_diff_f32(1.0, 1.0), 0);
+        assert_eq!(ulp_diff_f32(0.0, -0.0), 0);
+        assert_eq!(ulp_diff_f64(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn adjacent_floats() {
+        let x = 1.0f32;
+        let next = f32::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_diff_f32(x, next), 1);
+        let y = -1.0f32;
+        let nexty = f32::from_bits(y.to_bits() + 1); // toward -0
+        assert_eq!(ulp_diff_f32(y, nexty), 1);
+    }
+
+    #[test]
+    fn across_zero() {
+        let pos = f32::from_bits(1); // smallest positive subnormal
+        let neg = -pos;
+        assert_eq!(ulp_diff_f32(pos, neg), 2);
+        assert_eq!(ulp_diff_f32(pos, 0.0), 1);
+    }
+
+    #[test]
+    fn f64_adjacent() {
+        let x = 3.5f64;
+        let next = f64::from_bits(x.to_bits() + 1);
+        assert_eq!(ulp_diff_f64(x, next), 1);
+        assert_eq!(ulp_diff_f64(x, x), 0);
+    }
+
+    #[test]
+    fn f16_distance() {
+        assert_eq!(ulp_diff_f16(F16::ONE, F16::ONE), 0);
+        assert_eq!(
+            ulp_diff_f16(F16::from_bits(0x3c00), F16::from_bits(0x3c01)),
+            1
+        );
+        assert_eq!(
+            ulp_diff_f16(F16::from_bits(0x0001), F16::from_bits(0x8001)),
+            2
+        );
+    }
+
+    #[test]
+    fn nan_is_max() {
+        assert_eq!(ulp_diff_f32(f32::NAN, 1.0), u32::MAX);
+        assert_eq!(ulp_diff_f64(1.0, f64::NAN), u64::MAX);
+        assert_eq!(ulp_diff_f16(F16::NAN, F16::ONE), u16::MAX);
+    }
+
+    #[test]
+    fn approx_helpers() {
+        assert!(approx_eq_ulps_f32(1.0, 1.0 + f32::EPSILON, 2));
+        assert!(!approx_eq_ulps_f32(1.0, 1.1, 4));
+        assert!(approx_eq_ulps_f64(1.0, 1.0 + f64::EPSILON, 2));
+    }
+}

@@ -1,0 +1,72 @@
+//! Reproduces the paper's headline runs (Fig. 11) with the critical-path
+//! timing driver: 1.411 EFLOPS on Summit, 2.387 EFLOPS on ~40% of Frontier,
+//! and the §VIII ~5 EFLOPS full-Frontier projection.
+//!
+//! ```text
+//! cargo run --release -p hplai-core --example frontier_exascale
+//! ```
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::{frontier, summit, ProcessGrid};
+use mxp_msgsim::BcastAlgo;
+
+fn main() {
+    // Summit: 3x2 node grid, P = 162², B = 768, library broadcast.
+    let s = summit();
+    let p = 162;
+    let out = critical_time(
+        &s,
+        &CriticalConfig::new(
+            61440 * p,
+            768,
+            ProcessGrid::node_local(p, p, 3, 2),
+            BcastAlgo::Lib,
+        ),
+    );
+    println!(
+        "Summit   | {:>6} GCDs | N = {:>9} | {:.3} EFLOPS (paper: 1.411) | {:.0} s",
+        p * p,
+        61440 * p,
+        out.eflops,
+        out.runtime
+    );
+
+    // Frontier: 4x2 node grid, P = 172², B = 3072, Ring2M — the paper's
+    // exact N = 20,606,976.
+    let f = frontier();
+    let p = 172;
+    let out = critical_time(
+        &f,
+        &CriticalConfig::new(
+            20_606_976,
+            3072,
+            ProcessGrid::node_local(p, p, 4, 2),
+            BcastAlgo::Ring2M,
+        ),
+    );
+    println!(
+        "Frontier | {:>6} GCDs | N = {:>9} | {:.3} EFLOPS (paper: 2.387) | {:.0} s",
+        p * p,
+        20_606_976,
+        out.eflops,
+        out.runtime
+    );
+
+    // Full-machine projection (272² is the largest node-tileable square).
+    let p = 272;
+    let out = critical_time(
+        &f,
+        &CriticalConfig::new(
+            119808 * p,
+            3072,
+            ProcessGrid::node_local(p, p, 2, 4),
+            BcastAlgo::Ring2M,
+        ),
+    );
+    println!(
+        "Frontier | {:>6} GCDs | N = {:>9} | {:.3} EFLOPS (paper predicts ~5 at full scale)",
+        p * p,
+        119808 * p,
+        out.eflops
+    );
+}

@@ -1,0 +1,79 @@
+//! The paper's §IV/§V tuning methodology in one program: search the block
+//! size `B` with the analytic model (Eqs. 1-5), pick the node-local grid by
+//! Eq. (5), check the `N_L` LDA cliff, and confirm the winner with the
+//! critical-path driver.
+//!
+//! ```text
+//! cargo run --release -p hplai-core --example tuning_sweep
+//! ```
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::{frontier, summit, ProcessGrid};
+use mxp_model::{search_b, search_grid, LuParams};
+use mxp_msgsim::BcastAlgo;
+
+fn main() {
+    for (sys, p, n_l, q, candidates) in [
+        (
+            summit(),
+            54usize,
+            61440usize,
+            6usize,
+            vec![256, 384, 512, 768, 1024, 2048, 3072],
+        ),
+        (
+            frontier(),
+            32,
+            119808,
+            8,
+            vec![512, 1024, 1536, 2048, 3072, 4096],
+        ),
+    ] {
+        println!("=== {} ({} GCDs) ===", sys.name, p * p);
+        let base = LuParams {
+            n: n_l * p,
+            b: candidates[0],
+            p_r: p,
+            p_c: p,
+            q_r: 2,
+            q_c: q / 2,
+        };
+        let (best_b, t_model) = search_b(&sys.gcd, &sys.net, &base, &candidates);
+        println!(
+            "  model-optimal B: {best_b} (predicted factor time {t_model:.1} s; paper: {})",
+            sys.paper_b
+        );
+
+        let (q_r, q_c) = search_grid(&sys.net, &base, q);
+        println!("  Eq.(5)-optimal node grid: {q_r}x{q_c}");
+
+        // LDA cliff check (§V-D): is the paper's N_L choice justified?
+        let good = sys.gcd.gemm_mixed_rate(n_l, n_l, best_b, n_l);
+        let bad = sys.gcd.gemm_mixed_rate(n_l, n_l, best_b, 122880);
+        println!(
+            "  GEMM at LDA={n_l}: {:.1} TF vs LDA=122880: {:.1} TF",
+            good / 1e12,
+            bad / 1e12
+        );
+
+        // Confirm with the higher-fidelity driver.
+        let grid = ProcessGrid::node_local(p, p, q_r, q_c);
+        let algo = if sys.name == "Frontier" {
+            BcastAlgo::Ring2M
+        } else {
+            BcastAlgo::Lib
+        };
+        for &b in &candidates {
+            if n_l % b != 0 {
+                continue;
+            }
+            let out = critical_time(&sys, &CriticalConfig::new(n_l * p, b, grid, algo));
+            let marker = if b == best_b { "  <= model pick" } else { "" };
+            println!(
+                "  B = {b:>5}: {:>8.1} GFLOPS/GCD{marker}",
+                out.gflops_per_gcd
+            );
+        }
+        println!();
+    }
+}

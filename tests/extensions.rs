@@ -1,0 +1,205 @@
+//! Integration tests for the extension features: panel-precision ablation
+//! (§VIII "model for new techniques"), the energy model (§VIII outlook),
+//! and the progress monitor wired to the real driver.
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::hpl::{hpl_critical_time, hpl_n_local};
+use hplai_core::progress::ProgressMonitor;
+use hplai_core::solve::{run, RunConfig};
+use hplai_core::{frontier, summit, testbed, ProcessGrid, TrailingPrecision};
+use mxp_gpusim::GcdFleet;
+use mxp_msgsim::BcastAlgo;
+
+fn ablation_run(prec: TrailingPrecision, n: usize, b: usize) -> hplai_core::RunOutcome {
+    let grid = ProcessGrid::col_major(2, 2, 4);
+    let mut cfg = RunConfig::functional(testbed(1, 4), grid, n, b);
+    cfg.prec = prec;
+    run(&cfg)
+}
+
+#[test]
+fn all_precisions_converge() {
+    for prec in [
+        TrailingPrecision::Fp16,
+        TrailingPrecision::Bf16,
+        TrailingPrecision::Fp32,
+    ] {
+        let out = ablation_run(prec, 128, 16);
+        assert!(out.converged, "{prec:?} failed to converge");
+        assert!(
+            out.scaled_residual.unwrap() < 16.0,
+            "{prec:?} residual {:?}",
+            out.scaled_residual
+        );
+    }
+}
+
+#[test]
+fn coarser_precision_needs_at_least_as_many_sweeps() {
+    let fp32 = ablation_run(TrailingPrecision::Fp32, 256, 32);
+    let fp16 = ablation_run(TrailingPrecision::Fp16, 256, 32);
+    let bf16 = ablation_run(TrailingPrecision::Bf16, 256, 32);
+    assert!(
+        fp32.ir_iters <= fp16.ir_iters,
+        "{} > {}",
+        fp32.ir_iters,
+        fp16.ir_iters
+    );
+    assert!(
+        fp16.ir_iters <= bf16.ir_iters,
+        "{} > {}",
+        fp16.ir_iters,
+        bf16.ir_iters
+    );
+}
+
+#[test]
+fn fp32_panels_cost_more_time_and_bytes() {
+    // No tensor cores + double the panel traffic: the simulated clock must
+    // be slower for the fp32 control at identical problem/shape.
+    let grid = ProcessGrid::col_major(2, 2, 4);
+    let mk = |prec| {
+        let mut cfg = RunConfig::timing(testbed(1, 4), grid, 2048, 256);
+        cfg.prec = prec;
+        run(&cfg).factor_time
+    };
+    let t16 = mk(TrailingPrecision::Fp16);
+    let t32 = mk(TrailingPrecision::Fp32);
+    assert!(t32 > 2.0 * t16, "fp32 {t32} vs fp16 {t16}");
+    // bf16 matches fp16 cost exactly (same bytes, same tensor path).
+    let tb16 = mk(TrailingPrecision::Bf16);
+    assert!((tb16 - t16).abs() < 1e-12);
+}
+
+#[test]
+fn bf16_solution_is_less_accurate_before_refinement() {
+    // One IR sweep measures the raw factorization quality: the first
+    // residual is ordered by unit roundoff.
+    let fp16 = ablation_run(TrailingPrecision::Fp16, 256, 32);
+    let bf16 = ablation_run(TrailingPrecision::Bf16, 256, 32);
+    // After convergence both pass, but bf16 must not be *more* accurate.
+    assert!(bf16.scaled_residual.unwrap() >= fp16.scaled_residual.unwrap() * 0.1);
+}
+
+#[test]
+fn energy_hypothesis_holds() {
+    // §VIII: the mixed-precision performance advantage carries to energy.
+    let sys = summit();
+    let grid = ProcessGrid::node_local(54, 54, 3, 2);
+    let ai = critical_time(
+        &sys,
+        &CriticalConfig::new(61440 * 54, 768, grid, BcastAlgo::Lib),
+    );
+    let hpl = hpl_critical_time(&sys, &grid, hpl_n_local(61440, 768) * 54, 768);
+    assert!(
+        ai.gflops_per_watt > 5.0 * hpl.gflops_per_watt,
+        "HPL-AI {} GF/W vs HPL {} GF/W",
+        ai.gflops_per_watt,
+        hpl.gflops_per_watt
+    );
+    // Energy to solution is also lower despite higher average power draw.
+    assert!(ai.energy.total_j() < hpl.energy.total_j());
+    // Sanity: modern-accelerator efficiency range (tens to hundreds GF/W).
+    assert!(ai.gflops_per_watt > 50.0 && ai.gflops_per_watt < 1000.0);
+}
+
+#[test]
+fn energy_scales_with_runtime() {
+    let sys = frontier();
+    let short = critical_time(
+        &sys,
+        &CriticalConfig::new(
+            29952 * 16,
+            3072,
+            ProcessGrid::node_local(16, 16, 2, 4),
+            BcastAlgo::Ring2M,
+        ),
+    );
+    let long = critical_time(
+        &sys,
+        &CriticalConfig::new(
+            119808 * 16,
+            3072,
+            ProcessGrid::node_local(16, 16, 2, 4),
+            BcastAlgo::Ring2M,
+        ),
+    );
+    assert!(long.energy.total_j() > short.energy.total_j());
+    // But the bigger problem is *more* efficient (more GEMM-bound).
+    assert!(long.gflops_per_watt > short.gflops_per_watt);
+}
+
+#[test]
+fn line44_criterion_implies_the_classic_hpl_gate() {
+    // The paper's stopping rule (Algorithm 1 line 44) is far stricter than
+    // the classic HPL-AI acceptance threshold of 16 on the scaled
+    // residual: any run that satisfies line 44 sails through the gate with
+    // orders of magnitude to spare.
+    for n in [64usize, 128, 256] {
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let out = run(&RunConfig::functional(testbed(1, 4), grid, n, n / 8));
+        assert!(out.converged, "line-44 convergence at N={n}");
+        let scaled = out.scaled_residual.unwrap();
+        assert!(
+            scaled < 8.0,
+            "line 44 should leave comfortable margin under the 16.0 gate; got {scaled} at N={n}"
+        );
+    }
+}
+
+#[test]
+fn progress_monitor_clean_on_healthy_driver_run() {
+    let grid = ProcessGrid::col_major(2, 2, 4);
+    let sys = testbed(1, 4);
+    let cfg = RunConfig::timing(sys.clone(), grid, 2048, 256);
+    let out = run(&cfg);
+    let mon = ProgressMonitor::default();
+    let (alerts, terminate) = mon.analyze(
+        &out.records_rank0,
+        &sys.gcd,
+        &grid,
+        2048,
+        256,
+        grid.coord_of(0),
+        true,
+    );
+    assert!(alerts.is_empty(), "false alerts: {alerts:?}");
+    assert!(!terminate);
+}
+
+#[test]
+fn progress_monitor_catches_a_slow_gcd() {
+    // Rank 0 degraded to 30% speed: its own records must trip the monitor
+    // (the paper's early-termination trigger).
+    let grid = ProcessGrid::col_major(2, 2, 4);
+    let sys = testbed(1, 4);
+    let mut cfg = RunConfig::timing(sys.clone(), grid, 2048, 256);
+    cfg.fleet = Some(GcdFleet::generate(4, 1, 0.0, 0, 1.0)); // uniform...
+                                                             // Build a custom fleet where rank 0 is the slow one.
+    let fleet = GcdFleet::generate(4, 99, 0.0, 0, 1.0);
+    assert!(fleet.speed(0) == 1.0);
+    // generate() can't target rank 0 specifically, so degrade via a scan
+    // of candidates: find a seed whose slow slot is rank 0.
+    let mut chosen = None;
+    for seed in 0..64 {
+        let f = GcdFleet::generate(4, seed, 0.0, 1, 0.3);
+        if f.speed(0) < 0.5 {
+            chosen = Some(f);
+            break;
+        }
+    }
+    cfg.fleet = Some(chosen.expect("some seed degrades rank 0"));
+    let out = run(&cfg);
+    let mon = ProgressMonitor::default();
+    let (alerts, terminate) = mon.analyze(
+        &out.records_rank0,
+        &sys.gcd,
+        &grid,
+        2048,
+        256,
+        grid.coord_of(0),
+        true,
+    );
+    assert!(!alerts.is_empty(), "slow GCD must trip the monitor");
+    assert!(terminate, "enough alerts to terminate the run");
+}

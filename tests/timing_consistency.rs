@@ -1,0 +1,177 @@
+//! Cross-fidelity consistency: the three timing estimators (emergent LogP
+//! simulation, critical-path driver, analytic model) must agree where
+//! their domains overlap, and the simulation must be deterministic.
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::solve::{run, RunConfig};
+use hplai_core::{testbed, Fidelity, ProcessGrid};
+use mxp_msgsim::BcastAlgo;
+
+#[test]
+fn timing_runs_are_deterministic() {
+    let grid = ProcessGrid::node_local(4, 4, 2, 2);
+    let cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256);
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(a.runtime, b.runtime);
+    assert_eq!(a.factor_time, b.factor_time);
+    for (ra, rb) in a.records_rank0.iter().zip(&b.records_rank0) {
+        assert_eq!(ra.gemm, rb.gemm);
+        assert_eq!(ra.wait, rb.wait);
+    }
+}
+
+#[test]
+fn functional_and_timing_agree_on_clocks() {
+    // The functional run does all the math but must charge the exact same
+    // simulated time as the virtual-payload run.
+    let grid = ProcessGrid::col_major(2, 2, 4);
+    let sys = testbed(1, 4);
+    let mut f = RunConfig::functional(sys.clone(), grid, 128, 16);
+    f.algo = BcastAlgo::Ring1M;
+    let mut t = f.clone();
+    t.fidelity = Fidelity::Timing;
+    let rf = run(&f);
+    let rt = run(&t);
+    assert!(
+        (rf.factor_time - rt.factor_time).abs() < 1e-9,
+        "functional {} vs timing {}",
+        rf.factor_time,
+        rt.factor_time
+    );
+}
+
+#[test]
+fn critical_path_tracks_emergent_across_algorithms() {
+    let sys = testbed(16, 4);
+    let grid = ProcessGrid::node_local(8, 8, 2, 2);
+    let (n, b) = (16384, 512);
+    for algo in [BcastAlgo::Lib, BcastAlgo::Ring1, BcastAlgo::Ring2M] {
+        let mut cfg = RunConfig::timing(sys.clone(), grid, n, b);
+        cfg.algo = algo;
+        let emergent = run(&cfg).factor_time;
+        let model = critical_time(&sys, &CriticalConfig::new(n, b, grid, algo)).factor_time;
+        let ratio = model / emergent;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "{algo:?}: critical {model} vs emergent {emergent} (ratio {ratio})"
+        );
+    }
+}
+
+#[test]
+fn emergent_driver_prefers_rings_on_frontier_like_tuning() {
+    // The Fig. 8 ordering must hold in the emergent simulation too, not
+    // just the closed forms.
+    let sys = testbed(16, 4); // Frontier tuning: binomial vendor bcast
+    let grid = ProcessGrid::node_local(8, 8, 2, 2);
+    let t_of = |algo: BcastAlgo| {
+        let mut cfg = RunConfig::timing(sys.clone(), grid, 16384, 512);
+        cfg.algo = algo;
+        run(&cfg).factor_time
+    };
+    let lib = t_of(BcastAlgo::Lib);
+    let ring2m = t_of(BcastAlgo::Ring2M);
+    assert!(ring2m < lib, "ring2m {ring2m} !< lib {lib}");
+}
+
+#[test]
+fn gpu_aware_and_port_binding_matter_in_emergent_runs() {
+    let base_sys = testbed(16, 4);
+    let grid = ProcessGrid::node_local(8, 8, 2, 2);
+    let t_of = |sys: hplai_core::SystemSpec| {
+        let mut cfg = RunConfig::timing(sys, grid, 16384, 512);
+        cfg.algo = BcastAlgo::Ring2M;
+        run(&cfg).factor_time
+    };
+    let direct = t_of(base_sys.clone());
+    let mut staged_sys = base_sys.clone();
+    staged_sys.net.gpu_aware = false;
+    let staged = t_of(staged_sys);
+    assert!(
+        staged > direct,
+        "staging must cost time: {staged} vs {direct}"
+    );
+
+    let mut unbound_sys = base_sys.clone();
+    unbound_sys.net.port_binding = false;
+    let unbound = t_of(unbound_sys);
+    assert!(
+        unbound > direct,
+        "port collapse must cost time: {unbound} vs {direct}"
+    );
+}
+
+#[test]
+fn grid_tuning_helps_in_emergent_runs_too() {
+    // Finding 8 must hold in the LogP simulation, not only the closed
+    // forms: a balanced node tile beats the column-major placement.
+    let sys = testbed(16, 4);
+    let t_of = |grid: ProcessGrid| {
+        let mut cfg = RunConfig::timing(sys.clone(), grid, 16384, 512);
+        cfg.algo = BcastAlgo::Ring2M;
+        run(&cfg).factor_time
+    };
+    let tuned = t_of(ProcessGrid::node_local(8, 8, 2, 2));
+    let col_major = t_of(ProcessGrid::col_major(8, 8, 4));
+    assert!(
+        tuned < col_major,
+        "2x2 tile {tuned} should beat col-major {col_major}"
+    );
+}
+
+#[test]
+fn critical_and_emergent_agree_on_b_ordering() {
+    // The block-size tuning conclusion must not depend on which fidelity
+    // produced it (§V-C's methodology transfers).
+    let sys = testbed(16, 4);
+    let grid = ProcessGrid::node_local(8, 8, 2, 2);
+    let bs = [256usize, 512, 1024];
+    let emergent: Vec<f64> = bs
+        .iter()
+        .map(|&b| run(&RunConfig::timing(sys.clone(), grid, 16384, b)).factor_time)
+        .collect();
+    let model: Vec<f64> = bs
+        .iter()
+        .map(|&b| {
+            critical_time(&sys, &CriticalConfig::new(16384, b, grid, BcastAlgo::Lib)).factor_time
+        })
+        .collect();
+    let order = |v: &[f64]| {
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| v[a].partial_cmp(&v[b]).unwrap());
+        idx
+    };
+    assert_eq!(
+        order(&emergent),
+        order(&model),
+        "B orderings diverge: emergent {emergent:?} vs model {model:?}"
+    );
+}
+
+#[test]
+fn weak_scaling_efficiency_in_papers_regime() {
+    // Memory-weak scaling from 16 to 64 GCDs: parallel efficiency should
+    // stay in the high-90s-to-superlinear band the paper reports (§VI-A).
+    let sys = testbed(16, 4);
+    let n_l = 2048;
+    let eff = {
+        let base = run(&RunConfig::timing(
+            sys.clone(),
+            ProcessGrid::node_local(4, 4, 2, 2),
+            n_l * 4,
+            256,
+        ));
+        let big = run(&RunConfig::timing(
+            sys.clone(),
+            ProcessGrid::node_local(8, 8, 2, 2),
+            n_l * 8,
+            256,
+        ));
+        big.gflops_per_gcd / base.gflops_per_gcd
+    };
+    assert!(
+        (0.75..1.35).contains(&eff),
+        "weak-scaling efficiency {eff} outside the plausible band"
+    );
+}
