@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hplai_core::critical::{critical_time, CriticalConfig};
-use hplai_core::{run, testbed, Fidelity, ProcessGrid, RunConfig};
+use hplai_core::{run, testbed, ProcessGrid, RunConfig};
 use mxp_msgsim::BcastAlgo;
 use std::hint::black_box;
 
@@ -13,14 +13,13 @@ fn bench_functional_solve(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("functional_solve_n256_p4", |b| {
         let grid = ProcessGrid::col_major(2, 2, 4);
-        let cfg = RunConfig::functional(testbed(1, 4), grid, 256, 32);
+        let cfg = RunConfig::functional(testbed(1, 4), grid, 256, 32).build_or_panic();
         b.iter(|| black_box(run(&cfg).converged));
     });
     g.bench_function("timing_run_n4096_p16", |b| {
         let grid = ProcessGrid::node_local(4, 4, 2, 2);
-        let mut cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256);
-        cfg.fidelity = Fidelity::Timing;
-        b.iter(|| black_box(run(&cfg).runtime));
+        let cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256).build_or_panic();
+        b.iter(|| black_box(run(&cfg).perf.runtime));
     });
     g.finish();
 }
@@ -59,10 +58,15 @@ fn bench_critical_path(c: &mut Criterion) {
             ProcessGrid::node_local(172, 172, 4, 2),
             BcastAlgo::Ring2M,
         );
-        b.iter(|| black_box(critical_time(&sys, &cfg).eflops));
+        b.iter(|| black_box(critical_time(&sys, &cfg).perf.eflops));
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_functional_solve, bench_distributed_hpl, bench_critical_path);
+criterion_group!(
+    benches,
+    bench_functional_solve,
+    bench_distributed_hpl,
+    bench_critical_path
+);
 criterion_main!(benches);

@@ -46,10 +46,10 @@ fn main() {
         t.row(&[
             &sys.name,
             &"HPL-AI",
-            &format!("{:.0}", ai.runtime),
+            &format!("{:.0}", ai.perf.runtime),
             &format!("{:.2}", ai.energy.total_j() / 1e6),
             &format!("{:.1}", ai.gflops_per_watt),
-            &format!("{:.0}", ai.energy.total_j() / ai.runtime),
+            &format!("{:.0}", ai.energy.total_j() / ai.perf.runtime),
         ]);
         let hb = if sys.name == "Summit" { 768 } else { 1024 };
         let hpl = hpl_critical_time(&sys, &grid, hpl_n_local(n_l, hb) * p, hb);

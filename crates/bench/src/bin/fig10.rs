@@ -20,8 +20,9 @@ fn main() {
     // (every term scales the same way along the run).
     let n_l = 30720usize;
     let b = 3072usize;
-    let mut cfg = RunConfig::timing(sys, grid, n_l * 8, b);
-    cfg.algo = BcastAlgo::Ring2M;
+    let cfg = RunConfig::timing(sys, grid, n_l * 8, b)
+        .algo(BcastAlgo::Ring2M)
+        .build_or_panic();
     let out = run(&cfg);
 
     let mut t = Table::new(
@@ -30,7 +31,7 @@ fn main() {
         &["k", "getrf", "trsm", "cast", "gemm", "wait"],
     );
     let ms = |v: f64| format!("{:.3}", v * 1e3);
-    for rec in &out.records_rank0 {
+    for rec in out.records_rank0() {
         t.row(&[
             &rec.k,
             &ms(rec.getrf),
@@ -46,12 +47,12 @@ fn main() {
     // GEMM under look-ahead — panels apply one iteration later — so take
     // the busiest record as "head".)
     let head = out
-        .records_rank0
+        .records_rank0()
         .iter()
         .max_by(|a, b| a.gemm.partial_cmp(&b.gemm).unwrap())
         .unwrap();
-    let n_rec = out.records_rank0.len();
-    let tail = &out.records_rank0[n_rec - 2];
+    let n_rec = out.records_rank0().len();
+    let tail = out.records_rank0()[n_rec - 2];
     println!(
         "head: gemm {:.1}ms vs wait {:.1}ms; tail: gemm {:.3}ms vs wait {:.3}ms",
         head.gemm * 1e3,
@@ -61,6 +62,6 @@ fn main() {
     );
     println!(
         "total factor time {:.2}s, {} GFLOPS/GCD",
-        out.factor_time, out.gflops_per_gcd as u64
+        out.perf.factor_time, out.perf.gflops_per_gcd as u64
     );
 }

@@ -5,10 +5,11 @@
 
 use hplai_core::critical::{critical_time, CriticalConfig};
 use hplai_core::{frontier, summit, ProcessGrid};
-use mxp_bench::{gflops, Table};
+use mxp_bench::{emit_perf_reports, gflops, NamedPerf, Table};
 use mxp_msgsim::BcastAlgo;
 
 fn main() {
+    let mut reports = Vec::new();
     let mut t = Table::new(
         "Exascale achievement runs",
         "Fig. 11",
@@ -47,10 +48,11 @@ fn main() {
         &768,
         &"3x2",
         &"Bcast",
-        &format!("{:.3}", out.eflops),
-        &gflops(out.gflops_per_gcd),
+        &format!("{:.3}", out.perf.eflops),
+        &gflops(out.perf.gflops_per_gcd),
         &"1.411",
     ]);
+    reports.push(NamedPerf::new("Summit 162x162 B=768 3x2 Bcast", out.perf));
 
     // Frontier headline (~40% of the machine).
     let f = frontier();
@@ -75,10 +77,14 @@ fn main() {
         &3072,
         &"4x2",
         &"Ring2M",
-        &format!("{:.3}", out.eflops),
-        &gflops(out.gflops_per_gcd),
+        &format!("{:.3}", out.perf.eflops),
+        &gflops(out.perf.gflops_per_gcd),
         &"2.387",
     ]);
+    reports.push(NamedPerf::new(
+        "Frontier 172x172 B=3072 4x2 Ring2M",
+        out.perf,
+    ));
 
     // §VIII projection: full-scale Frontier (9408 nodes x 8 GCDs = 75264
     // GCDs; 272² = 73984 is the largest node-tileable square grid).
@@ -102,12 +108,17 @@ fn main() {
         &3072,
         &"2x4",
         &"Ring2M",
-        &format!("{:.3}", out.eflops),
-        &gflops(out.gflops_per_gcd),
+        &format!("{:.3}", out.perf.eflops),
+        &gflops(out.perf.gflops_per_gcd),
         &"~5 (predicted)",
     ]);
+    reports.push(NamedPerf::new(
+        "Frontier full-machine projection 272x272",
+        out.perf,
+    ));
 
     t.emit("fig11");
+    emit_perf_reports("fig11", &reports);
     println!(
         "note the problem-size disparity the paper highlights: Frontier solves N > 20M vs ~10M on Summit."
     );

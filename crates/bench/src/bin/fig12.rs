@@ -30,6 +30,7 @@ fn main() {
             )
         },
     )
+    .perf
     .gflops_per_gcd;
     let f = frontier();
     let f_base = critical_time(
@@ -44,6 +45,7 @@ fn main() {
             )
         },
     )
+    .perf
     .gflops_per_gcd;
 
     let cold = RunSequence::new(WarmupProfile::Summit, false, 2022);

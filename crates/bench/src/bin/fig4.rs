@@ -29,7 +29,7 @@ fn sweep(
                 ..CriticalConfig::new(n_l * p, b, grid, algo)
             },
         );
-        t.row(&[&label, &(p * p), &b, &gflops(out.gflops_per_gcd)]);
+        t.row(&[&label, &(p * p), &b, &gflops(out.perf.gflops_per_gcd)]);
     }
 }
 

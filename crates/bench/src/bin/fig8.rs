@@ -17,6 +17,7 @@ fn perf(sys: &SystemSpec, grid: ProcessGrid, n_l: usize, b: usize, algo: BcastAl
             ..CriticalConfig::new(n_l * p, b, grid, algo)
         },
     )
+    .perf
     .gflops_per_gcd
 }
 

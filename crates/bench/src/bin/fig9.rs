@@ -19,6 +19,7 @@ fn perf(sys: &SystemSpec, grid: ProcessGrid, n_l: usize, b: usize, algo: BcastAl
             ..CriticalConfig::new(n_l * grid.p_r, b, grid, algo)
         },
     )
+    .perf
     .gflops_per_gcd
 }
 

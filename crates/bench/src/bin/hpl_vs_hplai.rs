@@ -31,9 +31,9 @@ fn compare(
     t.row(&[
         &sys.name,
         &(p * p),
-        &format!("{:.3}", ai.eflops),
+        &format!("{:.3}", ai.perf.eflops),
         &format!("{:.3}", hpl.eflops),
-        &format!("{:.1}x", ai.eflops / hpl.eflops),
+        &format!("{:.1}x", ai.perf.eflops / hpl.eflops),
     ]);
 }
 

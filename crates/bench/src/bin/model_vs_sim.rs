@@ -22,9 +22,10 @@ fn main() {
         &["estimator", "factor time s", "vs emergent"],
     );
 
-    let mut cfg = RunConfig::timing(sys.clone(), grid, n, b);
-    cfg.algo = BcastAlgo::Lib;
-    let emergent = run(&cfg).factor_time;
+    let cfg = RunConfig::timing(sys.clone(), grid, n, b)
+        .algo(BcastAlgo::Lib)
+        .build_or_panic();
+    let emergent = run(&cfg).perf.factor_time;
 
     let crit = critical_time(
         &sys,
@@ -33,6 +34,7 @@ fn main() {
             ..CriticalConfig::new(n, b, grid, BcastAlgo::Lib)
         },
     )
+    .perf
     .factor_time;
 
     let params = LuParams {

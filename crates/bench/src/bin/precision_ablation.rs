@@ -29,15 +29,16 @@ fn main() {
         TrailingPrecision::Fp32,
     ] {
         let sys = testbed(4, 4);
-        let mut cfg = RunConfig::functional(sys, grid, 384, 32);
-        cfg.prec = prec;
+        let cfg = RunConfig::functional(sys, grid, 384, 32)
+            .prec(prec)
+            .build_or_panic();
         let out = run(&cfg);
         t.row(&[
             &prec.tag(),
             &out.ir_iters,
             &format!("{:.3e}", out.scaled_residual.unwrap()),
             &out.converged,
-            &format!("{:.4}", out.factor_time),
+            &format!("{:.4}", out.perf.factor_time),
         ]);
     }
     t.emit("precision_ablation");

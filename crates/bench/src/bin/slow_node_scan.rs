@@ -37,17 +37,17 @@ fn main() {
     t.row(&[
         &"as-is",
         &format!("{:.3}", fleet.slowest()),
-        &gflops(with_slow.gflops_per_gcd),
+        &gflops(with_slow.perf.gflops_per_gcd),
     ]);
     t.row(&[
         &"after exclusion",
         &format!("{:.3}", healthy.slowest()),
-        &gflops(without_slow.gflops_per_gcd),
+        &gflops(without_slow.perf.gflops_per_gcd),
     ]);
     t.emit("slow_node_scan");
     println!(
         "a single slow GCD stalls the whole pipeline: +{:.1}% from excluding {} GCDs",
-        (without_slow.gflops_per_gcd / with_slow.gflops_per_gcd - 1.0) * 100.0,
+        (without_slow.perf.gflops_per_gcd / with_slow.perf.gflops_per_gcd - 1.0) * 100.0,
         outcome.slow.len()
     );
 }

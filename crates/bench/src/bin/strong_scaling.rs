@@ -4,7 +4,7 @@
 
 use hplai_core::critical::{critical_time, CriticalConfig};
 use hplai_core::{summit, ProcessGrid};
-use mxp_bench::{gflops, secs, Table};
+use mxp_bench::{emit_perf_reports, gflops, secs, NamedPerf, Table};
 use mxp_msgsim::BcastAlgo;
 
 fn main() {
@@ -23,6 +23,7 @@ fn main() {
         ],
     );
     let mut base: Option<f64> = None;
+    let mut reports = Vec::new();
     for p in [12usize, 18, 24, 36, 54] {
         if n % p != 0 || (n / p) % 768 != 0 {
             continue;
@@ -34,18 +35,20 @@ fn main() {
                 ..CriticalConfig::new(n, 768, ProcessGrid::col_major(p, p, 6), BcastAlgo::Lib)
             },
         );
-        let b0 = *base.get_or_insert(out.runtime);
-        let speedup = b0 / out.runtime;
+        let b0 = *base.get_or_insert(out.perf.runtime);
+        let speedup = b0 / out.perf.runtime;
         let ideal = (p * p) as f64 / 144.0;
         t.row(&[
             &(p * p),
             &p,
-            &secs(out.runtime),
-            &gflops(out.gflops_per_gcd),
+            &secs(out.perf.runtime),
+            &gflops(out.perf.gflops_per_gcd),
             &format!("{speedup:.2}"),
             &format!("{:.1}", 100.0 * speedup / ideal),
         ]);
+        reports.push(NamedPerf::new(format!("{} GCDs", p * p), out.perf));
     }
     t.emit("strong_scaling");
+    emit_perf_reports("strong_scaling", &reports);
     println!("efficiency falls with scale at fixed N: the communication-bound regime of §VI-A.");
 }

@@ -24,6 +24,7 @@
 //! Each binary prints a formatted table and writes `results/<name>.csv` and
 //! `results/<name>.json` so EXPERIMENTS.md entries are regenerable.
 
+use hplai_core::PerfReport;
 use serde::Serialize;
 use std::fmt::Display;
 use std::fs;
@@ -112,6 +113,55 @@ impl Table {
     }
 }
 
+/// A labelled [`PerfReport`] — the shared headline-number schema every
+/// harness persists, so downstream tooling parses one format regardless of
+/// which driver (emergent run, critical path, supervised rerun) produced
+/// the numbers.
+#[derive(Clone, Debug)]
+pub struct NamedPerf {
+    /// What the measurement is (system, config, scenario).
+    pub label: String,
+    /// The headline numbers.
+    pub perf: PerfReport,
+}
+
+impl NamedPerf {
+    /// Labels a report.
+    pub fn new(label: impl Into<String>, perf: PerfReport) -> Self {
+        NamedPerf {
+            label: label.into(),
+            perf,
+        }
+    }
+}
+
+impl Serialize for NamedPerf {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("{\"label\":");
+        serde::write_json_string(&self.label, out);
+        out.push_str(",\"perf\":");
+        self.perf.serialize_json(out);
+        out.push('}');
+    }
+}
+
+/// Persists labelled performance reports as `results/<stem>_perf.json`
+/// (a JSON array serialized through [`PerfReport`]'s schema).
+pub fn emit_perf_reports(file_stem: &str, reports: &[NamedPerf]) {
+    let mut json = String::from("[\n");
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str("  ");
+        r.serialize_json(&mut json);
+    }
+    json.push_str("\n]\n");
+    let path = results_dir().join(format!("{file_stem}_perf.json"));
+    fs::write(&path, json).expect("write perf json");
+    eprintln!("wrote results/{file_stem}_perf.json");
+}
+
 /// The `results/` directory (created on demand), anchored at the workspace
 /// root: walk up from the current directory to the first ancestor holding
 /// a `Cargo.toml` with a `[workspace]` table.
@@ -171,6 +221,17 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("demo", "Fig. 0", &["a", "b"]);
         t.row(&[&1]);
+    }
+
+    #[test]
+    fn named_perf_serializes_through_the_shared_schema() {
+        let np = NamedPerf::new("frontier 64", PerfReport::new(1024, 4, 1.0, 0.8, 0.2));
+        let mut s = String::new();
+        np.serialize_json(&mut s);
+        let v: serde_json::Value = serde_json::from_str(&s).expect("valid JSON");
+        assert_eq!(v["label"], "frontier 64");
+        assert!(v["perf"]["gflops_per_gcd"].as_f64().unwrap() > 0.0);
+        assert!(v["perf"]["runtime"].as_f64().unwrap() == 1.0);
     }
 
     #[test]

@@ -4,16 +4,24 @@
 //! hplai --system testbed --mode functional --nl 128 --b 16 --pr 2 --pc 2
 //! hplai --system frontier --mode critical --nl 119808 --b 3072 \
 //!       --pr 172 --pc 172 --qr 4 --qc 2 --algo ring2m
+//! hplai --inject slow-gcd:3x --supervise
 //! ```
 //!
 //! Modes: `functional` (real math + verification), `timing` (emergent LogP
 //! simulation), `critical` (closed-form estimate; any scale).
+//!
+//! `--inject SPEC` injects a fault (repeatable; see
+//! [`FaultPlan::parse_spec`] for the grammar), and `--supervise` runs the
+//! job under the [`Supervisor`]'s abort/scan/exclude/rerun loop, printing
+//! the typed event log as JSON Lines.
 
 use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::fault::FaultPlan;
 use hplai_core::progress::ProgressMonitor;
-use hplai_core::solve::{run, RunConfig};
+use hplai_core::solve::{run, RunConfig, RunOutcome};
+use hplai_core::supervisor::{recovery_ratio, Supervisor};
 use hplai_core::trace;
-use hplai_core::{frontier, summit, testbed, Fidelity, ProcessGrid, SystemSpec, TrailingPrecision};
+use hplai_core::{frontier, summit, testbed, ProcessGrid, SystemSpec, TrailingPrecision};
 use mxp_msgsim::BcastAlgo;
 use std::process::exit;
 
@@ -34,6 +42,8 @@ struct Args {
     seed: u64,
     progress: bool,
     trace_path: Option<String>,
+    inject: Vec<String>,
+    supervise: bool,
 }
 
 impl Default for Args {
@@ -54,6 +64,8 @@ impl Default for Args {
             seed: 2022,
             progress: false,
             trace_path: None,
+            inject: Vec::new(),
+            supervise: false,
         }
     }
 }
@@ -63,7 +75,10 @@ fn usage() -> ! {
         "usage: hplai [--system summit|frontier|testbed] [--mode functional|timing|critical]\n\
          \x20            [--nl N_L] [--b B] [--pr P_r] [--pc P_c] [--qr Q_r] [--qc Q_c]\n\
          \x20            [--col-major] [--algo bcast|ibcast|ring1|ring1m|ring2m]\n\
-         \x20            [--precision fp16|bf16|fp32] [--no-lookahead] [--seed S] [--progress]"
+         \x20            [--precision fp16|bf16|fp32] [--no-lookahead] [--seed S] [--progress]\n\
+         \x20            [--trace FILE] [--inject SPEC]... [--supervise]\n\
+         fault specs: slow-gcd:3x[:g2] degrade:2x:k8[:g2] thermal:0.9[:k4][:g2]\n\
+         \x20            fail:k10[:g2] link-lat:5ms[:from2|:to2|:all] link-bw:10x[:all]"
     );
     exit(2)
 }
@@ -116,6 +131,8 @@ fn parse_args() -> Args {
             "--seed" => args.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
             "--progress" => args.progress = true,
             "--trace" => args.trace_path = Some(val("--trace")),
+            "--inject" => args.inject.push(val("--inject")),
+            "--supervise" => args.supervise = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -149,6 +166,42 @@ fn grid_of(a: &Args, sys: &SystemSpec) -> ProcessGrid {
     }
 }
 
+/// Runs `cfg` under the supervisor's abort/scan/exclude/rerun loop,
+/// printing the JSONL event log and a recovery summary against the
+/// fault-free baseline, and returns the final attempt's outcome.
+fn supervised_run(cfg: &RunConfig) -> RunOutcome {
+    let sup = Supervisor::with_rerun(1.15, 2);
+    let supervised = sup.supervise(cfg);
+    print!("{}", trace::event_log_jsonl(&supervised.events));
+    if let Some(k) = supervised.detection_iter {
+        println!("supervisor: first anomaly detected at iteration {k}");
+    }
+    println!(
+        "supervisor: {} attempt(s), total simulated cost {:.4} s, {}",
+        supervised.attempts,
+        supervised.total_cost,
+        if supervised.recovered {
+            "recovered"
+        } else {
+            "NOT recovered"
+        }
+    );
+    if !cfg.faults.is_empty() {
+        let clean = cfg
+            .to_builder()
+            .faults(FaultPlan::new())
+            .build()
+            .expect("fault-free variant of a valid config is valid");
+        let baseline = run(&clean);
+        let ratio = recovery_ratio(&supervised, &baseline);
+        println!(
+            "supervisor: final throughput is {:.1}% of the fault-free baseline",
+            100.0 * ratio
+        );
+    }
+    supervised.outcome
+}
+
 fn main() {
     let a = parse_args();
     let sys = system_of(&a);
@@ -173,38 +226,61 @@ fn main() {
             );
             println!(
                 "estimated runtime {:.1} s (factor {:.1} + IR {:.1})",
-                out.runtime, out.factor_time, out.ir_time
+                out.perf.runtime, out.perf.factor_time, out.perf.ir_time
             );
             println!(
                 "performance: {:.1} GFLOPS/GCD | {:.4} EFLOPS total | {:.1} GFLOPS/W",
-                out.gflops_per_gcd, out.eflops, out.gflops_per_watt
+                out.perf.gflops_per_gcd, out.perf.eflops, out.gflops_per_watt
             );
         }
         mode @ ("functional" | "timing") => {
-            let mut cfg = RunConfig::functional(sys.clone(), grid, n, a.b);
-            cfg.algo = a.algo;
-            cfg.lookahead = a.lookahead;
-            cfg.seed = a.seed;
-            cfg.prec = a.prec;
-            if mode == "timing" {
-                cfg.fidelity = Fidelity::Timing;
+            let mut faults = FaultPlan::new();
+            for spec in &a.inject {
+                // Default fault target: the last GCD of the grid, so the
+                // straggler is never the panel-owning rank 0.
+                faults = faults
+                    .parse_spec(spec, grid.size().saturating_sub(1))
+                    .unwrap_or_else(|e| {
+                        eprintln!("bad --inject spec: {e}");
+                        usage()
+                    });
             }
-            let out = run(&cfg);
+            let builder = if mode == "timing" {
+                RunConfig::timing(sys.clone(), grid, n, a.b)
+            } else {
+                RunConfig::functional(sys.clone(), grid, n, a.b)
+            };
+            let cfg = builder
+                .algo(a.algo)
+                .lookahead(a.lookahead)
+                .seed(a.seed)
+                .prec(a.prec)
+                .faults(faults)
+                .build()
+                .unwrap_or_else(|e| {
+                    eprintln!("invalid configuration: {e}");
+                    exit(2)
+                });
+            let out = if a.supervise {
+                supervised_run(&cfg)
+            } else {
+                run(&cfg)
+            };
             if let Some(path) = &a.trace_path {
-                let json = trace::chrome_trace(&out.records_rank0, 0);
+                let json = trace::chrome_trace(out.records_rank0(), 0);
                 std::fs::write(path, json).expect("write trace");
                 println!("wrote Chrome trace to {path} (open in about:tracing / Perfetto)");
-                print!("{}", trace::summary(&out.records_rank0));
+                print!("{}", trace::summary(out.records_rank0()));
             }
             if a.progress {
                 let mon = ProgressMonitor::default();
-                for rec in &out.records_rank0 {
+                for rec in out.records_rank0() {
                     if let Some(line) = mon.report_line(rec, n / a.b) {
                         println!("{line}");
                     }
                 }
                 let (alerts, terminate) = mon.analyze(
-                    &out.records_rank0,
+                    out.records_rank0(),
                     &sys.gcd,
                     &grid,
                     n,
@@ -218,11 +294,11 @@ fn main() {
             }
             println!(
                 "simulated runtime {:.4} s (factor {:.4} + IR {:.4})",
-                out.runtime, out.factor_time, out.ir_time
+                out.perf.runtime, out.perf.factor_time, out.perf.ir_time
             );
             println!(
                 "performance: {:.1} GFLOPS/GCD | {:.6} EFLOPS total",
-                out.gflops_per_gcd, out.eflops
+                out.perf.gflops_per_gcd, out.perf.eflops
             );
             if mode == "functional" {
                 println!(

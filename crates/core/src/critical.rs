@@ -10,7 +10,7 @@
 
 use crate::grid::ProcessGrid;
 use crate::ir::ir_time_model;
-use crate::metrics::{eflops, gflops_per_gcd};
+use crate::report::PerfReport;
 use crate::systems::SystemSpec;
 use mxp_gpusim::{integrate_energy, EnergyAccount, PowerModel};
 use mxp_msgsim::collectives::bcast_cost;
@@ -80,16 +80,9 @@ pub struct CriticalIter {
 /// Result of the critical-path estimate.
 #[derive(Clone, Debug)]
 pub struct CriticalOutcome {
-    /// Estimated end-to-end runtime (factorization + modeled IR), seconds.
-    pub runtime: f64,
-    /// Factorization-only time.
-    pub factor_time: f64,
-    /// Modeled IR time.
-    pub ir_time: f64,
-    /// GFLOPS/GCD at this runtime.
-    pub gflops_per_gcd: f64,
-    /// Whole-run EFLOPS.
-    pub eflops: f64,
+    /// Headline performance numbers (shared report shape; `runtime` is the
+    /// estimated end-to-end time, factorization + modeled IR).
+    pub perf: PerfReport,
     /// Per-GCD energy account over the run (§VIII outlook).
     pub energy: EnergyAccount,
     /// Energy efficiency in GFLOPS per watt (per GCD).
@@ -232,11 +225,7 @@ pub fn critical_time(sys: &SystemSpec, cfg: &CriticalConfig) -> CriticalOutcome 
     );
     let flops_per_gcd = crate::metrics::hplai_flops(cfg.n) / grid.size() as f64;
     CriticalOutcome {
-        runtime,
-        factor_time,
-        ir_time,
-        gflops_per_gcd: gflops_per_gcd(cfg.n, grid.size(), runtime),
-        eflops: eflops(cfg.n, runtime),
+        perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time),
         gflops_per_watt: energy.gflops_per_watt(flops_per_gcd, runtime),
         energy,
         iters,
@@ -265,9 +254,9 @@ mod tests {
         let cfg = frontier_cfg(172, 119808, 3072);
         let out = critical_time(&sys, &cfg);
         assert!(
-            out.eflops > 1.6 && out.eflops < 3.2,
+            out.perf.eflops > 1.6 && out.perf.eflops < 3.2,
             "Frontier headline: {} EFLOPS",
-            out.eflops
+            out.perf.eflops
         );
     }
 
@@ -283,9 +272,9 @@ mod tests {
         );
         let out = critical_time(&sys, &cfg);
         assert!(
-            out.eflops > 0.9 && out.eflops < 2.0,
+            out.perf.eflops > 0.9 && out.perf.eflops < 2.0,
             "Summit headline: {} EFLOPS",
-            out.eflops
+            out.perf.eflops
         );
     }
 
@@ -303,16 +292,16 @@ mod tests {
             ),
         );
         let f = critical_time(&frontier(), &frontier_cfg(32, 119808, 3072));
-        assert!(f.gflops_per_gcd > s.gflops_per_gcd);
+        assert!(f.perf.gflops_per_gcd > s.perf.gflops_per_gcd);
     }
 
     #[test]
     fn lookahead_helps() {
         let sys = frontier();
         let mut cfg = frontier_cfg(32, 119808, 3072);
-        let with = critical_time(&sys, &cfg).runtime;
+        let with = critical_time(&sys, &cfg).perf.runtime;
         cfg.lookahead = false;
-        let without = critical_time(&sys, &cfg).runtime;
+        let without = critical_time(&sys, &cfg).perf.runtime;
         assert!(with < without);
     }
 
@@ -320,9 +309,9 @@ mod tests {
     fn slow_gcd_degrades_total() {
         let sys = frontier();
         let mut cfg = frontier_cfg(16, 30720, 3072);
-        let clean = critical_time(&sys, &cfg).runtime;
+        let clean = critical_time(&sys, &cfg).perf.runtime;
         cfg.slowest = 0.95;
-        let slowed = critical_time(&sys, &cfg).runtime;
+        let slowed = critical_time(&sys, &cfg).perf.runtime;
         assert!(slowed > clean * 1.02);
     }
 
@@ -344,9 +333,9 @@ mod tests {
         let sys = frontier();
         let mut cfg = frontier_cfg(32, 119808, 3072);
         cfg.algo = BcastAlgo::Lib;
-        let lib = critical_time(&sys, &cfg).runtime;
+        let lib = critical_time(&sys, &cfg).perf.runtime;
         cfg.algo = BcastAlgo::Ring2M;
-        let ring = critical_time(&sys, &cfg).runtime;
+        let ring = critical_time(&sys, &cfg).perf.runtime;
         assert!(ring < lib, "ring {ring} !< lib {lib}");
     }
 
@@ -359,9 +348,9 @@ mod tests {
             ProcessGrid::node_local(36, 36, 3, 2),
             BcastAlgo::Lib,
         );
-        let lib = critical_time(&sys, &cfg).runtime;
+        let lib = critical_time(&sys, &cfg).perf.runtime;
         cfg.algo = BcastAlgo::Ring1;
-        let ring = critical_time(&sys, &cfg).runtime;
+        let ring = critical_time(&sys, &cfg).perf.runtime;
         assert!(lib < ring, "lib {lib} !< ring {ring}");
     }
 
@@ -371,8 +360,11 @@ mod tests {
         let sys = testbed(4, 4);
         let grid = ProcessGrid::node_local(4, 4, 2, 2);
         let (n, b) = (16384, 512);
-        let emergent = run(&RunConfig::timing(sys.clone(), grid, n, b)).runtime;
-        let model = critical_time(&sys, &CriticalConfig::new(n, b, grid, BcastAlgo::Lib)).runtime;
+        let cfg = RunConfig::timing(sys.clone(), grid, n, b).build().unwrap();
+        let emergent = run(&cfg).perf.runtime;
+        let model = critical_time(&sys, &CriticalConfig::new(n, b, grid, BcastAlgo::Lib))
+            .perf
+            .runtime;
         let ratio = model / emergent;
         assert!(
             (0.6..1.6).contains(&ratio),

@@ -23,7 +23,7 @@ use crate::local::LocalMatrix;
 use crate::msg::{PanelData, PanelMsg, TrailingPrecision};
 use crate::systems::SystemSpec;
 use mxp_blas::{Diag, Side, Uplo};
-use mxp_gpusim::{BlasShim, GcdModel, Workspace};
+use mxp_gpusim::{BlasShim, GcdModel, GcdSpeed, Workspace};
 use mxp_lcg::{MatrixGen, MatrixKind};
 use mxp_msgsim::{BcastAlgo, Comm, Group};
 
@@ -106,15 +106,17 @@ struct Panels {
 }
 
 /// Runs the distributed factorization on this rank. `speed` is the GCD's
-/// fleet multiplier (1.0 = nominal; times are divided by it).
+/// speed state — a plain `f64` fleet multiplier (1.0 = nominal; times are
+/// divided by it) or a full [`GcdSpeed`] whose injected faults make the
+/// multiplier iteration-dependent.
 pub fn factor(
     comm: &mut Comm<PanelMsg>,
     grid: &ProcessGrid,
     sys: &SystemSpec,
     cfg: &FactorConfig,
-    speed: f64,
+    speed: impl Into<GcdSpeed>,
 ) -> FactorOutput {
-    assert!(speed > 0.0);
+    let speed: GcdSpeed = speed.into();
     let (my_r, my_c) = grid.coord_of(comm.rank());
     let dev = &sys.gcd;
     let shim = BlasShim::new(dev.vendor);
@@ -143,7 +145,7 @@ pub fn factor(
     };
     let n_loc_r = cfg.n / grid.p_r;
     let n_loc_c = cfg.n / grid.p_c;
-    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed);
+    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(0));
     world_group.barrier(comm);
     let t0 = comm.now();
     let wait0 = comm.wait_total();
@@ -160,6 +162,9 @@ pub fn factor(
             k,
             ..Default::default()
         };
+        // Device speed this iteration — injected faults (degradation,
+        // thermal runaway, failure) change it as the run progresses.
+        let sp = speed.at(k);
         let wait_at_start = comm.wait_total();
 
         // Trailing extents *after* block k (the region panels k cover).
@@ -200,7 +205,7 @@ pub fn factor(
                     dev,
                     cfg.prec,
                     local.as_mut(),
-                    speed,
+                    sp,
                     lr_prev,
                     lc_prev,
                     b.min(p.m_loc),
@@ -222,7 +227,7 @@ pub fn factor(
                     dev,
                     cfg.prec,
                     local.as_mut(),
-                    speed,
+                    sp,
                     lr_k,
                     lc_prev,
                     m_loc,
@@ -251,7 +256,7 @@ pub fn factor(
                     .expect("diagonally dominant block must factor");
                 diag = Some(loc.pack_block(lr, lc));
             }
-            let dt = dev.getrf_time(b) / speed;
+            let dt = dev.getrf_time(b) / sp;
             comm.charge(dt);
             rec.getrf += dt;
         }
@@ -310,10 +315,10 @@ pub fn factor(
                     lda,
                 ));
             }
-            let dt = dev.trsm_time(b, n_loc) / speed;
+            let dt = dev.trsm_time(b, n_loc) / sp;
             comm.charge(dt);
             rec.trsm += dt;
-            let dt = dev.cast_time(b * n_loc) / speed;
+            let dt = dev.cast_time(b * n_loc) / sp;
             comm.charge(dt);
             rec.cast += dt;
         }
@@ -339,10 +344,10 @@ pub fn factor(
                 );
                 l16_mine = Some(PanelData::cast(cfg.prec, m_loc, b, &loc.data[off..], lda));
             }
-            let dt = dev.trsm_time(b, m_loc) / speed;
+            let dt = dev.trsm_time(b, m_loc) / sp;
             comm.charge(dt);
             rec.trsm += dt;
-            let dt = dev.cast_time(m_loc * b) / speed;
+            let dt = dev.cast_time(m_loc * b) / sp;
             comm.charge(dt);
             rec.cast += dt;
         }
@@ -397,7 +402,7 @@ pub fn factor(
                         dev,
                         cfg.prec,
                         local.as_mut(),
-                        speed,
+                        sp,
                         lr_k,
                         lc_k,
                         m_loc,
@@ -429,7 +434,7 @@ pub fn factor(
                 dev,
                 cfg.prec,
                 local.as_mut(),
-                speed,
+                sp,
                 lr_k,
                 lc_k,
                 m_loc,
@@ -463,7 +468,7 @@ pub fn factor(
     }
 
     // Copy factors back to the host for iterative refinement (§III-C).
-    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed);
+    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(n_b));
 
     let elapsed = comm.now() - t0;
     let _ = wait0; // start-of-run wait baseline, kept for future reporting

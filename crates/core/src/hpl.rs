@@ -196,11 +196,11 @@ mod tests {
         );
         let hpl_nl = hpl_n_local(61440, 768);
         let hpl = hpl_critical_time(&sys, &grid, hpl_nl * p, 768);
-        let ratio = ai.eflops / hpl.eflops;
+        let ratio = ai.perf.eflops / hpl.eflops;
         assert!(
             (6.0..14.0).contains(&ratio),
             "HPL-AI/HPL ratio {ratio} (ai {} EF, hpl {} EF)",
-            ai.eflops,
+            ai.perf.eflops,
             hpl.eflops
         );
     }

@@ -729,8 +729,9 @@ mod tests {
         use crate::solve::{run, RunConfig};
         let grid = ProcessGrid::col_major(2, 2, 4);
         let sys = testbed(1, 4);
-        let mut cfg = RunConfig::functional(sys, grid, 256, 32);
-        cfg.seed = 4242;
+        let cfg = RunConfig::functional(sys, grid, 256, 32)
+            .seed(4242)
+            .build_or_panic();
         let ai = run(&cfg);
         assert!(ai.converged);
         let hpl = run_hpl(grid, 256, 32, MatrixKind::DiagDominant);

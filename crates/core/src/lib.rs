@@ -28,15 +28,24 @@
 //! // Solve a 128x128 mixed-precision system on 4 simulated GCDs and
 //! // verify it to FP64 accuracy.
 //! let grid = ProcessGrid::col_major(2, 2, 4);
-//! let out = run(&RunConfig::functional(testbed(1, 4), grid, 128, 16));
+//! let cfg = RunConfig::functional(testbed(1, 4), grid, 128, 16)
+//!     .build()
+//!     .unwrap();
+//! let out = run(&cfg);
 //! assert!(out.converged);
 //! assert!(out.scaled_residual.unwrap() < 16.0);
 //! ```
+//!
+//! Operational robustness (§VI-B) is covered by [`fault`] (injectable
+//! device/link fault states), [`progress`] (per-component progress
+//! monitoring), [`scan`] (the slow-node mini-benchmark), and
+//! [`supervisor`] (typed run events plus automated recovery policies).
 
 #![deny(missing_docs)]
 
 pub mod critical;
 pub mod factor;
+pub mod fault;
 pub mod grid;
 pub mod hpl;
 pub mod hpl_dist;
@@ -45,15 +54,22 @@ pub mod local;
 pub mod metrics;
 pub mod msg;
 pub mod progress;
+pub mod report;
 pub mod scan;
 pub mod solve;
+pub mod supervisor;
 pub mod systems;
 pub mod trace;
 
 pub use factor::{FactorConfig, Fidelity, IterRecord};
+pub use fault::FaultPlan;
 pub use grid::{ProcessGrid, RankOrder};
 pub use local::{LocalMat, LocalMatrix};
 pub use metrics::{gflops_per_gcd, hplai_flops, parallel_efficiency};
 pub use msg::{PanelData, PanelMsg, TrailingPrecision};
-pub use solve::{adjust_n, run, run_sequence, RunConfig, RunOutcome};
+pub use report::PerfReport;
+pub use solve::{
+    adjust_n, run, run_sequence, ConfigError, RunConfig, RunConfigBuilder, RunOutcome,
+};
+pub use supervisor::{RecoveryPolicy, RunEvent, SupervisedOutcome, Supervisor};
 pub use systems::{frontier, summit, testbed, SystemSpec};

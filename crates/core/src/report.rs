@@ -1,0 +1,95 @@
+//! The shared run-performance report.
+//!
+//! Every fidelity (functional, timing, critical) used to carry its own
+//! copy of the headline numbers; [`PerfReport`] unifies them so drivers,
+//! sweep binaries, and the supervisor all serialize the same shape.
+
+use crate::metrics::{eflops, gflops_per_gcd};
+use serde::Serialize;
+
+/// Headline performance numbers of one benchmark run — the quantities the
+/// paper reports for every configuration (runtime split plus the two
+/// throughput units of Table III).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+pub struct PerfReport {
+    /// End-to-end simulated runtime (slowest rank), seconds.
+    pub runtime: f64,
+    /// Factorization portion (slowest rank), seconds.
+    pub factor_time: f64,
+    /// Iterative-refinement portion (slowest rank), seconds.
+    pub ir_time: f64,
+    /// Effective GFLOPS per GCD (the paper's per-device reporting unit).
+    pub gflops_per_gcd: f64,
+    /// Whole-run EFLOPS (the headline mixed-precision number).
+    pub eflops: f64,
+}
+
+impl PerfReport {
+    /// Builds a report from the runtime split, deriving the throughput
+    /// numbers from problem size `n` and device count `p_total`.
+    pub fn new(n: usize, p_total: usize, runtime: f64, factor_time: f64, ir_time: f64) -> Self {
+        PerfReport {
+            runtime,
+            factor_time,
+            ir_time,
+            gflops_per_gcd: gflops_per_gcd(n, p_total, runtime),
+            eflops: eflops(n, runtime),
+        }
+    }
+
+    /// The same run scaled by a runtime multiplier (warm-up / thermal
+    /// sequences): times scale up, throughputs scale down.
+    pub fn scaled(&self, n: usize, p_total: usize, mult: f64) -> Self {
+        PerfReport::new(
+            n,
+            p_total,
+            self.runtime * mult,
+            self.factor_time * mult,
+            self.ir_time * mult,
+        )
+    }
+
+    /// Single-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "runtime {:.3} s (factor {:.3} s + ir {:.3} s), {:.1} GFLOPS/GCD, {:.4} EFLOPS",
+            self.runtime, self.factor_time, self.ir_time, self.gflops_per_gcd, self.eflops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_throughputs_consistently() {
+        let r = PerfReport::new(4096, 16, 2.0, 1.5, 0.5);
+        assert_eq!(r.runtime, 2.0);
+        assert!((r.gflops_per_gcd - gflops_per_gcd(4096, 16, 2.0)).abs() < 1e-12);
+        assert!((r.eflops - eflops(4096, 2.0)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn scaling_preserves_work() {
+        let r = PerfReport::new(4096, 16, 2.0, 1.5, 0.5);
+        let s = r.scaled(4096, 16, 2.0);
+        assert_eq!(s.runtime, 4.0);
+        assert!((s.gflops_per_gcd - r.gflops_per_gcd / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let r = PerfReport::new(1024, 4, 1.0, 0.8, 0.2);
+        let json = serde_json::to_string(&r).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["runtime"], 1.0);
+        assert!(v["gflops_per_gcd"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn summary_mentions_headline_units() {
+        let s = PerfReport::new(1024, 4, 1.0, 0.8, 0.2).summary();
+        assert!(s.contains("GFLOPS/GCD") && s.contains("EFLOPS"));
+    }
+}

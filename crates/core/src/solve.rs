@@ -1,17 +1,24 @@
 //! End-to-end benchmark runs: factorization + iterative refinement +
 //! metrics, over the thread-per-rank runtime.
+//!
+//! Run configurations are built with the validating builder returned by
+//! [`RunConfig::functional`] / [`RunConfig::timing`]: chain setters, then
+//! [`RunConfigBuilder::build`] checks the grid/size invariants and returns
+//! a typed [`ConfigError`] instead of panicking mid-run.
 
 use crate::factor::{factor, FactorConfig, Fidelity, IterRecord};
+use crate::fault::FaultPlan;
 use crate::grid::ProcessGrid;
 use crate::ir::{ir_time_model, refine};
-use crate::metrics::{eflops, gflops_per_gcd};
 use crate::msg::{PanelMsg, TrailingPrecision};
+use crate::report::PerfReport;
 use crate::systems::SystemSpec;
 use mxp_gpusim::GcdFleet;
 use mxp_msgsim::{BcastAlgo, WorldSpec};
 
-/// Configuration of one full benchmark run.
-#[derive(Clone)]
+/// Configuration of one full benchmark run. Construct through
+/// [`RunConfig::functional`] or [`RunConfig::timing`].
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// The machine.
     pub sys: SystemSpec,
@@ -33,47 +40,214 @@ pub struct RunConfig {
     pub fleet: Option<GcdFleet>,
     /// Panel storage format (the paper uses FP16; BF16/FP32 are ablations).
     pub prec: TrailingPrecision,
+    /// Injected device/link faults (empty = healthy machine).
+    pub faults: FaultPlan,
+}
+
+/// A configuration error detected by [`RunConfigBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `N` or `B` is zero.
+    ZeroSize,
+    /// The process grid does not fill whole nodes.
+    GridDoesNotFillNodes {
+        /// Total ranks in the grid.
+        ranks: usize,
+        /// GCDs per node of the placement.
+        gcds_per_node: usize,
+    },
+    /// `N` is not a multiple of `B`, or the block count does not tile the
+    /// grid evenly (§III-C's divisibility requirement).
+    NotDivisible {
+        /// Requested problem size.
+        n: usize,
+        /// Block size.
+        b: usize,
+        /// Grid rows.
+        p_r: usize,
+        /// Grid columns.
+        p_c: usize,
+    },
+    /// The fleet has fewer devices than the grid has ranks.
+    FleetTooSmall {
+        /// Devices in the fleet.
+        fleet: usize,
+        /// Ranks in the grid.
+        ranks: usize,
+    },
+    /// A fault targets a GCD index outside the grid.
+    FaultTargetOutOfRange {
+        /// The out-of-range GCD index.
+        gcd: usize,
+        /// Ranks in the grid.
+        ranks: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ConfigError::ZeroSize => write!(f, "N and B must be positive"),
+            ConfigError::GridDoesNotFillNodes {
+                ranks,
+                gcds_per_node,
+            } => write!(
+                f,
+                "grid of {ranks} ranks does not fill whole nodes of {gcds_per_node} GCDs"
+            ),
+            ConfigError::NotDivisible { n, b, p_r, p_c } => write!(
+                f,
+                "N = {n} must split into blocks of B = {b} tiling the {p_r}x{p_c} grid evenly \
+                 (use adjust_n)"
+            ),
+            ConfigError::FleetTooSmall { fleet, ranks } => {
+                write!(
+                    f,
+                    "fleet of {fleet} GCDs smaller than the {ranks}-rank grid"
+                )
+            }
+            ConfigError::FaultTargetOutOfRange { gcd, ranks } => {
+                write!(f, "fault targets GCD {gcd} outside the {ranks}-rank grid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`RunConfig`]; obtained from
+/// [`RunConfig::functional`] or [`RunConfig::timing`].
+#[derive(Clone, Debug)]
+pub struct RunConfigBuilder {
+    cfg: RunConfig,
+}
+
+impl RunConfigBuilder {
+    /// Sets the panel broadcast algorithm.
+    pub fn algo(mut self, algo: BcastAlgo) -> Self {
+        self.cfg.algo = algo;
+        self
+    }
+
+    /// Enables or disables the look-ahead pipeline.
+    pub fn lookahead(mut self, on: bool) -> Self {
+        self.cfg.lookahead = on;
+        self
+    }
+
+    /// Sets the matrix seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Attaches per-GCD speed variability.
+    pub fn fleet(mut self, fleet: GcdFleet) -> Self {
+        self.cfg.fleet = Some(fleet);
+        self
+    }
+
+    /// Sets the trailing-panel precision.
+    pub fn prec(mut self, prec: TrailingPrecision) -> Self {
+        self.cfg.prec = prec;
+        self
+    }
+
+    /// Attaches an injected fault plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Validates the configuration, returning a typed error instead of a
+    /// mid-run panic.
+    pub fn build(self) -> Result<RunConfig, ConfigError> {
+        let cfg = self.cfg;
+        let grid = &cfg.grid;
+        let ranks = grid.size();
+        if cfg.n == 0 || cfg.b == 0 {
+            return Err(ConfigError::ZeroSize);
+        }
+        if !ranks.is_multiple_of(grid.gcds_per_node()) {
+            return Err(ConfigError::GridDoesNotFillNodes {
+                ranks,
+                gcds_per_node: grid.gcds_per_node(),
+            });
+        }
+        let divisible = cfg.n.is_multiple_of(cfg.b) && {
+            let n_b = cfg.n / cfg.b;
+            n_b.is_multiple_of(grid.p_r) && n_b.is_multiple_of(grid.p_c)
+        };
+        if !divisible {
+            return Err(ConfigError::NotDivisible {
+                n: cfg.n,
+                b: cfg.b,
+                p_r: grid.p_r,
+                p_c: grid.p_c,
+            });
+        }
+        if let Some(fleet) = &cfg.fleet {
+            if fleet.len() < ranks {
+                return Err(ConfigError::FleetTooSmall {
+                    fleet: fleet.len(),
+                    ranks,
+                });
+            }
+        }
+        for f in &cfg.faults.gcd {
+            if f.gcd >= ranks {
+                return Err(ConfigError::FaultTargetOutOfRange { gcd: f.gcd, ranks });
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// `build()` for call sites that want the old panicking behaviour
+    /// (tests, examples with known-good parameters).
+    pub fn build_or_panic(self) -> RunConfig {
+        self.build().expect("invalid run configuration")
+    }
 }
 
 impl RunConfig {
-    /// A verifiable functional run with sensible defaults.
-    pub fn functional(sys: SystemSpec, grid: ProcessGrid, n: usize, b: usize) -> Self {
-        RunConfig {
-            sys,
-            grid,
-            n,
-            b,
-            algo: BcastAlgo::Lib,
-            lookahead: true,
-            fidelity: Fidelity::Functional,
-            seed: 2022,
-            fleet: None,
-            prec: TrailingPrecision::Fp16,
+    /// Starts building a verifiable functional run with sensible defaults.
+    pub fn functional(sys: SystemSpec, grid: ProcessGrid, n: usize, b: usize) -> RunConfigBuilder {
+        RunConfigBuilder {
+            cfg: RunConfig {
+                sys,
+                grid,
+                n,
+                b,
+                algo: BcastAlgo::Lib,
+                lookahead: true,
+                fidelity: Fidelity::Functional,
+                seed: 2022,
+                fleet: None,
+                prec: TrailingPrecision::Fp16,
+                faults: FaultPlan::new(),
+            },
         }
     }
 
-    /// A timing-mode run (virtual payloads).
-    pub fn timing(sys: SystemSpec, grid: ProcessGrid, n: usize, b: usize) -> Self {
-        RunConfig {
-            fidelity: Fidelity::Timing,
-            ..Self::functional(sys, grid, n, b)
-        }
+    /// Starts building a timing-mode run (virtual payloads).
+    pub fn timing(sys: SystemSpec, grid: ProcessGrid, n: usize, b: usize) -> RunConfigBuilder {
+        let mut builder = Self::functional(sys, grid, n, b);
+        builder.cfg.fidelity = Fidelity::Timing;
+        builder
+    }
+
+    /// A builder seeded with this configuration, for derived runs (the
+    /// supervisor's rerun-with-exclusions path).
+    pub fn to_builder(&self) -> RunConfigBuilder {
+        RunConfigBuilder { cfg: self.clone() }
     }
 }
 
 /// Aggregated result of a run.
 #[derive(Clone, Debug)]
 pub struct RunOutcome {
-    /// End-to-end simulated runtime (slowest rank), seconds.
-    pub runtime: f64,
-    /// Factorization portion (slowest rank).
-    pub factor_time: f64,
-    /// Refinement portion (slowest rank).
-    pub ir_time: f64,
-    /// Effective GFLOPS per GCD (the paper's reporting unit).
-    pub gflops_per_gcd: f64,
-    /// Whole-run EFLOPS.
-    pub eflops: f64,
+    /// Headline performance numbers (shared report shape).
+    pub perf: PerfReport,
     /// Whether IR converged (always `true` in timing mode, where IR is
     /// modeled rather than executed).
     pub converged: bool,
@@ -81,8 +255,16 @@ pub struct RunOutcome {
     pub scaled_residual: Option<f64>,
     /// IR sweeps used.
     pub ir_iters: usize,
-    /// Per-iteration breakdown on rank 0 (Fig. 10).
-    pub records_rank0: Vec<IterRecord>,
+    /// Per-iteration breakdown of every rank (rank-major) — the input of
+    /// progress monitoring and fault supervision.
+    pub records: Vec<Vec<IterRecord>>,
+}
+
+impl RunOutcome {
+    /// Rank 0's per-iteration breakdown (the Fig. 10 series).
+    pub fn records_rank0(&self) -> &[IterRecord] {
+        &self.records[0]
+    }
 }
 
 struct RankResult {
@@ -107,6 +289,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     let mut spec = WorldSpec::cluster(nodes, grid.gcds_per_node(), cfg.sys.net);
     spec.locs = grid.locs();
     spec.tuning = cfg.sys.tuning;
+    spec.faults = cfg.faults.link.clone();
 
     let fcfg = FactorConfig {
         n: cfg.n,
@@ -117,18 +300,23 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         seed: cfg.seed,
         prec: cfg.prec,
     };
+    let n_b = cfg.n / cfg.b;
 
     let results: Vec<RankResult> = spec.run::<PanelMsg, _, _>(|mut comm| {
-        let speed = cfg
+        let base = cfg
             .fleet
             .as_ref()
             .map(|f| f.speed(comm.rank()))
             .unwrap_or(1.0);
+        let speed = cfg.faults.speed_for(comm.rank(), base);
+        // IR runs after the factorization: charge it at the end-of-run
+        // effective speed.
+        let ir_speed = speed.at(n_b);
         let out = factor(&mut comm, &grid, &cfg.sys, &fcfg, speed);
         match cfg.fidelity {
             Fidelity::Functional => {
                 let local = out.local.as_ref().expect("functional run keeps factors");
-                let ir = refine(&mut comm, &grid, &cfg.sys, &fcfg, local, speed);
+                let ir = refine(&mut comm, &grid, &cfg.sys, &fcfg, local, ir_speed);
                 RankResult {
                     total: out.elapsed + ir.elapsed,
                     factor: out.elapsed,
@@ -143,7 +331,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                 // IR is charged from the closed-form model (the phase is
                 // a small fraction of the run at scale, §II).
                 let ir = ir_time_model(&cfg.sys, cfg.n, grid.size(), 3);
-                comm.charge(ir / speed);
+                comm.charge(ir / ir_speed);
                 RankResult {
                     total: out.elapsed + ir,
                     factor: out.elapsed,
@@ -161,17 +349,12 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     let factor_time = results.iter().map(|r| r.factor).fold(0.0, f64::max);
     let ir_time = results.iter().map(|r| r.ir).fold(0.0, f64::max);
     let converged = results.iter().all(|r| r.converged);
-    let records_rank0 = results[0].records.clone();
     RunOutcome {
-        runtime,
-        factor_time,
-        ir_time,
-        gflops_per_gcd: gflops_per_gcd(cfg.n, grid.size(), runtime),
-        eflops: eflops(cfg.n, runtime),
+        perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time),
         converged,
         scaled_residual: results[0].scaled,
         ir_iters: results[0].ir_iters,
-        records_rank0,
+        records: results.into_iter().map(|r| r.records).collect(),
     }
 }
 
@@ -199,20 +382,14 @@ fn gcd(mut a: usize, mut b: usize) -> usize {
 /// (Fig. 12, Finding 10). `warmed_up` models running the warm-up
 /// mini-benchmark before the first full run.
 pub fn run_sequence(cfg: &RunConfig, runs: usize, warmed_up: bool) -> Vec<RunOutcome> {
-    use crate::metrics::{eflops, gflops_per_gcd};
     use mxp_gpusim::RunSequence;
     let seq = RunSequence::new(cfg.sys.warmup, warmed_up, cfg.seed);
     let nominal = run(cfg);
     (0..runs)
         .map(|r| {
             let mult = seq.runtime_multiplier(r);
-            let runtime = nominal.runtime * mult;
             RunOutcome {
-                runtime,
-                factor_time: nominal.factor_time * mult,
-                ir_time: nominal.ir_time * mult,
-                gflops_per_gcd: gflops_per_gcd(cfg.n, cfg.grid.size(), runtime),
-                eflops: eflops(cfg.n, runtime),
+                perf: nominal.perf.scaled(cfg.n, cfg.grid.size(), mult),
                 ..nominal.clone()
             }
         })
@@ -227,24 +404,29 @@ mod tests {
     #[test]
     fn functional_end_to_end_passes_the_benchmark() {
         let grid = ProcessGrid::col_major(2, 2, 4);
-        let cfg = RunConfig::functional(testbed(1, 4), grid, 64, 8);
+        let cfg = RunConfig::functional(testbed(1, 4), grid, 64, 8)
+            .build()
+            .unwrap();
         let out = run(&cfg);
         assert!(out.converged, "benchmark failed: {out:?}");
         assert!(out.scaled_residual.unwrap() < 16.0);
-        assert!(out.runtime > 0.0);
-        assert!(out.gflops_per_gcd > 0.0);
-        assert_eq!(out.records_rank0.len(), 8);
+        assert!(out.perf.runtime > 0.0);
+        assert!(out.perf.gflops_per_gcd > 0.0);
+        assert_eq!(out.records_rank0().len(), 8);
+        assert_eq!(out.records.len(), 4);
     }
 
     #[test]
     fn timing_run_reports_metrics() {
         let grid = ProcessGrid::node_local(4, 4, 2, 2);
-        let cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256);
+        let cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256)
+            .build()
+            .unwrap();
         let out = run(&cfg);
         assert!(out.converged);
         assert!(out.scaled_residual.is_none());
-        assert!(out.factor_time > 0.0 && out.ir_time > 0.0);
-        assert!(out.gflops_per_gcd > 0.0);
+        assert!(out.perf.factor_time > 0.0 && out.perf.ir_time > 0.0);
+        assert!(out.perf.gflops_per_gcd > 0.0);
     }
 
     #[test]
@@ -254,12 +436,13 @@ mod tests {
         // toy scales the thin strip GEMMs' inefficiency can outweigh it.
         let grid = ProcessGrid::node_local(8, 8, 2, 2);
         let sys = testbed(16, 4);
-        let mut with = RunConfig::timing(sys.clone(), grid, 32768, 512);
-        with.lookahead = true;
-        let mut without = with.clone();
-        without.lookahead = false;
-        let t_with = run(&with).runtime;
-        let t_without = run(&without).runtime;
+        let with = RunConfig::timing(sys.clone(), grid, 32768, 512)
+            .lookahead(true)
+            .build()
+            .unwrap();
+        let without = with.to_builder().lookahead(false).build().unwrap();
+        let t_with = run(&with).perf.runtime;
+        let t_without = run(&without).perf.runtime;
         assert!(t_with < t_without, "lookahead {t_with} vs none {t_without}");
     }
 
@@ -284,25 +467,120 @@ mod tests {
         let grid = ProcessGrid::col_major(2, 2, 4);
         let mut sys = testbed(1, 4);
         sys.warmup = mxp_gpusim::thermal::WarmupProfile::Summit;
-        let cfg = RunConfig::timing(sys, grid, 2048, 256);
+        let cfg = RunConfig::timing(sys, grid, 2048, 256).build().unwrap();
         let cold = run_sequence(&cfg, 6, false);
         // First run ~20% slower, later runs stable.
-        assert!(cold[0].runtime > 1.19 * cold[1].runtime);
+        assert!(cold[0].perf.runtime > 1.19 * cold[1].perf.runtime);
         for w in cold[1..].windows(2) {
-            assert!((w[0].runtime / w[1].runtime - 1.0).abs() < 0.01);
+            assert!((w[0].perf.runtime / w[1].perf.runtime - 1.0).abs() < 0.01);
         }
         let warmed = run_sequence(&cfg, 6, true);
-        assert!((warmed[0].runtime / cold[1].runtime - 1.0).abs() < 0.01);
+        assert!((warmed[0].perf.runtime / cold[1].perf.runtime - 1.0).abs() < 0.01);
     }
 
     #[test]
     fn fleet_variability_slows_the_run() {
         let grid = ProcessGrid::col_major(2, 2, 4);
         let sys = testbed(1, 4);
-        let clean = run(&RunConfig::timing(sys.clone(), grid, 2048, 256)).runtime;
-        let mut cfg = RunConfig::timing(sys, grid, 2048, 256);
-        cfg.fleet = Some(mxp_gpusim::GcdFleet::generate(4, 1, 0.05, 1, 0.5));
-        let degraded = run(&cfg).runtime;
+        let clean = run(&RunConfig::timing(sys.clone(), grid, 2048, 256)
+            .build()
+            .unwrap())
+        .perf
+        .runtime;
+        let cfg = RunConfig::timing(sys, grid, 2048, 256)
+            .fleet(mxp_gpusim::GcdFleet::generate(4, 1, 0.05, 1, 0.5))
+            .build()
+            .unwrap();
+        let degraded = run(&cfg).perf.runtime;
         assert!(degraded > clean, "{degraded} !> {clean}");
+    }
+
+    #[test]
+    fn injected_slowdown_stalls_the_run() {
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let sys = testbed(1, 4);
+        let clean = run(&RunConfig::timing(sys.clone(), grid, 2048, 256)
+            .build()
+            .unwrap())
+        .perf
+        .runtime;
+        let cfg = RunConfig::timing(sys, grid, 2048, 256)
+            .faults(FaultPlan::new().parse_spec("slow-gcd:3x:g2", 0).unwrap())
+            .build()
+            .unwrap();
+        let hurt = run(&cfg).perf.runtime;
+        assert!(hurt > 1.5 * clean, "fault {hurt} vs clean {clean}");
+    }
+
+    #[test]
+    fn injected_link_fault_slows_the_run() {
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let sys = testbed(1, 4);
+        let clean = run(&RunConfig::timing(sys.clone(), grid, 2048, 256)
+            .build()
+            .unwrap())
+        .perf
+        .runtime;
+        let cfg = RunConfig::timing(sys, grid, 2048, 256)
+            .faults(
+                FaultPlan::new()
+                    .parse_spec("link-lat:5ms:from1", 0)
+                    .unwrap(),
+            )
+            .build()
+            .unwrap();
+        let hurt = run(&cfg).perf.runtime;
+        assert!(hurt > clean, "link fault {hurt} vs clean {clean}");
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let sys = testbed(1, 4);
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        // N not tiling the grid.
+        assert!(matches!(
+            RunConfig::functional(sys.clone(), grid, 100, 8).build(),
+            Err(ConfigError::NotDivisible { .. })
+        ));
+        // Zero size.
+        assert!(matches!(
+            RunConfig::functional(sys.clone(), grid, 0, 8).build(),
+            Err(ConfigError::ZeroSize)
+        ));
+        // Fleet smaller than the grid.
+        assert!(matches!(
+            RunConfig::timing(sys.clone(), grid, 64, 8)
+                .fleet(GcdFleet::uniform(2))
+                .build(),
+            Err(ConfigError::FleetTooSmall { fleet: 2, ranks: 4 })
+        ));
+        // Fault target outside the grid.
+        assert!(matches!(
+            RunConfig::timing(sys.clone(), grid, 64, 8)
+                .faults(FaultPlan::new().parse_spec("slow-gcd:3x:g9", 0).unwrap())
+                .build(),
+            Err(ConfigError::FaultTargetOutOfRange { gcd: 9, ranks: 4 })
+        ));
+        // Grid not filling whole nodes (bypass the constructor assert to
+        // exercise the builder's own check).
+        let ragged = ProcessGrid {
+            p_r: 3,
+            p_c: 1,
+            q_r: 2,
+            q_c: 1,
+            order: crate::grid::RankOrder::ColMajor,
+        };
+        assert!(matches!(
+            RunConfig::timing(sys, ragged, 48, 8).build(),
+            Err(ConfigError::GridDoesNotFillNodes { .. })
+        ));
+        // Errors render human-readable messages.
+        let err = ConfigError::NotDivisible {
+            n: 100,
+            b: 8,
+            p_r: 2,
+            p_c: 2,
+        };
+        assert!(err.to_string().contains("adjust_n"));
     }
 }

@@ -7,6 +7,8 @@
 //! compute-bound head and communication-bound tail of Fig. 10).
 
 use crate::factor::IterRecord;
+use crate::supervisor::RunEvent;
+use serde::Serialize as _;
 use std::fmt::Write as _;
 
 /// Aggregate time per component over a run (one rank).
@@ -89,6 +91,18 @@ pub fn chrome_trace(records: &[IterRecord], rank: usize) -> String {
         }
     }
     out.push_str("\n]\n");
+    out
+}
+
+/// Serializes a supervision event log as JSON Lines: one event object per
+/// line, suitable for `tail -f` during a run and for post-hoc analysis
+/// next to the Chrome trace.
+pub fn event_log_jsonl(events: &[RunEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        e.serialize_json(&mut out);
+        out.push('\n');
+    }
     out
 }
 
@@ -197,12 +211,39 @@ mod tests {
         use crate::systems::testbed;
         use crate::ProcessGrid;
         let grid = ProcessGrid::col_major(2, 2, 4);
-        let out = run(&RunConfig::timing(testbed(1, 4), grid, 1024, 128));
-        let json = chrome_trace(&out.records_rank0, 0);
+        let cfg = RunConfig::timing(testbed(1, 4), grid, 1024, 128)
+            .build()
+            .unwrap();
+        let out = run(&cfg);
+        let json = chrome_trace(out.records_rank0(), 0);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-        assert!(parsed.as_array().unwrap().len() >= out.records_rank0.len());
-        let t = PhaseTotals::from_records(&out.records_rank0);
+        assert!(parsed.as_array().unwrap().len() >= out.records_rank0().len());
+        let t = PhaseTotals::from_records(out.records_rank0());
         // The accounted time is within the rank's elapsed factor time.
-        assert!(t.total() <= out.factor_time * 1.01);
+        assert!(t.total() <= out.perf.factor_time * 1.01);
+    }
+
+    #[test]
+    fn event_log_is_one_json_object_per_line() {
+        use crate::report::PerfReport;
+        let events = vec![
+            RunEvent::RunStarted {
+                attempt: 1,
+                n: 1024,
+                ranks: 4,
+            },
+            RunEvent::RunCompleted {
+                attempt: 1,
+                perf: PerfReport::new(1024, 4, 1.0, 0.8, 0.2),
+                converged: true,
+            },
+        ];
+        let log = event_log_jsonl(&events);
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            assert!(v.get("event").is_some());
+        }
     }
 }

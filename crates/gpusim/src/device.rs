@@ -442,8 +442,8 @@ mod tests {
         for row in &hm {
             assert!(row[2] > row[0]);
         }
-        for ki in 0..3 {
-            assert!(hm[2][ki] > hm[0][ki]);
+        for (hi, lo) in hm[2].iter().zip(&hm[0]) {
+            assert!(hi > lo);
         }
     }
 

@@ -28,6 +28,13 @@ impl GcdFleet {
         }
     }
 
+    /// A fleet with explicitly given multipliers — used to fold injected
+    /// fault states into an *effective* fleet (e.g. before a scan).
+    pub fn from_multipliers(multipliers: Vec<f64>) -> Self {
+        assert!(multipliers.iter().all(|&m| m > 0.0));
+        GcdFleet { multipliers }
+    }
+
     /// Deterministic fleet with bell-shaped variability.
     ///
     /// `spread` is the maximum fractional slowdown of the in-family tail
@@ -98,6 +105,22 @@ impl GcdFleet {
             .filter(|(_, &m)| m < threshold * median)
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// Returns a same-size fleet with the listed GCDs swapped for healthy
+    /// spares (multiplier 1.0). This models the operational exclusion
+    /// workflow at fixed job size: the flagged nodes are dropped from the
+    /// machine file and healthy stand-bys take their grid slots, so the
+    /// rerun keeps the same process grid.
+    pub fn replacing(&self, exclude: &[usize]) -> GcdFleet {
+        GcdFleet {
+            multipliers: self
+                .multipliers
+                .iter()
+                .enumerate()
+                .map(|(i, &m)| if exclude.contains(&i) { 1.0 } else { m })
+                .collect(),
+        }
     }
 
     /// Returns a new fleet with the listed GCDs removed (the paper's

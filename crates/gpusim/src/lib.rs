@@ -26,12 +26,14 @@
 #![deny(missing_docs)]
 
 pub mod device;
+pub mod fault;
 pub mod fleet;
 pub mod power;
 pub mod shim;
 pub mod thermal;
 
 pub use device::{gemm_heatmap, kernel_curves, GcdModel, KernelRates, Vendor};
+pub use fault::{GcdFault, GcdFaultKind, GcdSpeed};
 pub use fleet::GcdFleet;
 pub use power::{integrate_energy, EnergyAccount, PowerModel};
 pub use shim::{BlasShim, Workspace};

@@ -1,0 +1,145 @@
+//! Link-level fault injection for the message runtime.
+//!
+//! The paper's operational findings include network failure modes the
+//! compute-side fleet scan cannot see: links whose latency spikes, whose
+//! effective bandwidth collapses under congestion or misrouting, and
+//! messages that stall outright ("fabric hangs"). A [`LinkFault`] attaches
+//! such a state to the [`crate::WorldSpec`]; every matching send pays the
+//! added latency and the bandwidth derating, so the degradation shows up in
+//! the receivers' wait clocks exactly where a progress monitor would see
+//! it on the real machine.
+
+/// Which traffic a link fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkScope {
+    /// Only messages from `src` to `dst` (one directed rank pair).
+    Pair {
+        /// Sending rank.
+        src: usize,
+        /// Receiving rank.
+        dst: usize,
+    },
+    /// Every message sent by this rank (e.g. its NIC is degraded) — this
+    /// is what a broadcast step rooted at the rank experiences.
+    From(usize),
+    /// Every message delivered to this rank.
+    To(usize),
+    /// All traffic (fabric-wide event).
+    All,
+}
+
+impl LinkScope {
+    /// `true` if a `src → dst` message falls under this scope.
+    pub fn matches(&self, src: usize, dst: usize) -> bool {
+        match *self {
+            LinkScope::Pair { src: s, dst: d } => src == s && dst == d,
+            LinkScope::From(r) => src == r,
+            LinkScope::To(r) => dst == r,
+            LinkScope::All => true,
+        }
+    }
+}
+
+/// An injected link-level fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFault {
+    /// Traffic the fault applies to.
+    pub scope: LinkScope,
+    /// Simulated time (seconds, sender clock) the fault starts; 0.0 means
+    /// present from the beginning of the run.
+    pub onset: f64,
+    /// Seconds added to the delivery of every matching message — models
+    /// both latency spikes and per-message stalls.
+    pub extra_latency: f64,
+    /// Effective-bandwidth divisor (≥ 1.0): serialization time of matching
+    /// messages is multiplied by this. 10.0 models a bandwidth collapse to
+    /// a tenth of nominal.
+    pub bandwidth_factor: f64,
+}
+
+impl LinkFault {
+    /// A latency spike of `seconds` on the given scope, active from t = 0.
+    pub fn latency(scope: LinkScope, seconds: f64) -> Self {
+        LinkFault {
+            scope,
+            onset: 0.0,
+            extra_latency: seconds,
+            bandwidth_factor: 1.0,
+        }
+    }
+
+    /// A bandwidth collapse by `factor` (≥ 1.0) on the given scope, active
+    /// from t = 0.
+    pub fn bandwidth_collapse(scope: LinkScope, factor: f64) -> Self {
+        assert!(factor >= 1.0, "bandwidth factor must be >= 1");
+        LinkFault {
+            scope,
+            onset: 0.0,
+            extra_latency: 0.0,
+            bandwidth_factor: factor,
+        }
+    }
+
+    /// Delays activation until simulated time `onset`.
+    pub fn starting_at(mut self, onset: f64) -> Self {
+        self.onset = onset;
+        self
+    }
+
+    /// `true` if this fault affects a `src → dst` message sent at
+    /// simulated time `now`.
+    pub fn applies(&self, src: usize, dst: usize, now: f64) -> bool {
+        now >= self.onset && self.scope.matches(src, dst)
+    }
+}
+
+/// Combined effect of a fault set on one message: `(extra latency seconds,
+/// serialization-time multiplier)`.
+pub fn fault_effect(faults: &[LinkFault], src: usize, dst: usize, now: f64) -> (f64, f64) {
+    let mut lat = 0.0;
+    let mut bw = 1.0;
+    for f in faults {
+        if f.applies(src, dst, now) {
+            lat += f.extra_latency;
+            bw *= f.bandwidth_factor;
+        }
+    }
+    (lat, bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scopes_match_expected_traffic() {
+        assert!(LinkScope::Pair { src: 1, dst: 2 }.matches(1, 2));
+        assert!(!LinkScope::Pair { src: 1, dst: 2 }.matches(2, 1));
+        assert!(LinkScope::From(3).matches(3, 9));
+        assert!(!LinkScope::From(3).matches(9, 3));
+        assert!(LinkScope::To(3).matches(9, 3));
+        assert!(LinkScope::All.matches(7, 8));
+    }
+
+    #[test]
+    fn onset_gates_activation() {
+        let f = LinkFault::latency(LinkScope::All, 1e-3).starting_at(5.0);
+        assert!(!f.applies(0, 1, 4.9));
+        assert!(f.applies(0, 1, 5.0));
+    }
+
+    #[test]
+    fn effects_accumulate() {
+        let faults = [
+            LinkFault::latency(LinkScope::From(0), 2e-6),
+            LinkFault::bandwidth_collapse(LinkScope::All, 4.0),
+            LinkFault::latency(LinkScope::Pair { src: 9, dst: 9 }, 1.0),
+        ];
+        let (lat, bw) = fault_effect(&faults, 0, 5, 0.0);
+        assert!((lat - 2e-6).abs() < 1e-18);
+        assert_eq!(bw, 4.0);
+        let (lat, bw) = fault_effect(&faults, 5, 0, 0.0);
+        assert_eq!(lat, 0.0);
+        assert_eq!(bw, 4.0);
+    }
+}

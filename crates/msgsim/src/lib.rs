@@ -47,9 +47,11 @@
 #![deny(missing_docs)]
 
 pub mod collectives;
+pub mod fault;
 mod group;
 mod world;
 
 pub use collectives::{BcastAlgo, CollectiveTuning, PendingBcast};
+pub use fault::{LinkFault, LinkScope};
 pub use group::Group;
 pub use world::{Comm, RecvInfo, WorldSpec};

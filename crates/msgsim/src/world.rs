@@ -5,6 +5,7 @@ use mxp_netsim::{GcdLoc, NetworkConfig};
 use std::sync::Arc;
 
 use crate::collectives::CollectiveTuning;
+use crate::fault::{fault_effect, LinkFault};
 
 /// Description of a job: how many ranks, where each lives, and how the
 /// network behaves. Analogous to `mpirun` plus the machine file.
@@ -20,6 +21,9 @@ pub struct WorldSpec {
     pub recv_overhead: f64,
     /// Collective algorithm tuning (chunk sizes, vendor quirks).
     pub tuning: CollectiveTuning,
+    /// Injected link-level faults (latency spikes, bandwidth collapse);
+    /// empty for a healthy fabric. Applied by every matching send.
+    pub faults: Vec<LinkFault>,
 }
 
 impl WorldSpec {
@@ -40,6 +44,7 @@ impl WorldSpec {
             send_overhead: 1.0e-6,
             recv_overhead: 0.5e-6,
             tuning: CollectiveTuning::default(),
+            faults: Vec::new(),
         }
     }
 
@@ -200,12 +205,13 @@ impl<M: Send + 'static> Comm<M> {
             .spec
             .net
             .p2p(self.spec.locs[self.rank], self.spec.locs[dst], sharers);
-        self.clock += self.spec.send_overhead + bytes as f64 * cost.sec_per_byte;
+        let (extra_lat, bw_div) = fault_effect(&self.spec.faults, self.rank, dst, self.clock);
+        self.clock += self.spec.send_overhead + bytes as f64 * cost.sec_per_byte * bw_div;
         self.bytes_sent += bytes;
         let env = Envelope {
             src: self.rank,
             tag,
-            arrive: self.clock + cost.latency,
+            arrive: self.clock + cost.latency + extra_lat,
             bytes,
             msg,
         };
@@ -238,12 +244,16 @@ impl<M: Send + 'static> Comm<M> {
             self.spec.locs[dst],
             self.default_sharers,
         );
-        self.clock += busy;
+        let (extra_lat, bw_div) = fault_effect(&self.spec.faults, self.rank, dst, self.clock);
+        // A modeled (black-box collective) send still pays link faults:
+        // its busy time scales with the bandwidth derating and its
+        // delivery with the latency spike.
+        self.clock += busy * bw_div;
         self.bytes_sent += bytes;
         let env = Envelope {
             src: self.rank,
             tag,
-            arrive: self.clock + cost.latency + extra_delay,
+            arrive: self.clock + cost.latency + extra_delay + extra_lat,
             bytes,
             msg,
         };
@@ -488,6 +498,98 @@ mod tests {
             c.bytes_sent()
         });
         assert_eq!(sent, vec![300, 0]);
+    }
+
+    #[test]
+    fn link_latency_fault_delays_delivery() {
+        use crate::fault::{LinkFault, LinkScope};
+        let healthy = spec(2, 1);
+        let mut broken = spec(2, 1);
+        broken
+            .faults
+            .push(LinkFault::latency(LinkScope::Pair { src: 0, dst: 1 }, 0.25));
+        let job = |mut c: Comm<()>| {
+            if c.rank() == 0 {
+                c.send(1, 1, (), 1024);
+            } else {
+                c.recv(0, 1);
+            }
+            c.now()
+        };
+        let base = healthy.run(job);
+        let hurt = broken.run(job);
+        // Sender cost unchanged; receiver pays the injected latency.
+        assert_eq!(base[0], hurt[0]);
+        assert!(
+            hurt[1] >= base[1] + 0.25,
+            "faulty {} vs healthy {}",
+            hurt[1],
+            base[1]
+        );
+    }
+
+    #[test]
+    fn bandwidth_collapse_slows_serialization() {
+        use crate::fault::{LinkFault, LinkScope};
+        let healthy = spec(2, 1);
+        let mut broken = spec(2, 1);
+        broken
+            .faults
+            .push(LinkFault::bandwidth_collapse(LinkScope::From(0), 10.0));
+        let job = |mut c: Comm<()>| {
+            if c.rank() == 0 {
+                c.send(1, 1, (), 64 << 20);
+            }
+            c.now()
+        };
+        let base = healthy.run(job);
+        let hurt = broken.run(job);
+        assert!(
+            hurt[0] > 5.0 * base[0],
+            "collapsed {} vs nominal {}",
+            hurt[0],
+            base[0]
+        );
+    }
+
+    #[test]
+    fn unmatched_scope_changes_nothing() {
+        use crate::fault::{LinkFault, LinkScope};
+        let healthy = spec(2, 1);
+        let mut other = spec(2, 1);
+        // Fault on traffic *to rank 0* — the 0→1 send is unaffected.
+        other.faults.push(LinkFault::latency(LinkScope::To(0), 1.0));
+        let job = |mut c: Comm<()>| {
+            if c.rank() == 0 {
+                c.send(1, 1, (), 1 << 20);
+            } else {
+                c.recv(0, 1);
+            }
+            c.now()
+        };
+        assert_eq!(healthy.run(job), other.run(job));
+    }
+
+    #[test]
+    fn fault_onset_spares_early_messages() {
+        use crate::fault::{LinkFault, LinkScope};
+        let mut w = spec(2, 1);
+        w.faults
+            .push(LinkFault::latency(LinkScope::All, 0.5).starting_at(1.0));
+        w.run::<u32, _, _>(|mut c| {
+            if c.rank() == 0 {
+                c.send(1, 1, 0, 1024); // sent at t≈0: clean
+                c.charge(2.0);
+                c.send(1, 2, 0, 1024); // sent at t≈2: faulted
+            } else {
+                let (_, early) = c.recv(0, 1);
+                let (_, late) = c.recv(0, 2);
+                // First message predates the onset: only path latency.
+                assert!(early.arrived_at < 0.1, "early at {}", early.arrived_at);
+                // Second was sent after onset: pays the extra 0.5 s.
+                assert!(late.arrived_at >= 2.5, "late at {}", late.arrived_at);
+            }
+        });
     }
 
     #[test]

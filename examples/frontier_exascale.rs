@@ -27,8 +27,8 @@ fn main() {
         "Summit   | {:>6} GCDs | N = {:>9} | {:.3} EFLOPS (paper: 1.411) | {:.0} s",
         p * p,
         61440 * p,
-        out.eflops,
-        out.runtime
+        out.perf.eflops,
+        out.perf.runtime
     );
 
     // Frontier: 4x2 node grid, P = 172², B = 3072, Ring2M — the paper's
@@ -48,8 +48,8 @@ fn main() {
         "Frontier | {:>6} GCDs | N = {:>9} | {:.3} EFLOPS (paper: 2.387) | {:.0} s",
         p * p,
         20_606_976,
-        out.eflops,
-        out.runtime
+        out.perf.eflops,
+        out.perf.runtime
     );
 
     // Full-machine projection (272² is the largest node-tileable square).
@@ -67,6 +67,6 @@ fn main() {
         "Frontier | {:>6} GCDs | N = {:>9} | {:.3} EFLOPS (paper predicts ~5 at full scale)",
         p * p,
         119808 * p,
-        out.eflops
+        out.perf.eflops
     );
 }

@@ -62,7 +62,7 @@ fn main() {
     // accurate, but IR recovers FP64.
     let sys = testbed(1, 4);
     let grid = ProcessGrid::col_major(2, 2, 4);
-    let out = run(&RunConfig::functional(sys, grid, 256, 32));
+    let out = run(&RunConfig::functional(sys, grid, 256, 32).build_or_panic());
     println!(
         "distributed mixed-precision solve: {} IR sweeps -> scaled residual {:.3e} (< 16 passes)",
         out.ir_iters,

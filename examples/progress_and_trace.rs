@@ -17,8 +17,9 @@ use mxp_msgsim::BcastAlgo;
 fn main() {
     let grid = ProcessGrid::node_local(4, 4, 2, 2);
     let sys = testbed(4, 4);
-    let mut cfg = RunConfig::timing(sys.clone(), grid, 8192, 512);
-    cfg.algo = BcastAlgo::Ring2M;
+    let cfg = RunConfig::timing(sys.clone(), grid, 8192, 512)
+        .algo(BcastAlgo::Ring2M)
+        .build_or_panic();
 
     println!("== healthy run ==");
     let out = run(&cfg);
@@ -26,14 +27,14 @@ fn main() {
         report_every: 4,
         ..Default::default()
     };
-    for rec in &out.records_rank0 {
+    for rec in out.records_rank0() {
         if let Some(line) = mon.report_line(rec, 16) {
             println!("{line}");
         }
     }
-    print!("{}", trace::summary(&out.records_rank0));
+    print!("{}", trace::summary(out.records_rank0()));
     let (alerts, _) = mon.analyze(
-        &out.records_rank0,
+        out.records_rank0(),
         &sys.gcd,
         &grid,
         8192,
@@ -49,10 +50,10 @@ fn main() {
         .map(|seed| GcdFleet::generate(16, seed, 0.0, 1, 0.4))
         .find(|f| f.speed(0) < 0.5)
         .expect("some seed degrades rank 0");
-    cfg.fleet = Some(fleet);
-    let sick = run(&cfg);
+    let sick_cfg = cfg.to_builder().fleet(fleet).build_or_panic();
+    let sick = run(&sick_cfg);
     let (alerts, terminate) = mon.analyze(
-        &sick.records_rank0,
+        sick.records_rank0(),
         &sys.gcd,
         &grid,
         8192,
@@ -67,10 +68,10 @@ fn main() {
     );
     println!(
         "healthy {:.3}s vs sick {:.3}s — \"a single slow GPU can severely worsen total performance\"",
-        out.runtime, sick.runtime
+        out.perf.runtime, sick.perf.runtime
     );
 
     let path = "hplai_trace.json";
-    std::fs::write(path, trace::chrome_trace(&out.records_rank0, 0)).expect("write trace");
+    std::fs::write(path, trace::chrome_trace(out.records_rank0(), 0)).expect("write trace");
     println!("\nwrote {path} — load it in about:tracing / Perfetto");
 }

@@ -12,7 +12,9 @@ fn main() {
     // 2x4 process grid; a 512x512 system with 64-wide blocks.
     let sys = testbed(2, 4);
     let grid = ProcessGrid::node_local(2, 4, 1, 4);
-    let cfg = RunConfig::functional(sys, grid, 512, 64);
+    let cfg = RunConfig::functional(sys, grid, 512, 64)
+        .build()
+        .expect("a divisible N/B/grid combination");
 
     println!(
         "factoring N={} with B={} on {} simulated GCDs...",
@@ -30,8 +32,11 @@ fn main() {
     );
     println!(
         "simulated runtime: {:.4} s (factor {:.4} s + IR {:.4} s)",
-        out.runtime, out.factor_time, out.ir_time
+        out.perf.runtime, out.perf.factor_time, out.perf.ir_time
     );
-    println!("effective rate:    {:.1} GFLOPS/GCD", out.gflops_per_gcd);
+    println!(
+        "effective rate:    {:.1} GFLOPS/GCD",
+        out.perf.gflops_per_gcd
+    );
     assert!(out.converged, "the benchmark must pass");
 }

@@ -34,13 +34,13 @@ fn main() {
     let after = critical_time(&sys, &cfg(healthy.slowest()));
     println!(
         "run at fleet pace:  {:.1} GFLOPS/GCD (slowest multiplier {:.3})",
-        before.gflops_per_gcd,
+        before.perf.gflops_per_gcd,
         fleet.slowest()
     );
     println!(
         "after exclusion:    {:.1} GFLOPS/GCD (slowest multiplier {:.3}) — +{:.1}%",
-        after.gflops_per_gcd,
+        after.perf.gflops_per_gcd,
         healthy.slowest(),
-        (after.gflops_per_gcd / before.gflops_per_gcd - 1.0) * 100.0
+        (after.perf.gflops_per_gcd / before.perf.gflops_per_gcd - 1.0) * 100.0
     );
 }

@@ -71,7 +71,7 @@ fn main() {
             let marker = if b == best_b { "  <= model pick" } else { "" };
             println!(
                 "  B = {b:>5}: {:>8.1} GFLOPS/GCD{marker}",
-                out.gflops_per_gcd
+                out.perf.gflops_per_gcd
             );
         }
         println!();

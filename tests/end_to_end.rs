@@ -55,7 +55,7 @@ fn full_benchmark_passes_on_various_grids() {
         (ProcessGrid::node_local(2, 4, 2, 4), 64, 8),
     ] {
         let sys = testbed(grid.size() / grid.gcds_per_node(), grid.gcds_per_node());
-        let out = run(&RunConfig::functional(sys, grid, n, b));
+        let out = run(&RunConfig::functional(sys, grid, n, b).build_or_panic());
         assert!(out.converged, "grid {grid:?} failed");
         assert!(
             out.scaled_residual.unwrap() < 16.0,
@@ -148,14 +148,16 @@ mod random_configs {
             }
             let grid = ProcessGrid::col_major(p_r, p_c, q);
             let sys = testbed(grid.size() / q, q);
-            let mut cfg = RunConfig::functional(sys, grid, n, b);
-            cfg.algo = BcastAlgo::ALL[algo_i as usize % 5];
-            cfg.lookahead = lookahead;
-            cfg.prec = [
-                TrailingPrecision::Fp16,
-                TrailingPrecision::Bf16,
-                TrailingPrecision::Fp32,
-            ][prec_i as usize % 3];
+            let cfg = RunConfig::functional(sys, grid, n, b)
+                .algo(BcastAlgo::ALL[algo_i as usize % 5])
+                .lookahead(lookahead)
+                .prec([
+                    TrailingPrecision::Fp16,
+                    TrailingPrecision::Bf16,
+                    TrailingPrecision::Fp32,
+                ][prec_i as usize % 3])
+                .build()
+                .expect("generated configs are divisible by construction");
             let out = run(&cfg);
             prop_assert!(out.converged, "config failed: {n} {b} {:?}", cfg.algo);
             prop_assert!(out.scaled_residual.unwrap() < 16.0);
@@ -169,8 +171,9 @@ fn larger_functional_run_with_variability() {
     // be unaffected by per-GCD speed (only clocks change).
     let grid = ProcessGrid::col_major(2, 2, 4);
     let sys = testbed(1, 4);
-    let mut cfg = RunConfig::functional(sys, grid, 256, 32);
-    cfg.fleet = Some(mxp_gpusim::GcdFleet::generate(4, 3, 0.05, 1, 0.8));
+    let cfg = RunConfig::functional(sys, grid, 256, 32)
+        .fleet(mxp_gpusim::GcdFleet::generate(4, 3, 0.05, 1, 0.8))
+        .build_or_panic();
     let out = run(&cfg);
     assert!(out.converged);
     assert!(out.scaled_residual.unwrap() < 16.0);

@@ -12,8 +12,9 @@ use mxp_msgsim::BcastAlgo;
 
 fn ablation_run(prec: TrailingPrecision, n: usize, b: usize) -> hplai_core::RunOutcome {
     let grid = ProcessGrid::col_major(2, 2, 4);
-    let mut cfg = RunConfig::functional(testbed(1, 4), grid, n, b);
-    cfg.prec = prec;
+    let cfg = RunConfig::functional(testbed(1, 4), grid, n, b)
+        .prec(prec)
+        .build_or_panic();
     run(&cfg)
 }
 
@@ -59,9 +60,10 @@ fn fp32_panels_cost_more_time_and_bytes() {
     // be slower for the fp32 control at identical problem/shape.
     let grid = ProcessGrid::col_major(2, 2, 4);
     let mk = |prec| {
-        let mut cfg = RunConfig::timing(testbed(1, 4), grid, 2048, 256);
-        cfg.prec = prec;
-        run(&cfg).factor_time
+        let cfg = RunConfig::timing(testbed(1, 4), grid, 2048, 256)
+            .prec(prec)
+            .build_or_panic();
+        run(&cfg).perf.factor_time
     };
     let t16 = mk(TrailingPrecision::Fp16);
     let t32 = mk(TrailingPrecision::Fp32);
@@ -137,7 +139,7 @@ fn line44_criterion_implies_the_classic_hpl_gate() {
     // orders of magnitude to spare.
     for n in [64usize, 128, 256] {
         let grid = ProcessGrid::col_major(2, 2, 4);
-        let out = run(&RunConfig::functional(testbed(1, 4), grid, n, n / 8));
+        let out = run(&RunConfig::functional(testbed(1, 4), grid, n, n / 8).build_or_panic());
         assert!(out.converged, "line-44 convergence at N={n}");
         let scaled = out.scaled_residual.unwrap();
         assert!(
@@ -151,11 +153,11 @@ fn line44_criterion_implies_the_classic_hpl_gate() {
 fn progress_monitor_clean_on_healthy_driver_run() {
     let grid = ProcessGrid::col_major(2, 2, 4);
     let sys = testbed(1, 4);
-    let cfg = RunConfig::timing(sys.clone(), grid, 2048, 256);
+    let cfg = RunConfig::timing(sys.clone(), grid, 2048, 256).build_or_panic();
     let out = run(&cfg);
     let mon = ProgressMonitor::default();
     let (alerts, terminate) = mon.analyze(
-        &out.records_rank0,
+        out.records_rank0(),
         &sys.gcd,
         &grid,
         2048,
@@ -173,26 +175,13 @@ fn progress_monitor_catches_a_slow_gcd() {
     // (the paper's early-termination trigger).
     let grid = ProcessGrid::col_major(2, 2, 4);
     let sys = testbed(1, 4);
-    let mut cfg = RunConfig::timing(sys.clone(), grid, 2048, 256);
-    cfg.fleet = Some(GcdFleet::generate(4, 1, 0.0, 0, 1.0)); // uniform...
-                                                             // Build a custom fleet where rank 0 is the slow one.
-    let fleet = GcdFleet::generate(4, 99, 0.0, 0, 1.0);
-    assert!(fleet.speed(0) == 1.0);
-    // generate() can't target rank 0 specifically, so degrade via a scan
-    // of candidates: find a seed whose slow slot is rank 0.
-    let mut chosen = None;
-    for seed in 0..64 {
-        let f = GcdFleet::generate(4, seed, 0.0, 1, 0.3);
-        if f.speed(0) < 0.5 {
-            chosen = Some(f);
-            break;
-        }
-    }
-    cfg.fleet = Some(chosen.expect("some seed degrades rank 0"));
+    let cfg = RunConfig::timing(sys.clone(), grid, 2048, 256)
+        .fleet(GcdFleet::from_multipliers(vec![0.3, 1.0, 1.0, 1.0]))
+        .build_or_panic();
     let out = run(&cfg);
     let mon = ProgressMonitor::default();
     let (alerts, terminate) = mon.analyze(
-        &out.records_rank0,
+        out.records_rank0(),
         &sys.gcd,
         &grid,
         2048,

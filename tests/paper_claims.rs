@@ -22,7 +22,11 @@ fn headline_summit_1_411_eflops() {
         ),
     );
     // Shape target: exascale on Summit, within ~25% of 1.411.
-    assert!((1.05..1.8).contains(&out.eflops), "{} EFLOPS", out.eflops);
+    assert!(
+        (1.05..1.8).contains(&out.perf.eflops),
+        "{} EFLOPS",
+        out.perf.eflops
+    );
 }
 
 #[test]
@@ -36,7 +40,11 @@ fn headline_frontier_2_387_eflops_at_40_percent() {
             BcastAlgo::Ring2M,
         ),
     );
-    assert!((1.75..3.0).contains(&out.eflops), "{} EFLOPS", out.eflops);
+    assert!(
+        (1.75..3.0).contains(&out.perf.eflops),
+        "{} EFLOPS",
+        out.perf.eflops
+    );
     // And the problem-size disparity the paper highlights: N > 2x the
     // Summit problem on under half of Frontier (checked at the type level
     // by the configs above).
@@ -53,7 +61,11 @@ fn conclusion_full_frontier_reaches_about_5_eflops() {
             BcastAlgo::Ring2M,
         ),
     );
-    assert!((4.0..6.0).contains(&out.eflops), "{} EFLOPS", out.eflops);
+    assert!(
+        (4.0..6.0).contains(&out.perf.eflops),
+        "{} EFLOPS",
+        out.perf.eflops
+    );
 }
 
 #[test]
@@ -65,7 +77,7 @@ fn intro_hplai_is_9_5x_hpl_on_summit() {
         &CriticalConfig::new(61440 * 162, 768, grid, BcastAlgo::Lib),
     );
     let hpl = hpl_critical_time(&sys, &grid, hpl_n_local(61440, 768) * 162, 768);
-    let ratio = ai.eflops / hpl.eflops;
+    let ratio = ai.perf.eflops / hpl.eflops;
     assert!((7.0..12.5).contains(&ratio), "ratio {ratio}");
 }
 
@@ -91,7 +103,7 @@ fn section3_frontier_is_3x_summit_hplai_at_full_scale() {
             BcastAlgo::Ring2M,
         ),
     );
-    let ratio = f.eflops / s.eflops;
+    let ratio = f.perf.eflops / s.perf.eflops;
     assert!((2.4..4.6).contains(&ratio), "ratio {ratio}");
 }
 
@@ -154,17 +166,19 @@ fn section5d_nl_119808_beats_122880() {
         ),
     );
     assert!(
-        t1.gflops_per_gcd > t2.gflops_per_gcd,
+        t1.perf.gflops_per_gcd > t2.perf.gflops_per_gcd,
         "{} !> {}",
-        t1.gflops_per_gcd,
-        t2.gflops_per_gcd
+        t1.perf.gflops_per_gcd,
+        t2.perf.gflops_per_gcd
     );
 }
 
 #[test]
 fn fig8_comm_orderings() {
     let perf = |sys: &hplai_core::SystemSpec, grid: ProcessGrid, n_l: usize, b: usize, algo| {
-        critical_time(sys, &CriticalConfig::new(n_l * grid.p_r, b, grid, algo)).gflops_per_gcd
+        critical_time(sys, &CriticalConfig::new(n_l * grid.p_r, b, grid, algo))
+            .perf
+            .gflops_per_gcd
     };
     // Rings beat the vendor broadcast on Frontier, with Ring2M best.
     let f = frontier();
@@ -208,7 +222,7 @@ fn finding5_port_binding_improves_summit() {
         &s2,
         &CriticalConfig::new(61440 * 54, 768, grid, BcastAlgo::Lib),
     );
-    let gain = bound.gflops_per_gcd / unbound.gflops_per_gcd - 1.0;
+    let gain = bound.perf.gflops_per_gcd / unbound.perf.gflops_per_gcd - 1.0;
     assert!((0.1..0.7).contains(&gain), "port binding gain {gain}");
 }
 
@@ -226,7 +240,7 @@ fn finding7_gpu_aware_improves_frontier() {
         &f2,
         &CriticalConfig::new(119808 * 32, 3072, grid, BcastAlgo::Ring2M),
     );
-    let gain = aware.gflops_per_gcd / staged.gflops_per_gcd - 1.0;
+    let gain = aware.perf.gflops_per_gcd / staged.perf.gflops_per_gcd - 1.0;
     assert!((0.12..0.7).contains(&gain), "GPU-aware gain {gain}");
 }
 
@@ -251,7 +265,7 @@ fn finding8_grid_tuning_helps_both_systems() {
             BcastAlgo::Lib,
         ),
     );
-    assert!(tuned.gflops_per_gcd > colmajor.gflops_per_gcd);
+    assert!(tuned.perf.gflops_per_gcd > colmajor.perf.gflops_per_gcd);
 
     let f = frontier();
     let tuned = critical_time(
@@ -272,7 +286,7 @@ fn finding8_grid_tuning_helps_both_systems() {
             BcastAlgo::Ring2M,
         ),
     );
-    assert!(tuned.gflops_per_gcd > colmajor.gflops_per_gcd);
+    assert!(tuned.perf.gflops_per_gcd > colmajor.perf.gflops_per_gcd);
 }
 
 #[test]

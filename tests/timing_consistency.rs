@@ -4,18 +4,18 @@
 
 use hplai_core::critical::{critical_time, CriticalConfig};
 use hplai_core::solve::{run, RunConfig};
-use hplai_core::{testbed, Fidelity, ProcessGrid};
+use hplai_core::{testbed, ProcessGrid};
 use mxp_msgsim::BcastAlgo;
 
 #[test]
 fn timing_runs_are_deterministic() {
     let grid = ProcessGrid::node_local(4, 4, 2, 2);
-    let cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256);
+    let cfg = RunConfig::timing(testbed(4, 4), grid, 4096, 256).build_or_panic();
     let a = run(&cfg);
     let b = run(&cfg);
-    assert_eq!(a.runtime, b.runtime);
-    assert_eq!(a.factor_time, b.factor_time);
-    for (ra, rb) in a.records_rank0.iter().zip(&b.records_rank0) {
+    assert_eq!(a.perf.runtime, b.perf.runtime);
+    assert_eq!(a.perf.factor_time, b.perf.factor_time);
+    for (ra, rb) in a.records_rank0().iter().zip(b.records_rank0()) {
         assert_eq!(ra.gemm, rb.gemm);
         assert_eq!(ra.wait, rb.wait);
     }
@@ -27,17 +27,19 @@ fn functional_and_timing_agree_on_clocks() {
     // simulated time as the virtual-payload run.
     let grid = ProcessGrid::col_major(2, 2, 4);
     let sys = testbed(1, 4);
-    let mut f = RunConfig::functional(sys.clone(), grid, 128, 16);
-    f.algo = BcastAlgo::Ring1M;
-    let mut t = f.clone();
-    t.fidelity = Fidelity::Timing;
+    let f = RunConfig::functional(sys.clone(), grid, 128, 16)
+        .algo(BcastAlgo::Ring1M)
+        .build_or_panic();
+    let t = RunConfig::timing(sys.clone(), grid, 128, 16)
+        .algo(BcastAlgo::Ring1M)
+        .build_or_panic();
     let rf = run(&f);
     let rt = run(&t);
     assert!(
-        (rf.factor_time - rt.factor_time).abs() < 1e-9,
+        (rf.perf.factor_time - rt.perf.factor_time).abs() < 1e-9,
         "functional {} vs timing {}",
-        rf.factor_time,
-        rt.factor_time
+        rf.perf.factor_time,
+        rt.perf.factor_time
     );
 }
 
@@ -47,10 +49,13 @@ fn critical_path_tracks_emergent_across_algorithms() {
     let grid = ProcessGrid::node_local(8, 8, 2, 2);
     let (n, b) = (16384, 512);
     for algo in [BcastAlgo::Lib, BcastAlgo::Ring1, BcastAlgo::Ring2M] {
-        let mut cfg = RunConfig::timing(sys.clone(), grid, n, b);
-        cfg.algo = algo;
-        let emergent = run(&cfg).factor_time;
-        let model = critical_time(&sys, &CriticalConfig::new(n, b, grid, algo)).factor_time;
+        let cfg = RunConfig::timing(sys.clone(), grid, n, b)
+            .algo(algo)
+            .build_or_panic();
+        let emergent = run(&cfg).perf.factor_time;
+        let model = critical_time(&sys, &CriticalConfig::new(n, b, grid, algo))
+            .perf
+            .factor_time;
         let ratio = model / emergent;
         assert!(
             (0.5..2.0).contains(&ratio),
@@ -66,9 +71,10 @@ fn emergent_driver_prefers_rings_on_frontier_like_tuning() {
     let sys = testbed(16, 4); // Frontier tuning: binomial vendor bcast
     let grid = ProcessGrid::node_local(8, 8, 2, 2);
     let t_of = |algo: BcastAlgo| {
-        let mut cfg = RunConfig::timing(sys.clone(), grid, 16384, 512);
-        cfg.algo = algo;
-        run(&cfg).factor_time
+        let cfg = RunConfig::timing(sys.clone(), grid, 16384, 512)
+            .algo(algo)
+            .build_or_panic();
+        run(&cfg).perf.factor_time
     };
     let lib = t_of(BcastAlgo::Lib);
     let ring2m = t_of(BcastAlgo::Ring2M);
@@ -80,9 +86,10 @@ fn gpu_aware_and_port_binding_matter_in_emergent_runs() {
     let base_sys = testbed(16, 4);
     let grid = ProcessGrid::node_local(8, 8, 2, 2);
     let t_of = |sys: hplai_core::SystemSpec| {
-        let mut cfg = RunConfig::timing(sys, grid, 16384, 512);
-        cfg.algo = BcastAlgo::Ring2M;
-        run(&cfg).factor_time
+        let cfg = RunConfig::timing(sys, grid, 16384, 512)
+            .algo(BcastAlgo::Ring2M)
+            .build_or_panic();
+        run(&cfg).perf.factor_time
     };
     let direct = t_of(base_sys.clone());
     let mut staged_sys = base_sys.clone();
@@ -108,9 +115,10 @@ fn grid_tuning_helps_in_emergent_runs_too() {
     // forms: a balanced node tile beats the column-major placement.
     let sys = testbed(16, 4);
     let t_of = |grid: ProcessGrid| {
-        let mut cfg = RunConfig::timing(sys.clone(), grid, 16384, 512);
-        cfg.algo = BcastAlgo::Ring2M;
-        run(&cfg).factor_time
+        let cfg = RunConfig::timing(sys.clone(), grid, 16384, 512)
+            .algo(BcastAlgo::Ring2M)
+            .build_or_panic();
+        run(&cfg).perf.factor_time
     };
     let tuned = t_of(ProcessGrid::node_local(8, 8, 2, 2));
     let col_major = t_of(ProcessGrid::col_major(8, 8, 4));
@@ -129,12 +137,18 @@ fn critical_and_emergent_agree_on_b_ordering() {
     let bs = [256usize, 512, 1024];
     let emergent: Vec<f64> = bs
         .iter()
-        .map(|&b| run(&RunConfig::timing(sys.clone(), grid, 16384, b)).factor_time)
+        .map(|&b| {
+            run(&RunConfig::timing(sys.clone(), grid, 16384, b).build_or_panic())
+                .perf
+                .factor_time
+        })
         .collect();
     let model: Vec<f64> = bs
         .iter()
         .map(|&b| {
-            critical_time(&sys, &CriticalConfig::new(16384, b, grid, BcastAlgo::Lib)).factor_time
+            critical_time(&sys, &CriticalConfig::new(16384, b, grid, BcastAlgo::Lib))
+                .perf
+                .factor_time
         })
         .collect();
     let order = |v: &[f64]| {
@@ -161,14 +175,16 @@ fn weak_scaling_efficiency_in_papers_regime() {
             ProcessGrid::node_local(4, 4, 2, 2),
             n_l * 4,
             256,
-        ));
+        )
+        .build_or_panic());
         let big = run(&RunConfig::timing(
             sys.clone(),
             ProcessGrid::node_local(8, 8, 2, 2),
             n_l * 8,
             256,
-        ));
-        big.gflops_per_gcd / base.gflops_per_gcd
+        )
+        .build_or_panic());
+        big.perf.gflops_per_gcd / base.perf.gflops_per_gcd
     };
     assert!(
         (0.75..1.35).contains(&eff),

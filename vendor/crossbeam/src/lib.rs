@@ -1,0 +1,37 @@
+//! Offline stub of the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Implements only the surface this workspace uses: unbounded MPSC
+//! channels. Since Rust 1.72 `std::sync::mpsc` is itself backed by the
+//! crossbeam channel implementation and its `Sender` is `Sync`, so a thin
+//! re-export is behaviourally equivalent for our usage.
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// Creates an unbounded channel (alias of `std::sync::mpsc::channel`).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+    use std::sync::Arc;
+
+    #[test]
+    fn senders_are_shareable_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let tx = Arc::new(tx);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let tx = Arc::clone(&tx);
+                s.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        let mut got: Vec<usize> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

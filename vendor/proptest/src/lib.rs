@@ -1,0 +1,372 @@
+//! Offline stub of the `proptest` crate (see `vendor/README.md`).
+//!
+//! Supports the subset this workspace uses: the `proptest!` macro with
+//! `var in strategy` and `var: Type` parameters, `#![proptest_config]`,
+//! integer-range and tuple strategies, `any::<T>()`, `prop_map`, and the
+//! `prop_assert!`/`prop_assert_eq!` macros. Inputs come from a
+//! deterministic per-test RNG (seeded from the test's module path and the
+//! case index), so failures reproduce exactly. There is **no shrinking**:
+//! a failure reports the case number and the assertion message only.
+
+/// Test-runner types: the deterministic RNG and the case-failure error.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic splitmix64 generator seeded per test case.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one case of one test, seeded from the test's
+        /// fully qualified name and the case index so every run of the
+        /// suite sees the same inputs.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// Next raw 64-bit value (splitmix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// A failed property: carries the assertion message.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+/// Strategy trait and combinators: how test inputs are generated.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking:
+    /// `pick` draws one concrete value from the RNG.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn pick(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`, like proptest's `prop_map`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn pick(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.pick(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn pick(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let off = (rng.next_u64() as u128) % span;
+                    ((self.start as u128).wrapping_add(off)) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident/$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn pick(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.pick(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A / 0, B / 1);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+    impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+}
+
+/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Uniform in [0, 1): the common use for arbitrary floats in
+            // property tests that need finite, well-behaved values.
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`, like `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Controls how many cases each property runs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case
+/// returns an error (reported with its case number) instead of panicking
+/// mid-property.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let left = $a;
+        let right = $b;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let left = $a;
+        let right = $b;
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Declares property tests. Supports `#![proptest_config(..)]`, parameters
+/// of the form `name in strategy` or `name: Type`, and bodies that
+/// `return Ok(())` early. Each property becomes a `#[test]` fn running
+/// `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    // ---- internal: per-test muncher --------------------------------------
+    (@tests ($cfg:expr)) => {};
+    (@tests ($cfg:expr)
+        $(#[$attr:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $crate::proptest!(@bind [rng, case] ($($params)*) $body);
+            }
+        }
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+
+    // ---- internal: parameter binder --------------------------------------
+    (@bind [$rng:ident, $case:ident] () $body:block) => {
+        let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+            (|| {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+        if let ::std::result::Result::Err(e) = outcome {
+            panic!("property failed at case {}: {}", $case, e);
+        }
+    };
+    (@bind [$rng:ident, $case:ident] ($var:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        let $var = $crate::strategy::Strategy::pick(&($strat), &mut $rng);
+        $crate::proptest!(@bind [$rng, $case] ($($rest)*) $body);
+    };
+    (@bind [$rng:ident, $case:ident] ($var:ident in $strat:expr) $body:block) => {
+        $crate::proptest!(@bind [$rng, $case] ($var in $strat,) $body);
+    };
+    (@bind [$rng:ident, $case:ident] ($var:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        let $var = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind [$rng, $case] ($($rest)*) $body);
+    };
+    (@bind [$rng:ident, $case:ident] ($var:ident : $ty:ty) $body:block) => {
+        $crate::proptest!(@bind [$rng, $case] ($var: $ty,) $body);
+    };
+
+    // ---- entry points ----------------------------------------------------
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@tests ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@tests ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, usize)> {
+        (1usize..10, 1usize..10).prop_map(|(a, b)| (a, a + b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in range; typed params draw full domain.
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 0u8..5, flag: bool, seed: u64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+            let _ = (flag, seed);
+        }
+
+        /// prop_map strategies and early return both work.
+        #[test]
+        fn mapped_pairs_ordered(p in arb_pair()) {
+            if p.0 == 1 {
+                return Ok(());
+            }
+            prop_assert!(p.0 < p.1, "{} !< {}", p.0, p.1);
+            prop_assert_eq!(p.0.min(p.1), p.0);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::for_case("t", 0);
+        let mut b = TestRng::for_case("t", 0);
+        let mut c = TestRng::for_case("t", 1);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed at case")]
+    #[allow(unnameable_test_items)]
+    fn failures_report_case_number() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

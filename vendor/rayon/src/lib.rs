@@ -1,0 +1,120 @@
+//! Offline stub of the `rayon` crate (see `vendor/README.md`).
+//!
+//! Implements the one data-parallel pattern this workspace uses —
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — with real
+//! parallelism over `std::thread::scope`. Chunks are distributed round-robin
+//! across `available_parallelism()` workers; the closure must therefore be
+//! `Fn + Send + Sync`, exactly as rayon requires.
+
+/// Rayon's prelude: the extension traits that add `par_*` methods.
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Parallel iterator over mutable, non-overlapping chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+/// [`ParChunksMut`] with chunk indices attached.
+pub struct EnumeratedParChunksMut<'a, T> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+/// Extension trait mirroring `rayon::prelude::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of at most `chunk_size` elements that
+    /// can be processed in parallel.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attaches the chunk index, like `Iterator::enumerate`.
+    pub fn enumerate(self) -> EnumeratedParChunksMut<'a, T> {
+        EnumeratedParChunksMut {
+            chunks: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Runs `f` on every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        run_parallel(self.chunks, &|chunk| f(chunk));
+    }
+}
+
+impl<'a, T: Send> EnumeratedParChunksMut<'a, T> {
+    /// Runs `f` on every `(index, chunk)` pair, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        run_parallel(self.chunks, &|(i, chunk)| f((i, chunk)));
+    }
+}
+
+fn run_parallel<I, F>(items: Vec<I>, f: &F)
+where
+    I: Send,
+    F: Fn(I) + Send + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    // Deal items round-robin so load is balanced even when chunk costs vary.
+    let mut buckets: Vec<Vec<I>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push(item);
+    }
+    std::thread::scope(|scope| {
+        for bucket in buckets {
+            scope.spawn(move || {
+                for item in bucket {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn chunks_cover_slice_exactly_once() {
+        let mut v = vec![0u64; 1000];
+        v.par_chunks_mut(64).for_each(|chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1; // touch every element once
+            }
+        });
+        assert!(v.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn enumeration_matches_chunk_offsets() {
+        let mut v: Vec<usize> = (0..130).collect();
+        v.par_chunks_mut(32).enumerate().for_each(|(i, chunk)| {
+            assert_eq!(chunk[0], i * 32);
+        });
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stub of the `serde` crate (see `vendor/README.md`).
+//!
+//! The real serde decouples data structures from data formats through the
+//! `Serializer` visitor. This stub collapses that design to the one format
+//! the workspace emits — JSON — while keeping call sites source-compatible:
+//! `use serde::Serialize;` + `#[derive(Serialize)]` work unchanged, and
+//! `serde_json::to_string{,_pretty}` accept any `T: Serialize`.
+
+pub use serde_derive::Serialize;
+
+/// A type that can write itself as compact JSON.
+pub trait Serialize {
+    /// Appends this value's compact JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Escapes and quotes a string per JSON rules.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Shortest roundtrip formatting, like serde_json.
+            out.push_str(&format!("{self}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&format!("{self}"));
+            }
+        }
+    )*};
+}
+impl_serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_encode() {
+        let mut s = String::new();
+        42u64.serialize_json(&mut s);
+        s.push(' ');
+        true.serialize_json(&mut s);
+        s.push(' ');
+        1.5f64.serialize_json(&mut s);
+        assert_eq!(s, "42 true 1.5");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut s = String::new();
+        "a\"b\\c\n".to_string().serialize_json(&mut s);
+        assert_eq!(s, r#""a\"b\\c\n""#);
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let v = vec![vec!["x".to_string()], vec![]];
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        assert_eq!(s, r#"[["x"],[]]"#);
+    }
+
+    #[test]
+    fn options_and_nonfinite() {
+        let mut s = String::new();
+        Option::<f64>::None.serialize_json(&mut s);
+        s.push(' ');
+        f64::NAN.serialize_json(&mut s);
+        assert_eq!(s, "null null");
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline stub of `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` for structs with named fields by
+//! hand-parsing the token stream (no `syn`/`quote` available offline) and
+//! emitting an `impl serde::Serialize` that writes compact JSON. Enums and
+//! tuple structs are unsupported — implement `Serialize` manually for
+//! those.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON object with one member per field).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, body) = parse_struct(&tokens)
+        .unwrap_or_else(|| panic!("derive(Serialize) stub supports structs with named fields"));
+    let fields = parse_fields(body);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \x20   fn serialize_json(&self, out: &mut String) {{\n\
+         \x20       out.push('{{');\n"
+    ));
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str("        out.push(',');\n");
+        }
+        out.push_str(&format!(
+            "        out.push_str(\"\\\"{field}\\\":\");\n\
+             \x20       ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+        ));
+    }
+    out.push_str("        out.push('}');\n    }\n}\n");
+    out.parse().expect("generated impl must parse")
+}
+
+/// Finds `struct <Name> { ... }` in the derive input; returns the name and
+/// the brace-group token stream of the body.
+fn parse_struct(tokens: &[TokenTree]) -> Option<(String, TokenStream)> {
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return None,
+                };
+                // The body is the next brace group (no generics in this
+                // workspace's derived types).
+                for tt in &tokens[i + 2..] {
+                    if let TokenTree::Group(g) = tt {
+                        if g.delimiter() == Delimiter::Brace {
+                            return Some((name, g.stream()));
+                        }
+                    }
+                }
+                return None;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Extracts field names from a named-field struct body, skipping
+/// attributes and visibility modifiers, and tracking `<`/`>` depth so
+/// commas inside generic types don't split fields.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes: `#` followed by a bracket group.
+        while i + 1 < tokens.len() {
+            let is_attr = matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == '#')
+                && matches!(&tokens[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket);
+            if is_attr {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        // Skip visibility: `pub` optionally followed by `(...)`.
+        if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        // Field name.
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        // Skip to the comma that ends this field (depth-aware for `<...>`).
+        let mut depth = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
