@@ -4,7 +4,7 @@
 
 use hplai_core::critical::{critical_time, CriticalConfig};
 use hplai_core::{frontier, summit, ProcessGrid, SystemSpec};
-use mxp_bench::{gflops, Table};
+use mxp_bench::{gflops, secs, Table};
 use mxp_msgsim::BcastAlgo;
 
 #[allow(clippy::too_many_arguments)]
@@ -29,7 +29,13 @@ fn sweep(
                 ..CriticalConfig::new(n_l * p, b, grid, algo)
             },
         );
-        t.row(&[&label, &(p * p), &b, &gflops(out.perf.gflops_per_gcd)]);
+        t.row(&[
+            &label,
+            &(p * p),
+            &b,
+            &gflops(out.perf.gflops_per_gcd),
+            &secs(out.perf.overlap_hidden),
+        ]);
     }
 }
 
@@ -37,7 +43,7 @@ fn main() {
     let mut t = Table::new(
         "Total performance vs B with distinct communication layouts",
         "Fig. 4",
-        &["config", "GCDs", "B", "GFLOPS/GCD"],
+        &["config", "GCDs", "B", "GFLOPS/GCD", "hidden s"],
     );
 
     let s = summit();

@@ -4,11 +4,18 @@
 //! the paper's headline deltas.
 
 use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::report::PerfReport;
 use hplai_core::{frontier, summit, ProcessGrid, SystemSpec};
 use mxp_bench::{gflops, Table};
 use mxp_msgsim::BcastAlgo;
 
-fn perf(sys: &SystemSpec, grid: ProcessGrid, n_l: usize, b: usize, algo: BcastAlgo) -> f64 {
+fn report(
+    sys: &SystemSpec,
+    grid: ProcessGrid,
+    n_l: usize,
+    b: usize,
+    algo: BcastAlgo,
+) -> PerfReport {
     let p = grid.p_r;
     critical_time(
         sys,
@@ -18,14 +25,23 @@ fn perf(sys: &SystemSpec, grid: ProcessGrid, n_l: usize, b: usize, algo: BcastAl
         },
     )
     .perf
-    .gflops_per_gcd
+}
+
+fn perf(sys: &SystemSpec, grid: ProcessGrid, n_l: usize, b: usize, algo: BcastAlgo) -> f64 {
+    report(sys, grid, n_l, b, algo).gflops_per_gcd
+}
+
+/// Share of the panel-broadcast time hidden behind trailing-update GEMMs
+/// by the look-ahead pipeline, as a percentage of the factorization time.
+fn hidden_pct(r: &PerfReport) -> String {
+    format!("{:.1}%", 100.0 * r.overlap_hidden / r.factor_time)
 }
 
 fn main() {
     let mut t = Table::new(
         "Per-GCD GFLOPS across communication techniques and node grids",
         "Fig. 8",
-        &["system", "grid", "algo", "GFLOPS/GCD"],
+        &["system", "grid", "algo", "GFLOPS/GCD", "hidden"],
     );
 
     let s = summit();
@@ -36,11 +52,13 @@ fn main() {
     ];
     for (gname, grid) in summit_grids {
         for algo in BcastAlgo::ALL {
+            let r = report(&s, grid, 61440, 768, algo);
             t.row(&[
                 &"Summit",
                 &gname,
                 &algo.label(),
-                &gflops(perf(&s, grid, 61440, 768, algo)),
+                &gflops(r.gflops_per_gcd),
+                &hidden_pct(&r),
             ]);
         }
     }
@@ -53,11 +71,13 @@ fn main() {
     ];
     for (gname, grid) in frontier_grids {
         for algo in BcastAlgo::ALL {
+            let r = report(&f, grid, 119808, 3072, algo);
             t.row(&[
                 &"Frontier",
                 &gname,
                 &algo.label(),
-                &gflops(perf(&f, grid, 119808, 3072, algo)),
+                &gflops(r.gflops_per_gcd),
+                &hidden_pct(&r),
             ]);
         }
     }

@@ -73,6 +73,10 @@ pub struct CriticalIter {
     pub pbcast: f64,
     /// Trailing GEMM time.
     pub gemm: f64,
+    /// Modeled broadcast time hidden under the remainder GEMM:
+    /// `overlap · min(pbcast, gemm_rem)` (0 without look-ahead) — the
+    /// model-side counterpart of the measured `IterRecord::hidden`.
+    pub hidden: f64,
     /// Contribution of this iteration to the total (after overlap).
     pub total: f64,
 }
@@ -121,6 +125,7 @@ pub fn critical_time(sys: &SystemSpec, cfg: &CriticalConfig) -> CriticalOutcome 
     let recv_o = 0.5e-6;
 
     let mut factor_time = 0.0;
+    let mut hidden_total = 0.0;
     let mut busy_gemm = 0.0;
     let mut busy_fp32 = 0.0;
     let mut busy_mem = 0.0;
@@ -182,26 +187,28 @@ pub fn critical_time(sys: &SystemSpec, cfg: &CriticalConfig) -> CriticalOutcome 
             0.0
         };
 
-        let total = if cfg.lookahead {
-            // The strips are carved *out of* the previous update (same
-            // flops, two extra thin launches); the remainder then overlaps
-            // the panel broadcast (§IV-B).
-            let strips = if n_loc > 0 || m_loc > 0 {
-                (dev.gemm_mixed_time(b.min(m_loc + b), n_loc.max(1), b, n_l)
-                    + dev.gemm_mixed_time(m_loc.max(1), b.min(n_loc + b), b, n_l))
-                    * slow
-            } else {
-                0.0
-            };
-            let strips = strips.min(gemm);
-            let gemm_rem = (gemm - strips + 2.0 * dev.launch_overhead * slow).max(0.0);
-            let overlapped =
-                pbcast.max(gemm_rem) + (1.0 - cfg.overlap.clamp(0.0, 1.0)) * pbcast.min(gemm_rem);
-            strips + getrf + dbcast + trsm + cast + overlapped
+        let (total, hidden) = if cfg.lookahead {
+            // Only the panel-owner row/column applies the urgent strips
+            // (thin launches at strip rates), and that work pipelines
+            // against every other rank's remainder GEMM — a rank is a strip
+            // owner for 1/P_r (row strip) or 1/P_c (column strip) of the
+            // iterations, so the critical path carries the *average* strip
+            // share, not the whole pair. The remainder then overlaps the
+            // posted panel broadcasts (§IV-B).
+            let m_prev = m_loc + b;
+            let n_prev = n_loc + b;
+            let strip_row = dev.gemm_mixed_time(b.min(m_prev), n_prev, b, n_l) * slow;
+            let strip_col = dev.gemm_mixed_time(m_loc.max(1), b.min(n_prev), b, n_l) * slow;
+            let strips = strip_row / grid.p_r as f64 + strip_col / grid.p_c as f64;
+            let gemm_rem = (gemm - strips).max(0.0);
+            let hidden = cfg.overlap.clamp(0.0, 1.0) * pbcast.min(gemm_rem);
+            let overlapped = pbcast.max(gemm_rem) + pbcast.min(gemm_rem) - hidden;
+            (strips + getrf + dbcast + trsm + cast + overlapped, hidden)
         } else {
-            getrf + dbcast + trsm + cast + pbcast + gemm
+            (getrf + dbcast + trsm + cast + pbcast + gemm, 0.0)
         };
         factor_time += total;
+        hidden_total += hidden;
         busy_gemm += gemm;
         busy_fp32 += getrf + trsm;
         busy_mem += cast;
@@ -213,6 +220,7 @@ pub fn critical_time(sys: &SystemSpec, cfg: &CriticalConfig) -> CriticalOutcome 
             cast,
             pbcast,
             gemm,
+            hidden,
             total,
         });
     }
@@ -225,7 +233,8 @@ pub fn critical_time(sys: &SystemSpec, cfg: &CriticalConfig) -> CriticalOutcome 
     );
     let flops_per_gcd = crate::metrics::hplai_flops(cfg.n) / grid.size() as f64;
     CriticalOutcome {
-        perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time),
+        perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time)
+            .with_overlap(hidden_total),
         gflops_per_watt: energy.gflops_per_watt(flops_per_gcd, runtime),
         energy,
         iters,

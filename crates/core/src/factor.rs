@@ -25,7 +25,7 @@ use crate::systems::SystemSpec;
 use mxp_blas::{Diag, Side, Uplo};
 use mxp_gpusim::{BlasShim, GcdModel, GcdSpeed, Workspace};
 use mxp_lcg::{MatrixGen, MatrixKind};
-use mxp_msgsim::{BcastAlgo, Comm, Group};
+use mxp_msgsim::{BcastAlgo, BcastRequest, Comm, Group};
 
 /// Execution fidelity of the driver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,8 +68,15 @@ pub struct IterRecord {
     pub cast: f64,
     /// Simulated seconds in trailing GEMM (strips + remainder).
     pub gemm: f64,
+    /// Simulated seconds busy in panel broadcasts (injection and
+    /// forwarding overheads; excludes idle time, which lands in `wait`).
+    pub bcast: f64,
     /// Simulated seconds spent waiting on communication.
     pub wait: f64,
+    /// Panel-transfer flight seconds covered by local work between the
+    /// broadcast post and its join — the overlap the look-ahead pipeline
+    /// actually earned (not additional busy time; never part of totals).
+    pub hidden: f64,
 }
 
 /// Result of the factorization on one rank.
@@ -82,24 +89,80 @@ pub struct FactorOutput {
     pub elapsed: f64,
 }
 
+/// One buffer of the double-buffered panel storage: either the panel data
+/// is resident, or its split-phase broadcast is still in flight.
+enum PanelSlot {
+    /// Panel resident on this rank.
+    Ready(PanelData),
+    /// Root that already holds its data but still owes the collective a
+    /// join (deferred-injection vendor `MPI_Ibcast`).
+    RootInFlight(PanelData, BcastRequest<PanelMsg>),
+    /// Receiver whose posted broadcast has not been joined yet — the
+    /// transfer is riding under whatever compute happens meanwhile.
+    InFlight(BcastRequest<PanelMsg>),
+}
+
+impl PanelSlot {
+    /// The resident panel; panics if the broadcast was never joined.
+    fn data(&self) -> &PanelData {
+        match self {
+            PanelSlot::Ready(d) => d,
+            _ => panic!("panel still in flight: join the broadcast first"),
+        }
+    }
+}
+
+/// Completes a slot's pending broadcast (no-op when already resident),
+/// charging join time to `rec.bcast`/`rec.hidden` when a record is given.
+fn resolve_slot(
+    comm: &mut Comm<PanelMsg>,
+    group: &mut Group,
+    slot: &mut PanelSlot,
+    fidelity: Fidelity,
+    extent: usize,
+    prec: TrailingPrecision,
+    rec: Option<&mut IterRecord>,
+) {
+    let cur = std::mem::replace(slot, PanelSlot::Ready(PanelData::empty(prec)));
+    *slot = match cur {
+        PanelSlot::Ready(d) => PanelSlot::Ready(d),
+        PanelSlot::RootInFlight(d, req) => {
+            let t0 = comm.now();
+            let w0 = comm.wait_total();
+            let (_, info) = group.ibcast_join(comm, req);
+            if let Some(r) = rec {
+                r.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
+                r.hidden += info.hidden;
+            }
+            PanelSlot::Ready(d)
+        }
+        PanelSlot::InFlight(req) => {
+            let t0 = comm.now();
+            let w0 = comm.wait_total();
+            let (got, info) = group.ibcast_join(comm, req);
+            if let Some(r) = rec {
+                r.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
+                r.hidden += info.hidden;
+            }
+            PanelSlot::Ready(unpack_panel(got, fidelity, extent, prec))
+        }
+    };
+}
+
 /// Panels carried across iterations by the look-ahead pipeline.
 ///
-/// On broadcast roots the data is held immediately; on receivers it stays
-/// `None` until the next iteration *fetches* it by joining the (already
-/// posted) collective — that deferral is what lets the panel transfer
-/// overlap the remainder GEMM in the LogP clocks, exactly the §IV-B
-/// schedule.
+/// On broadcast roots the data is held immediately; on receivers the slot
+/// stays [`PanelSlot::InFlight`] until the next iteration joins the
+/// (already posted) collective — that deferral is what lets the panel
+/// transfer overlap the remainder GEMM in the LogP clocks, exactly the
+/// §IV-B schedule.
 struct Panels {
     /// Iteration that produced them.
     k: usize,
-    /// `L` panel: trailing-rows × B, tight (`None` = fetch later).
-    l16: Option<PanelData>,
+    /// `L` panel: trailing-rows × B, tight.
+    l: PanelSlot,
     /// Transposed `U` panel: trailing-cols × B, tight.
-    u16t: Option<PanelData>,
-    /// Group index of the L-broadcast root (the column-k member).
-    l_root: usize,
-    /// Group index of the U-broadcast root (the row-k member).
-    u_root: usize,
+    u: PanelSlot,
     /// Trailing extent the panels cover.
     m_loc: usize,
     n_loc: usize,
@@ -176,28 +239,36 @@ pub fn factor(
         // ---- 1. Resolve the previous panels, then strip updates ---------
         // Receivers join the broadcasts the roots posted last iteration;
         // roots already hold their panels. The panels have therefore been
-        // in flight during the previous remainder GEMM.
+        // in flight during the previous remainder GEMM, and the join
+        // reports how much of the transfer that compute actually hid.
         if let Some(p) = prev.as_mut() {
             debug_assert!(cfg.lookahead && p.k + 1 == k);
-            let elem = cfg.prec.bytes_per_elem();
-            if p.u16t.is_none() {
-                comm.set_default_sharers(grid.sharers_col());
-                let got =
-                    col_group.bcast(comm, p.u_root, None, elem * (p.n_loc * b) as u64, cfg.algo);
-                p.u16t = Some(unpack_panel(got, cfg.fidelity, p.n_loc, cfg.prec));
-            }
-            if p.l16.is_none() {
-                comm.set_default_sharers(grid.sharers_row());
-                let got =
-                    row_group.bcast(comm, p.l_root, None, elem * (p.m_loc * b) as u64, cfg.algo);
-                p.l16 = Some(unpack_panel(got, cfg.fidelity, p.m_loc, cfg.prec));
-            }
+            comm.set_default_sharers(grid.sharers_col());
+            resolve_slot(
+                comm,
+                &mut col_group,
+                &mut p.u,
+                cfg.fidelity,
+                p.n_loc,
+                cfg.prec,
+                Some(&mut rec),
+            );
+            comm.set_default_sharers(grid.sharers_row());
+            resolve_slot(
+                comm,
+                &mut row_group,
+                &mut p.l,
+                cfg.fidelity,
+                p.m_loc,
+                cfg.prec,
+                Some(&mut rec),
+            );
         }
         if let Some(p) = prev.as_ref() {
             let lr_prev = trailing_row(grid, my_r, p.k, b);
             let lc_prev = trailing_col(grid, my_c, p.k, b);
-            let l_prev = p.l16.as_ref().expect("resolved above");
-            let u_prev = p.u16t.as_ref().expect("resolved above");
+            let l_prev = p.l.data();
+            let u_prev = p.u.data();
             if in_row && p.n_loc > 0 {
                 // Row strip: the B rows of block k × all trailing columns.
                 rec.gemm += gemm_update(
@@ -353,40 +424,88 @@ pub fn factor(
         }
 
         // ---- 4. Panel broadcasts ----------------------------------------
-        // Roots post their broadcast now; with look-ahead, receivers defer
-        // joining until the next iteration (overlapping the transfer with
-        // the remainder GEMM below). Without look-ahead everyone joins now.
+        // With look-ahead every rank posts a split-phase broadcast: roots
+        // inject now (the panel leaves while they compute on), receivers
+        // keep an in-flight request and join next iteration, after the
+        // remainder GEMM below has covered the flight time. Without
+        // look-ahead everyone completes the collective immediately.
         let elem = cfg.prec.bytes_per_elem();
         let u_bytes = elem * (n_loc * b) as u64;
         let l_bytes = elem * (m_loc * b) as u64;
-        let mut u16t: Option<PanelData> = None;
-        let mut l16: Option<PanelData> = None;
         comm.set_default_sharers(grid.sharers_col());
-        if in_row {
-            let payload = match &u16t_mine {
-                Some(u) => PanelMsg::Panel(u.clone()),
-                None => PanelMsg::Empty,
-            };
-            let got = col_group.bcast(comm, kr, Some(payload), u_bytes, cfg.algo);
-            let _ = got;
-            u16t = Some(u16t_mine.unwrap_or_else(|| PanelData::empty(cfg.prec)));
-        } else if !cfg.lookahead {
-            let got = col_group.bcast(comm, kr, None, u_bytes, cfg.algo);
-            u16t = Some(unpack_panel(got, cfg.fidelity, n_loc, cfg.prec));
-        }
+        let u_payload = in_row.then(|| match &u16t_mine {
+            Some(u) => PanelMsg::Panel(u.clone()),
+            None => PanelMsg::Empty,
+        });
+        let u_slot = if cfg.lookahead {
+            let t0 = comm.now();
+            let req = col_group.ibcast(comm, kr, u_payload, u_bytes, cfg.algo);
+            rec.bcast += comm.now() - t0;
+            if in_row {
+                let mine = u16t_mine
+                    .take()
+                    .unwrap_or_else(|| PanelData::empty(cfg.prec));
+                if req.is_resolved() {
+                    let _ = col_group.ibcast_join(comm, req);
+                    PanelSlot::Ready(mine)
+                } else {
+                    PanelSlot::RootInFlight(mine, req)
+                }
+            } else {
+                PanelSlot::InFlight(req)
+            }
+        } else {
+            let t0 = comm.now();
+            let w0 = comm.wait_total();
+            let got = col_group.bcast(comm, kr, u_payload, u_bytes, cfg.algo);
+            rec.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
+            if in_row {
+                PanelSlot::Ready(
+                    u16t_mine
+                        .take()
+                        .unwrap_or_else(|| PanelData::empty(cfg.prec)),
+                )
+            } else {
+                PanelSlot::Ready(unpack_panel(got, cfg.fidelity, n_loc, cfg.prec))
+            }
+        };
         comm.set_default_sharers(grid.sharers_row());
-        if in_col {
-            let payload = match &l16_mine {
-                Some(l) => PanelMsg::Panel(l.clone()),
-                None => PanelMsg::Empty,
-            };
-            let got = row_group.bcast(comm, kc, Some(payload), l_bytes, cfg.algo);
-            let _ = got;
-            l16 = Some(l16_mine.unwrap_or_else(|| PanelData::empty(cfg.prec)));
-        } else if !cfg.lookahead {
-            let got = row_group.bcast(comm, kc, None, l_bytes, cfg.algo);
-            l16 = Some(unpack_panel(got, cfg.fidelity, m_loc, cfg.prec));
-        }
+        let l_payload = in_col.then(|| match &l16_mine {
+            Some(l) => PanelMsg::Panel(l.clone()),
+            None => PanelMsg::Empty,
+        });
+        let l_slot = if cfg.lookahead {
+            let t0 = comm.now();
+            let req = row_group.ibcast(comm, kc, l_payload, l_bytes, cfg.algo);
+            rec.bcast += comm.now() - t0;
+            if in_col {
+                let mine = l16_mine
+                    .take()
+                    .unwrap_or_else(|| PanelData::empty(cfg.prec));
+                if req.is_resolved() {
+                    let _ = row_group.ibcast_join(comm, req);
+                    PanelSlot::Ready(mine)
+                } else {
+                    PanelSlot::RootInFlight(mine, req)
+                }
+            } else {
+                PanelSlot::InFlight(req)
+            }
+        } else {
+            let t0 = comm.now();
+            let w0 = comm.wait_total();
+            let got = row_group.bcast(comm, kc, l_payload, l_bytes, cfg.algo);
+            rec.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
+            if in_col {
+                PanelSlot::Ready(
+                    l16_mine
+                        .take()
+                        .unwrap_or_else(|| PanelData::empty(cfg.prec)),
+                )
+            } else {
+                PanelSlot::Ready(unpack_panel(got, cfg.fidelity, m_loc, cfg.prec))
+            }
+        };
 
         // ---- 5. Trailing update -----------------------------------------
         if cfg.lookahead {
@@ -407,10 +526,10 @@ pub fn factor(
                         lc_k,
                         m_loc,
                         n_loc,
-                        p.l16.as_ref().expect("resolved"),
+                        p.l.data(),
                         lr_k - lr_prev,
                         p.m_loc,
-                        p.u16t.as_ref().expect("resolved"),
+                        p.u.data(),
                         lc_k - lc_prev,
                         p.n_loc,
                         b,
@@ -420,10 +539,8 @@ pub fn factor(
             }
             prev = Some(Panels {
                 k,
-                l16,
-                u16t,
-                l_root: kc,
-                u_root: kr,
+                l: l_slot,
+                u: u_slot,
                 m_loc,
                 n_loc,
             });
@@ -439,10 +556,10 @@ pub fn factor(
                 lc_k,
                 m_loc,
                 n_loc,
-                l16.as_ref().expect("joined above"),
+                l_slot.data(),
                 0,
                 m_loc,
-                u16t.as_ref().expect("joined above"),
+                u_slot.data(),
                 0,
                 n_loc,
                 b,
@@ -455,16 +572,29 @@ pub fn factor(
     }
     // Look-ahead leaves the last panels pending; their trailing region is
     // empty (k = n_b - 1 has no blocks after it), so nothing to flush.
-    // Receivers that deferred joining the final (zero-extent) broadcasts
-    // must still join them so every posted message is consumed.
+    // Ranks still owing a join on the final (zero-extent) broadcasts must
+    // complete it so every posted message is consumed.
     if let Some(p) = prev.as_mut() {
-        let elem = cfg.prec.bytes_per_elem();
-        if p.u16t.is_none() {
-            let _ = col_group.bcast(comm, p.u_root, None, elem * (p.n_loc * b) as u64, cfg.algo);
-        }
-        if p.l16.is_none() {
-            let _ = row_group.bcast(comm, p.l_root, None, elem * (p.m_loc * b) as u64, cfg.algo);
-        }
+        comm.set_default_sharers(grid.sharers_col());
+        resolve_slot(
+            comm,
+            &mut col_group,
+            &mut p.u,
+            cfg.fidelity,
+            p.n_loc,
+            cfg.prec,
+            records.last_mut(),
+        );
+        comm.set_default_sharers(grid.sharers_row());
+        resolve_slot(
+            comm,
+            &mut row_group,
+            &mut p.l,
+            cfg.fidelity,
+            p.m_loc,
+            cfg.prec,
+            records.last_mut(),
+        );
     }
 
     // Copy factors back to the host for iterative refinement (§III-C).

@@ -69,7 +69,7 @@ pub use metrics::{gflops_per_gcd, hplai_flops, parallel_efficiency};
 pub use msg::{PanelData, PanelMsg, TrailingPrecision};
 pub use report::PerfReport;
 pub use solve::{
-    adjust_n, run, run_sequence, ConfigError, RunConfig, RunConfigBuilder, RunOutcome,
+    adjust_n, run, run_sequence, try_adjust_n, ConfigError, RunConfig, RunConfigBuilder, RunOutcome,
 };
 pub use supervisor::{RecoveryPolicy, RunEvent, SupervisedOutcome, Supervisor};
 pub use systems::{frontier, summit, testbed, SystemSpec};

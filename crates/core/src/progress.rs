@@ -134,14 +134,16 @@ impl ProgressMonitor {
             return None;
         }
         Some(format!(
-            "iter {:>6}/{:<6} getrf {:>9.3}ms trsm {:>9.3}ms cast {:>9.3}ms gemm {:>9.3}ms wait {:>9.3}ms",
+            "iter {:>6}/{:<6} getrf {:>9.3}ms trsm {:>9.3}ms cast {:>9.3}ms gemm {:>9.3}ms bcast {:>9.3}ms wait {:>9.3}ms hidden {:>9.3}ms",
             rec.k,
             n_b,
             rec.getrf * 1e3,
             rec.trsm * 1e3,
             rec.cast * 1e3,
             rec.gemm * 1e3,
+            rec.bcast * 1e3,
             rec.wait * 1e3,
+            rec.hidden * 1e3,
         ))
     }
 }

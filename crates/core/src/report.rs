@@ -22,6 +22,9 @@ pub struct PerfReport {
     pub gflops_per_gcd: f64,
     /// Whole-run EFLOPS (the headline mixed-precision number).
     pub eflops: f64,
+    /// Mean per-rank panel-transfer seconds hidden under compute by the
+    /// look-ahead pipeline (0.0 when look-ahead is off or unmeasured).
+    pub overlap_hidden: f64,
 }
 
 impl PerfReport {
@@ -34,7 +37,14 @@ impl PerfReport {
             ir_time,
             gflops_per_gcd: gflops_per_gcd(n, p_total, runtime),
             eflops: eflops(n, runtime),
+            overlap_hidden: 0.0,
         }
+    }
+
+    /// Attaches the measured communication/computation overlap.
+    pub fn with_overlap(mut self, hidden: f64) -> Self {
+        self.overlap_hidden = hidden;
+        self
     }
 
     /// The same run scaled by a runtime multiplier (warm-up / thermal
@@ -47,6 +57,7 @@ impl PerfReport {
             self.factor_time * mult,
             self.ir_time * mult,
         )
+        .with_overlap(self.overlap_hidden * mult)
     }
 
     /// Single-line human summary.

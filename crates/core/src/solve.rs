@@ -349,8 +349,15 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     let factor_time = results.iter().map(|r| r.factor).fold(0.0, f64::max);
     let ir_time = results.iter().map(|r| r.ir).fold(0.0, f64::max);
     let converged = results.iter().all(|r| r.converged);
+    // Mean per-rank overlap earned by the look-ahead pipeline.
+    let hidden = results
+        .iter()
+        .map(|r| r.records.iter().map(|rec| rec.hidden).sum::<f64>())
+        .sum::<f64>()
+        / results.len() as f64;
     RunOutcome {
-        perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time),
+        perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time)
+            .with_overlap(hidden),
         converged,
         scaled_residual: results[0].scaled,
         ir_iters: results[0].ir_iters,
@@ -361,13 +368,34 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
 /// Rounds a requested problem size up to the nearest valid `N` — "the size
 /// of A is determined by N and adjusted to a multiple of P_r, P_c and B"
 /// (§III-C): the block count must divide evenly into both grid dimensions.
+///
+/// Panics on grid×block combinations whose rounding quantum (or the
+/// rounded size itself) overflows `usize`; use [`try_adjust_n`] to handle
+/// adversarial inputs gracefully.
 pub fn adjust_n(requested: usize, grid: &ProcessGrid, b: usize) -> usize {
-    let quantum = b * lcm(grid.p_r, grid.p_c);
-    requested.div_ceil(quantum).max(1) * quantum
+    try_adjust_n(requested, grid, b).unwrap_or_else(|| {
+        panic!(
+            "adjust_n overflow: B = {b} with a {}x{} grid has no representable valid N >= {requested}",
+            grid.p_r, grid.p_c
+        )
+    })
 }
 
-fn lcm(a: usize, b: usize) -> usize {
-    a / gcd(a, b) * b
+/// [`adjust_n`] returning `None` when the quantum `B·lcm(P_r, P_c)` or the
+/// rounded size overflows, instead of wrapping silently.
+pub fn try_adjust_n(requested: usize, grid: &ProcessGrid, b: usize) -> Option<usize> {
+    let quantum = b.checked_mul(checked_lcm(grid.p_r, grid.p_c)?)?;
+    if quantum == 0 {
+        return None;
+    }
+    requested.div_ceil(quantum).max(1).checked_mul(quantum)
+}
+
+fn checked_lcm(a: usize, b: usize) -> Option<usize> {
+    if a == 0 || b == 0 {
+        return None;
+    }
+    (a / gcd(a, b)).checked_mul(b)
 }
 
 fn gcd(mut a: usize, mut b: usize) -> usize {
@@ -460,6 +488,32 @@ mod tests {
             let quantum = 32 * 12;
             assert!(n - quantum < req || n == quantum);
         }
+    }
+
+    #[test]
+    fn adjust_n_overflow_is_detected_not_wrapped() {
+        // Regression: `adjust_n` used an unchecked `b * lcm(p_r, p_c)`;
+        // with a huge block size the quantum wrapped around and the
+        // "rounded" N came out tiny (and not a multiple of anything). The
+        // checked path must refuse instead.
+        let grid = ProcessGrid::col_major(6, 4, 6); // lcm = 12
+        let huge_b = usize::MAX / 4;
+        assert_eq!(try_adjust_n(1024, &grid, huge_b), None);
+        // Quantum fits but rounding up past the request overflows.
+        assert_eq!(try_adjust_n(usize::MAX, &grid, 1 << 40), None);
+        // Degenerate zero block size has no valid N either.
+        assert_eq!(try_adjust_n(1024, &grid, 0), None);
+        // The checked and panicking paths agree wherever both are defined.
+        for req in [1usize, 999, 123_456] {
+            assert_eq!(try_adjust_n(req, &grid, 32), Some(adjust_n(req, &grid, 32)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "adjust_n overflow")]
+    fn adjust_n_panics_with_context_on_overflow() {
+        let grid = ProcessGrid::col_major(6, 4, 6);
+        adjust_n(1024, &grid, usize::MAX / 4);
     }
 
     #[test]

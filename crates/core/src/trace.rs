@@ -22,8 +22,14 @@ pub struct PhaseTotals {
     pub cast: f64,
     /// Total trailing-GEMM seconds.
     pub gemm: f64,
+    /// Total panel-broadcast busy seconds (injection + forwarding).
+    pub bcast: f64,
     /// Total communication-wait seconds.
     pub wait: f64,
+    /// Total overlap-hidden seconds: panel flight time covered by local
+    /// work between broadcast post and join. Attribution, not wall time —
+    /// excluded from [`PhaseTotals::total`].
+    pub hidden: f64,
 }
 
 impl PhaseTotals {
@@ -35,14 +41,17 @@ impl PhaseTotals {
             t.trsm += r.trsm;
             t.cast += r.cast;
             t.gemm += r.gemm;
+            t.bcast += r.bcast;
             t.wait += r.wait;
+            t.hidden += r.hidden;
         }
         t
     }
 
-    /// Total accounted seconds.
+    /// Total accounted seconds (`hidden` is overlap attribution, already
+    /// covered by compute time, so it is not part of the sum).
     pub fn total(&self) -> f64 {
-        self.getrf + self.trsm + self.cast + self.gemm + self.wait
+        self.getrf + self.trsm + self.cast + self.gemm + self.bcast + self.wait
     }
 
     /// Fraction of accounted time spent in the trailing GEMM — the
@@ -72,6 +81,7 @@ pub fn chrome_trace(records: &[IterRecord], rank: usize) -> String {
             ("cast", rec.cast, 2),
             ("gemm", rec.gemm, 3),
             ("wait", rec.wait, 4),
+            ("bcast", rec.bcast, 5),
         ] {
             if dur <= 0.0 {
                 continue;
@@ -88,6 +98,20 @@ pub fn chrome_trace(records: &[IterRecord], rank: usize) -> String {
                 dur = dur * 1e6,
             );
             t_us += dur * 1e6;
+        }
+        // Overlap-hidden seconds as a counter series: not wall time (the
+        // compute lanes already cover it), so a "C" event, not an "X" span.
+        if rec.hidden > 0.0 {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                r#"  {{"name":"overlap_hidden_us","ph":"C","ts":{ts:.3},"pid":0,"args":{{"hidden":{h:.3}}}}}"#,
+                ts = t_us,
+                h = rec.hidden * 1e6,
+            );
         }
     }
     out.push_str("\n]\n");
@@ -122,7 +146,9 @@ pub fn summary(records: &[IterRecord]) -> String {
          \x20 trsm  {:>9.3} ms ({:>5.1}%)\n\
          \x20 cast  {:>9.3} ms ({:>5.1}%)\n\
          \x20 gemm  {:>9.3} ms ({:>5.1}%)\n\
-         \x20 wait  {:>9.3} ms ({:>5.1}%)\n",
+         \x20 bcast {:>9.3} ms ({:>5.1}%)\n\
+         \x20 wait  {:>9.3} ms ({:>5.1}%)\n\
+         \x20 hidden overlap {:>9.3} ms (excluded from totals)\n",
         records.len(),
         t.total(),
         t.getrf * 1e3,
@@ -133,8 +159,11 @@ pub fn summary(records: &[IterRecord]) -> String {
         pct(t.cast),
         t.gemm * 1e3,
         pct(t.gemm),
+        t.bcast * 1e3,
+        pct(t.bcast),
         t.wait * 1e3,
         pct(t.wait),
+        t.hidden * 1e3,
     )
 }
 
@@ -151,6 +180,7 @@ mod tests {
                 cast: 0.0005,
                 gemm: 0.01,
                 wait: 0.0,
+                ..Default::default()
             },
             IterRecord {
                 k: 1,
@@ -159,6 +189,8 @@ mod tests {
                 cast: 0.0005,
                 gemm: 0.008,
                 wait: 0.003,
+                bcast: 0.001,
+                hidden: 0.002,
             },
         ]
     }
@@ -168,7 +200,10 @@ mod tests {
         let t = PhaseTotals::from_records(&sample());
         assert!((t.getrf - 0.001).abs() < 1e-12);
         assert!((t.gemm - 0.018).abs() < 1e-12);
-        assert!((t.total() - 0.027).abs() < 1e-12);
+        assert!((t.bcast - 0.001).abs() < 1e-12);
+        assert!((t.total() - 0.028).abs() < 1e-12);
+        // Hidden overlap is tracked but never part of the accounted total.
+        assert!((t.hidden - 0.002).abs() < 1e-12);
         assert!(t.gemm_fraction() > 0.6);
     }
 
@@ -184,8 +219,8 @@ mod tests {
         let json = chrome_trace(&sample(), 0);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         let events = parsed.as_array().unwrap();
-        // 4 nonzero components in iter 0 + 4 in iter 1.
-        assert_eq!(events.len(), 8);
+        // 4 nonzero spans in iter 0; 5 spans + 1 hidden counter in iter 1.
+        assert_eq!(events.len(), 10);
         assert_eq!(events[0]["name"], "getrf");
         assert_eq!(events[0]["ph"], "X");
         // Events are laid out without overlap: ts nondecreasing.
@@ -200,7 +235,7 @@ mod tests {
     #[test]
     fn summary_mentions_every_phase() {
         let s = summary(&sample());
-        for phase in ["getrf", "trsm", "cast", "gemm", "wait"] {
+        for phase in ["getrf", "trsm", "cast", "gemm", "bcast", "wait", "hidden"] {
             assert!(s.contains(phase), "missing {phase} in:\n{s}");
         }
     }

@@ -155,10 +155,53 @@ pub struct PendingBcast<M> {
     sends_done: bool,
 }
 
+/// Completion bookkeeping of a split-phase broadcast (the collective
+/// analogue of [`crate::RecvInfo`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BcastInfo {
+    /// Simulated seconds idled inside the join.
+    pub waited: f64,
+    /// Transfer flight time covered by local work between post and join —
+    /// the overlap the §IV-B look-ahead pipeline exists to create.
+    pub hidden: f64,
+}
+
+/// Handle for a split-phase broadcast posted with [`Group::ibcast`]: the
+/// root injects what it can at post time, receivers defer their part of
+/// the algorithm to [`Group::ibcast_join`] so the transfer rides under
+/// whatever local work happens in between.
+pub struct BcastRequest<M> {
+    algo: BcastAlgo,
+    root_idx: usize,
+    bytes: u64,
+    tag: u32,
+    tag2: u32,
+    posted_at: f64,
+    /// Payload already in hand at post time (root, single-member group).
+    resolved: Option<M>,
+    /// Root payload whose injection is deferred to the join (vendor
+    /// `MPI_Ibcast` without asynchronous progress).
+    deferred: Option<M>,
+}
+
+impl<M> BcastRequest<M> {
+    /// Simulated time the broadcast was posted.
+    pub fn posted_at(&self) -> f64 {
+        self.posted_at
+    }
+
+    /// `true` if this rank already holds the payload (no join work left
+    /// beyond bookkeeping).
+    pub fn is_resolved(&self) -> bool {
+        self.resolved.is_some()
+    }
+}
+
 impl Group {
     /// Blocking broadcast from group member `root_idx`. The root passes
     /// `Some(msg)`; everyone receives the value. All members must call with
-    /// the same `algo` and `bytes`.
+    /// the same `algo` and `bytes`. Equivalent to an [`Group::ibcast`]
+    /// joined immediately.
     pub fn bcast<M: Clone + Default + Send + 'static>(
         &mut self,
         comm: &mut Comm<M>,
@@ -167,19 +210,124 @@ impl Group {
         bytes: u64,
         algo: BcastAlgo,
     ) -> M {
-        match algo {
+        let req = self.ibcast(comm, root_idx, msg, bytes, algo);
+        self.ibcast_join(comm, req).0
+    }
+
+    /// Posts a split-phase broadcast. The root performs its part of the
+    /// algorithm now (its panels leave via DMA while it computes on);
+    /// receivers record the post time and do nothing until
+    /// [`Group::ibcast_join`] — any messages relayed through them are
+    /// forwarded at join time, modeling software-progress-at-wait exactly
+    /// like the vendor non-blocking collectives the paper measured.
+    pub fn ibcast<M: Clone + Default + Send + 'static>(
+        &mut self,
+        comm: &mut Comm<M>,
+        root_idx: usize,
+        msg: Option<M>,
+        bytes: u64,
+        algo: BcastAlgo,
+    ) -> BcastRequest<M> {
+        let tag = self.next_tag();
+        let tag2 = self.next_tag();
+        let mut req = BcastRequest {
+            algo,
+            root_idx,
+            bytes,
+            tag,
+            tag2,
+            posted_at: comm.now(),
+            resolved: None,
+            deferred: None,
+        };
+        if self.len() == 1 {
+            req.resolved = Some(msg.expect("single-member broadcast needs the payload"));
+            return req;
+        }
+        if self.my_idx() == root_idx {
+            match algo {
+                BcastAlgo::Lib => {
+                    req.resolved = Some(self.lib_bcast(comm, root_idx, msg, bytes, tag, 1.0));
+                }
+                BcastAlgo::IBcast => {
+                    let penalty = comm.spec().tuning.ibcast_penalty;
+                    if comm.spec().tuning.ibcast_async_progress {
+                        req.resolved =
+                            Some(self.lib_bcast(comm, root_idx, msg, bytes, tag, penalty));
+                    } else {
+                        req.deferred = msg;
+                    }
+                }
+                BcastAlgo::Ring1 => {
+                    req.resolved = Some(self.ring_bcast(comm, root_idx, msg, bytes, tag));
+                }
+                BcastAlgo::Ring1M => {
+                    req.resolved = Some(self.ring1m_bcast(comm, root_idx, msg, bytes, tag));
+                }
+                BcastAlgo::Ring2M => {
+                    req.resolved = Some(self.ring2m_bcast(comm, root_idx, msg, bytes, tag, tag2));
+                }
+            }
+        }
+        req
+    }
+
+    /// Completes a split-phase broadcast, returning the payload and the
+    /// overlap bookkeeping. Receivers run their part of the algorithm here
+    /// (receive, and forward where the topology needs them to), charged at
+    /// the join-time clock.
+    pub fn ibcast_join<M: Clone + Default + Send + 'static>(
+        &mut self,
+        comm: &mut Comm<M>,
+        req: BcastRequest<M>,
+    ) -> (M, BcastInfo) {
+        if let Some(m) = req.resolved {
+            return (m, BcastInfo::default());
+        }
+        let join_start = comm.now();
+        let wait0 = comm.wait_total();
+        let is_root = self.my_idx() == req.root_idx;
+        let m = match req.algo {
             BcastAlgo::Lib => {
-                let tag = self.next_tag();
-                self.lib_bcast(comm, root_idx, msg, bytes, tag, 1.0)
+                self.lib_bcast(comm, req.root_idx, req.deferred, req.bytes, req.tag, 1.0)
             }
             BcastAlgo::IBcast => {
-                let pending = self.ibcast_start(comm, root_idx, msg, bytes);
-                self.ibcast_wait(comm, pending)
+                let penalty = comm.spec().tuning.ibcast_penalty;
+                self.lib_bcast(
+                    comm,
+                    req.root_idx,
+                    req.deferred,
+                    req.bytes,
+                    req.tag,
+                    penalty,
+                )
             }
-            BcastAlgo::Ring1 => self.ring_bcast(comm, root_idx, msg, bytes, false),
-            BcastAlgo::Ring1M => self.ring1m_bcast(comm, root_idx, msg, bytes),
-            BcastAlgo::Ring2M => self.ring2m_bcast(comm, root_idx, msg, bytes),
-        }
+            BcastAlgo::Ring1 => {
+                self.ring_bcast(comm, req.root_idx, req.deferred, req.bytes, req.tag)
+            }
+            BcastAlgo::Ring1M => {
+                self.ring1m_bcast(comm, req.root_idx, req.deferred, req.bytes, req.tag)
+            }
+            BcastAlgo::Ring2M => self.ring2m_bcast(
+                comm,
+                req.root_idx,
+                req.deferred,
+                req.bytes,
+                req.tag,
+                req.tag2,
+            ),
+        };
+        let waited = comm.wait_total() - wait0;
+        // Overlap credit: the part of the flight time (post → last arrival)
+        // this rank spent on its own work instead of idling. A deferred
+        // root injects here without receiving, so it earns none.
+        let hidden = if is_root {
+            0.0
+        } else {
+            (join_start.min(comm.last_arrive()) - req.posted_at).max(0.0)
+        };
+        comm.credit_hidden(hidden);
+        (m, BcastInfo { waited, hidden })
     }
 
     /// Posts a non-blocking broadcast (`MPI_Ibcast`). With asynchronous
@@ -281,7 +429,16 @@ impl Group {
                 }
             }
             LibQuality::Binomial => {
-                // Emergent binomial tree over real point-to-point sends.
+                // Emergent binomial tree over real point-to-point sends. The
+                // vendor-IBcast software-progress penalty (> 1.0) dilates
+                // each forwarding hop: the library's progress engine costs
+                // extra cycles per message it pushes.
+                let hop_tax = if penalty > 1.0 {
+                    let wc = self.worst_cost(comm);
+                    (penalty - 1.0) * (comm.spec().send_overhead + bytes as f64 * wc.sec_per_byte)
+                } else {
+                    0.0
+                };
                 let vr = (self.my_idx() + g - root_idx) % g;
                 let to_world = |v: usize| self.member((v + root_idx) % g);
                 let mut held: Option<M> = if vr == 0 { msg } else { None };
@@ -298,6 +455,9 @@ impl Group {
                 let m = held.expect("binomial receive must precede forwarding");
                 while mask > 0 {
                     if vr + mask < g {
+                        if hop_tax > 0.0 {
+                            comm.charge(hop_tax);
+                        }
                         comm.send(to_world(vr + mask), tag, m.clone(), bytes);
                     }
                     mask >>= 1;
@@ -314,10 +474,9 @@ impl Group {
         root_idx: usize,
         msg: Option<M>,
         bytes: u64,
-        _modified: bool,
+        tag: u32,
     ) -> M {
         let g = self.len();
-        let tag = self.next_tag();
         if g == 1 {
             return msg.expect("single-member broadcast needs the payload");
         }
@@ -353,9 +512,9 @@ impl Group {
         root_idx: usize,
         msg: Option<M>,
         bytes: u64,
+        tag: u32,
     ) -> M {
         let g = self.len();
-        let tag = self.next_tag();
         if g <= 2 {
             return self.basic_chain(comm, root_idx, msg, bytes, tag);
         }
@@ -418,10 +577,10 @@ impl Group {
         root_idx: usize,
         msg: Option<M>,
         bytes: u64,
+        tag_cw: u32,
+        tag_ccw: u32,
     ) -> M {
         let g = self.len();
-        let tag_cw = self.next_tag();
-        let tag_ccw = self.next_tag();
         if g <= 2 {
             return self.basic_chain(comm, root_idx, msg, bytes, tag_cw);
         }
@@ -739,10 +898,12 @@ pub fn bcast_cost(
                 }
                 LibQuality::Binomial => {
                     let depth = (g as f64).log2().ceil();
-                    let hop = send_o + b * spb + lat + recv_o;
+                    // The IBcast software-progress penalty dilates the send
+                    // side of every hop; the wire latency is unaffected.
+                    let hop = penalty * (send_o + b * spb) + lat + recv_o;
                     // Root sends up to `depth` full messages back to back.
                     let busy = penalty * depth * (send_o + b * spb);
-                    (busy, penalty * depth * hop)
+                    (busy, depth * hop)
                 }
             }
         }
@@ -751,12 +912,22 @@ pub fn bcast_cost(
             let per_hop = send_o + chunk * spb + lat + recv_o;
             (busy, busy + (g - 2) as f64 * per_hop + lat + recv_o)
         }
+        BcastAlgo::Ring1M if g <= 2 => {
+            // The emergent algorithm degenerates to a single direct send.
+            let busy = send_o + b * spb;
+            (busy, busy + lat + recv_o)
+        }
         BcastAlgo::Ring1M => {
             // Root injects twice the volume; depth is halved.
             let busy = 2.0 * (chunks * send_o + b * spb);
             let per_hop = send_o + chunk * spb + lat + recv_o;
             let depth = (g as f64 / 2.0 - 1.0).max(0.0);
             (busy, busy + depth * per_hop + lat + recv_o)
+        }
+        BcastAlgo::Ring2M if g <= 2 => {
+            // The emergent algorithm degenerates to a single direct send.
+            let busy = send_o + b * spb;
+            (busy, busy + lat + recv_o)
         }
         BcastAlgo::Ring2M => {
             // Half the volume each way; depth ~ g/2 hops of half-chunks.

@@ -49,9 +49,11 @@
 pub mod collectives;
 pub mod fault;
 mod group;
+pub mod request;
 mod world;
 
-pub use collectives::{BcastAlgo, CollectiveTuning, PendingBcast};
+pub use collectives::{BcastAlgo, BcastInfo, BcastRequest, CollectiveTuning, PendingBcast};
 pub use fault::{LinkFault, LinkScope};
 pub use group::Group;
+pub use request::{RecvRequest, SendRequest};
 pub use world::{Comm, RecvInfo, WorldSpec};

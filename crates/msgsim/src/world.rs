@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use crate::collectives::CollectiveTuning;
 use crate::fault::{fault_effect, LinkFault};
+use crate::request::{RecvRequest, SendRequest};
 
 /// Description of a job: how many ranks, where each lives, and how the
 /// network behaves. Analogous to `mpirun` plus the machine file.
@@ -89,7 +90,10 @@ impl WorldSpec {
                         inbox: rx,
                         pending: Vec::new(),
                         clock: 0.0,
+                        nic_free: 0.0,
                         wait_total: 0.0,
+                        hidden_total: 0.0,
+                        last_arrive: 0.0,
                         bytes_sent: 0,
                         default_sharers: 1,
                     };
@@ -125,6 +129,10 @@ pub struct RecvInfo {
     pub bytes: u64,
     /// Simulated arrival timestamp of the message.
     pub arrived_at: f64,
+    /// Simulated seconds of the transfer's flight time covered by local
+    /// work between post and wait (0 for blocking receives) — the honest
+    /// measure of communication/computation overlap.
+    pub hidden: f64,
 }
 
 /// One rank's endpoint: point-to-point messaging plus the simulated clock.
@@ -135,7 +143,13 @@ pub struct Comm<M> {
     inbox: Receiver<Envelope<M>>,
     pending: Vec<Envelope<M>>,
     clock: f64,
+    /// Time the NIC finishes serializing the last posted (non-blocking)
+    /// injection — back-to-back `isend`s queue here instead of magically
+    /// parallelizing.
+    nic_free: f64,
     wait_total: f64,
+    hidden_total: f64,
+    last_arrive: f64,
     bytes_sent: u64,
     default_sharers: u32,
 }
@@ -177,6 +191,22 @@ impl<M: Send + 'static> Comm<M> {
         self.wait_total
     }
 
+    /// Accumulated overlap-hidden time: transfer flight time covered by
+    /// local work between a request's post and its wait (§IV-B look-ahead
+    /// earns its keep here).
+    #[inline]
+    pub fn hidden_total(&self) -> f64 {
+        self.hidden_total
+    }
+
+    /// Arrival timestamp of the most recently accepted message (0.0 before
+    /// any receive). Split-phase collectives use this to bound how much of
+    /// a deferred transfer was really in flight.
+    #[inline]
+    pub fn last_arrive(&self) -> f64 {
+        self.last_arrive
+    }
+
     /// Total bytes this rank has injected.
     #[inline]
     pub fn bytes_sent(&self) -> u64 {
@@ -207,6 +237,7 @@ impl<M: Send + 'static> Comm<M> {
             .p2p(self.spec.locs[self.rank], self.spec.locs[dst], sharers);
         let (extra_lat, bw_div) = fault_effect(&self.spec.faults, self.rank, dst, self.clock);
         self.clock += self.spec.send_overhead + bytes as f64 * cost.sec_per_byte * bw_div;
+        self.nic_free = self.nic_free.max(self.clock);
         self.bytes_sent += bytes;
         let env = Envelope {
             src: self.rank,
@@ -223,6 +254,129 @@ impl<M: Send + 'static> Comm<M> {
     /// Sends with the communicator's default sharers hint.
     pub fn send(&mut self, dst: usize, tag: u32, msg: M, bytes: u64) {
         self.send_with(dst, tag, msg, bytes, self.default_sharers);
+    }
+
+    /// Posts a non-blocking send with an explicit sharers hint. The CPU is
+    /// busy only for the software overhead; the NIC serializes the payload
+    /// asynchronously starting when it is free (injections queue), and the
+    /// request completes locally when serialization finishes.
+    pub fn isend_with(
+        &mut self,
+        dst: usize,
+        tag: u32,
+        msg: M,
+        bytes: u64,
+        sharers: u32,
+    ) -> SendRequest {
+        let cost = self
+            .spec
+            .net
+            .p2p(self.spec.locs[self.rank], self.spec.locs[dst], sharers);
+        let (extra_lat, bw_div) = fault_effect(&self.spec.faults, self.rank, dst, self.clock);
+        let posted_at = self.clock;
+        self.clock += self.spec.send_overhead;
+        let start = self.clock.max(self.nic_free);
+        self.nic_free = start + bytes as f64 * cost.sec_per_byte * bw_div;
+        self.bytes_sent += bytes;
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            arrive: self.nic_free + cost.latency + extra_lat,
+            bytes,
+            msg,
+        };
+        self.senders[dst]
+            .send(env)
+            .expect("destination rank hung up");
+        SendRequest {
+            posted_at,
+            complete_at: self.nic_free,
+        }
+    }
+
+    /// Posts a non-blocking send with the default sharers hint.
+    pub fn isend(&mut self, dst: usize, tag: u32, msg: M, bytes: u64) -> SendRequest {
+        self.isend_with(dst, tag, msg, bytes, self.default_sharers)
+    }
+
+    /// `true` once a posted send has completed locally (NIC done) by the
+    /// current simulated time. Never advances the clock.
+    pub fn test_send(&self, req: &SendRequest) -> bool {
+        req.complete_at <= self.clock
+    }
+
+    /// Completes a posted send: idles until the NIC has finished
+    /// serializing (no-op if local work already covered it, in which case
+    /// the injection time counts as hidden).
+    pub fn wait_send(&mut self, req: SendRequest) {
+        let injection = (req.complete_at - req.posted_at).max(0.0);
+        let hidden = (self.clock - req.posted_at).clamp(0.0, injection);
+        self.hidden_total += hidden;
+        let waited = (req.complete_at - self.clock).max(0.0);
+        self.wait_total += waited;
+        self.clock = self.clock.max(req.complete_at);
+    }
+
+    /// Completes every posted send in order.
+    pub fn waitall_send(&mut self, reqs: Vec<SendRequest>) {
+        for req in reqs {
+            self.wait_send(req);
+        }
+    }
+
+    /// Posts a non-blocking receive for `(src, tag)`. Free at post time;
+    /// completion is charged by [`wait_recv`](Self::wait_recv) at
+    /// `max(post_time, arrival_time)`.
+    pub fn irecv(&mut self, src: usize, tag: u32) -> RecvRequest {
+        RecvRequest {
+            src,
+            tag,
+            posted_at: self.clock,
+        }
+    }
+
+    /// `true` once a message matching the posted receive has arrived by the
+    /// current simulated time. Never advances the clock or consumes the
+    /// message. Advisory: a `false` can race a sender thread that has not
+    /// executed yet in real time — deterministic control flow must come
+    /// from `wait_recv`, not from polling.
+    pub fn test_recv(&mut self, req: &RecvRequest) -> bool {
+        while let Ok(env) = self.inbox.try_recv() {
+            self.pending.push(env);
+        }
+        self.pending
+            .iter()
+            .any(|e| e.src == req.src && e.tag == req.tag && e.arrive <= self.clock)
+    }
+
+    /// Completes a posted receive: blocks (in simulated time, only until
+    /// the arrival timestamp) for the earliest-sent matching message. The
+    /// flight time covered by local work since the post is reported as
+    /// [`RecvInfo::hidden`].
+    pub fn wait_recv(&mut self, req: RecvRequest) -> (M, RecvInfo) {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|e| e.src == req.src && e.tag == req.tag)
+        {
+            let env = self.pending.remove(pos);
+            let info = self.accept_posted(env.arrive, env.bytes, req.posted_at);
+            return (env.msg, info);
+        }
+        loop {
+            let env = self.inbox.recv().expect("world torn down mid-recv");
+            if env.src == req.src && env.tag == req.tag {
+                let info = self.accept_posted(env.arrive, env.bytes, req.posted_at);
+                return (env.msg, info);
+            }
+            self.pending.push(env);
+        }
+    }
+
+    /// Completes every posted receive, in post order, returning the
+    /// payloads and infos in the same order.
+    pub fn waitall_recv(&mut self, reqs: Vec<RecvRequest>) -> Vec<(M, RecvInfo)> {
+        reqs.into_iter().map(|r| self.wait_recv(r)).collect()
     }
 
     /// Low-level send with explicitly modeled costs: the sender is busy for
@@ -249,6 +403,7 @@ impl<M: Send + 'static> Comm<M> {
         // its busy time scales with the bandwidth derating and its
         // delivery with the latency spike.
         self.clock += busy * bw_div;
+        self.nic_free = self.nic_free.max(self.clock);
         self.bytes_sent += bytes;
         let env = Envelope {
             src: self.rank,
@@ -290,11 +445,32 @@ impl<M: Send + 'static> Comm<M> {
         let waited = (arrive - self.clock).max(0.0);
         self.wait_total += waited;
         self.clock = arrive.max(self.clock) + self.spec.recv_overhead;
+        self.last_arrive = arrive;
         RecvInfo {
             waited,
             bytes,
             arrived_at: arrive,
+            hidden: 0.0,
         }
+    }
+
+    /// Credits `hidden` overlap seconds accounted outside the
+    /// point-to-point paths (split-phase collectives compute their own
+    /// overlap from post/join timestamps).
+    pub(crate) fn credit_hidden(&mut self, hidden: f64) {
+        debug_assert!(hidden >= 0.0, "negative hidden credit {hidden}");
+        self.hidden_total += hidden;
+    }
+
+    /// [`accept`](Self::accept) for a posted receive: additionally credits
+    /// the flight time covered by local work since `posted_at` — the
+    /// overlap a blocking receive at the post site would have spent idle.
+    fn accept_posted(&mut self, arrive: f64, bytes: u64, posted_at: f64) -> RecvInfo {
+        let hidden = (self.clock.min(arrive) - posted_at).max(0.0);
+        let mut info = self.accept(arrive, bytes);
+        info.hidden = hidden;
+        self.hidden_total += hidden;
+        info
     }
 }
 

@@ -1,0 +1,149 @@
+//! Differential model-vs-sim suite: the closed-form critical-path model
+//! (`critical.rs`, the Eq. 5 analogue) must track the emergent
+//! thread-per-rank timing simulation across grid shapes, broadcast
+//! algorithms, and look-ahead on/off.
+//!
+//! The tolerance is deliberately tight (±15%): the model and the simulator
+//! price kernels with the same device model, so any residual gap is pure
+//! communication-schedule disagreement — exactly the thing the non-blocking
+//! runtime and the look-ahead model must get right.
+
+use hplai_core::critical::{critical_time, CriticalConfig};
+use hplai_core::{run, testbed, ProcessGrid, RunConfig};
+use mxp_msgsim::BcastAlgo;
+
+const TOLERANCE: f64 = 0.15;
+
+/// The swept grid shapes: square, tall, wide, and larger-square, with the
+/// node-local GCD layout the paper uses (4 GCDs per node on the testbed).
+fn swept_grids() -> Vec<ProcessGrid> {
+    vec![
+        ProcessGrid::node_local(2, 2, 2, 2),
+        ProcessGrid::node_local(4, 2, 2, 2),
+        ProcessGrid::node_local(2, 4, 2, 2),
+        ProcessGrid::node_local(4, 4, 2, 2),
+    ]
+}
+
+/// Runs one (grid, algo, lookahead) cell both ways and returns
+/// (model, emergent) factorization seconds.
+fn cell(grid: ProcessGrid, algo: BcastAlgo, lookahead: bool) -> (f64, f64) {
+    let (n, b) = (16384, 512);
+    let nodes = grid.size() / grid.gcds_per_node();
+    let sys = testbed(nodes, grid.gcds_per_node());
+    let cfg = RunConfig::timing(sys.clone(), grid, n, b)
+        .algo(algo)
+        .lookahead(lookahead)
+        .build()
+        .expect("valid differential config");
+    let emergent = run(&cfg).perf.factor_time;
+    let mut ccfg = CriticalConfig::new(n, b, grid, algo);
+    ccfg.lookahead = lookahead;
+    let model = critical_time(&sys, &ccfg).perf.factor_time;
+    (model, emergent)
+}
+
+#[test]
+fn model_matches_sim_across_the_full_matrix() {
+    let mut worst: (f64, String) = (0.0, String::new());
+    let mut failures = Vec::new();
+    for grid in swept_grids() {
+        for algo in BcastAlgo::ALL {
+            for lookahead in [false, true] {
+                let (model, emergent) = cell(grid, algo, lookahead);
+                let ratio = model / emergent;
+                let err = (ratio - 1.0).abs();
+                let label = format!(
+                    "{}x{} {:?} lookahead={lookahead}: model {model:.4} emergent {emergent:.4} ratio {ratio:.3}",
+                    grid.p_r, grid.p_c, algo
+                );
+                if err > worst.0 {
+                    worst = (err, label.clone());
+                }
+                if err > TOLERANCE {
+                    failures.push(label);
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "cells outside ±{:.0}%:\n{}\n(worst overall: {})",
+        TOLERANCE * 100.0,
+        failures.join("\n"),
+        worst.1
+    );
+}
+
+#[test]
+fn lookahead_beats_blocking_on_a_communication_bound_config() {
+    // 4x4 over 4 nodes: small per-rank extents, panels cross nodes every
+    // iteration — the config where hiding the flight time pays.
+    let grid = ProcessGrid::node_local(4, 4, 2, 2);
+    let (_, with) = cell(grid, BcastAlgo::Lib, true);
+    let (_, without) = cell(grid, BcastAlgo::Lib, false);
+    assert!(
+        with < without,
+        "lookahead {with:.4} must beat blocking {without:.4}"
+    );
+}
+
+#[test]
+fn model_agrees_lookahead_helps_on_the_same_config() {
+    let grid = ProcessGrid::node_local(4, 4, 2, 2);
+    let (with, _) = cell(grid, BcastAlgo::Lib, true);
+    let (without, _) = cell(grid, BcastAlgo::Lib, false);
+    assert!(
+        with < without,
+        "model: lookahead {with:.4} must beat blocking {without:.4}"
+    );
+}
+
+#[test]
+fn measured_overlap_is_positive_only_with_lookahead() {
+    let grid = ProcessGrid::node_local(4, 4, 2, 2);
+    let sys = testbed(4, 4);
+    let on = run(&RunConfig::timing(sys.clone(), grid, 16384, 512)
+        .lookahead(true)
+        .build()
+        .unwrap());
+    let off = run(&RunConfig::timing(sys, grid, 16384, 512)
+        .lookahead(false)
+        .build()
+        .unwrap());
+    assert!(
+        on.perf.overlap_hidden > 0.0,
+        "lookahead must measure hidden overlap, got {}",
+        on.perf.overlap_hidden
+    );
+    assert_eq!(
+        off.perf.overlap_hidden, 0.0,
+        "blocking schedule must report zero hidden overlap"
+    );
+}
+
+#[test]
+fn modeled_and_measured_overlap_share_an_order_of_magnitude() {
+    // The model's `overlap · min(pbcast, gemm_rem)` and the simulator's
+    // flight-time attribution measure different things (per-critical-path
+    // vs summed per-rank), but on a communication-bound config both must
+    // be nonzero and within a factor of ten of each other.
+    let grid = ProcessGrid::node_local(4, 4, 2, 2);
+    let (n, b) = (16384, 512);
+    let sys = testbed(4, 4);
+    let out = run(&RunConfig::timing(sys.clone(), grid, n, b)
+        .lookahead(true)
+        .build()
+        .unwrap());
+    let mut ccfg = CriticalConfig::new(n, b, grid, BcastAlgo::Lib);
+    ccfg.lookahead = true;
+    let model = critical_time(&sys, &ccfg);
+    let measured = out.perf.overlap_hidden;
+    let modeled = model.perf.overlap_hidden;
+    assert!(modeled > 0.0 && measured > 0.0);
+    let ratio = measured / modeled;
+    assert!(
+        (0.1..10.0).contains(&ratio),
+        "measured {measured:.5} vs modeled {modeled:.5} (ratio {ratio:.2})"
+    );
+}

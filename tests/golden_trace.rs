@@ -1,0 +1,74 @@
+//! Golden snapshot tests: the Chrome-trace JSON and the supervision event
+//! log for a fixed small configuration are compared byte-for-byte against
+//! checked-in snapshots. The simulation is deterministic, so any diff here
+//! is a real behaviour or formatting change — regenerate the snapshots
+//! deliberately (see the module docs below) when one is intended.
+//!
+//! To regenerate: run the fixed config below and overwrite
+//! `tests/golden/chrome_trace_2x2.json` and
+//! `tests/golden/event_log_2x2.jsonl` with the fresh output.
+
+use hplai_core::supervisor::Supervisor;
+use hplai_core::trace::{chrome_trace, event_log_jsonl};
+use hplai_core::{run, testbed, ProcessGrid, RunConfig};
+
+const GOLDEN_TRACE: &str = include_str!("golden/chrome_trace_2x2.json");
+const GOLDEN_EVENTS: &str = include_str!("golden/event_log_2x2.jsonl");
+
+fn fixed_config() -> RunConfig {
+    let grid = ProcessGrid::col_major(2, 2, 4);
+    RunConfig::timing(testbed(1, 4), grid, 2048, 256)
+        .lookahead(true)
+        .build()
+        .expect("fixed golden config is valid")
+}
+
+#[test]
+fn chrome_trace_matches_golden_snapshot() {
+    let out = run(&fixed_config());
+    let trace = chrome_trace(out.records_rank0(), 0);
+    assert_eq!(
+        trace, GOLDEN_TRACE,
+        "chrome_trace output diverged from tests/golden/chrome_trace_2x2.json"
+    );
+}
+
+#[test]
+fn event_log_matches_golden_snapshot() {
+    let sup = Supervisor::reporting().supervise(&fixed_config());
+    let log = event_log_jsonl(&sup.events);
+    assert_eq!(
+        log, GOLDEN_EVENTS,
+        "event_log_jsonl output diverged from tests/golden/event_log_2x2.jsonl"
+    );
+}
+
+#[test]
+fn golden_trace_is_valid_chrome_json() {
+    // Guard the snapshot itself: it must stay parseable by trace viewers.
+    let parsed: serde_json::Value =
+        serde_json::from_str(GOLDEN_TRACE).expect("golden trace must be valid JSON");
+    let events = parsed.as_array().expect("top-level array");
+    assert!(!events.is_empty());
+    for e in events {
+        assert!(e.get("name").is_some() && e.get("ph").is_some());
+    }
+}
+
+#[test]
+fn golden_event_log_lines_are_valid_json() {
+    for line in GOLDEN_EVENTS.lines() {
+        let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+        assert!(v.get("event").is_some());
+    }
+}
+
+#[test]
+fn golden_trace_contains_overlap_counter() {
+    // The fixed config runs with look-ahead on: the snapshot must carry
+    // the hidden-overlap counter series alongside the phase spans.
+    assert!(
+        GOLDEN_TRACE.contains("overlap_hidden_us"),
+        "lookahead run must emit the overlap counter"
+    );
+}
