@@ -1,0 +1,417 @@
+//! `kernel_bench` — wall-clock GFLOP/s trajectory of the BLAS engine.
+//!
+//! Unlike the paper-exhibit bins (which report *simulated* time), this
+//! harness measures the **host kernels themselves**: `gemm` (f32/f64),
+//! `gemm_mixed` (fp16/bf16), `trsm`, `getrf`, and the pack/cast kernels,
+//! across sizes and thread counts, plus one end-to-end functional `hplai`
+//! solve. Results go to `BENCH_kernels.json` at the repository root — the
+//! perf trajectory every optimization PR is measured against.
+//!
+//! ```text
+//! kernel_bench [--quick] [--threads 1,2,4] [--floor <gflops>] [--no-e2e]
+//! ```
+//!
+//! `--floor G` exits non-zero if single-thread f32 GEMM at 512³ achieves
+//! less than `G` GFLOP/s — the CI guard against accidentally falling off
+//! the packed-kernel path.
+
+use mxp_blas::{
+    cast_f32_to_low, gemm, gemm_mixed, getrf_nopiv, trans_cast_f32_to_low, trsm, Diag, Side, Trans,
+    Uplo,
+};
+use mxp_precision::{B16, F16};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One measured data point.
+#[derive(Clone, Debug, Serialize)]
+struct Entry {
+    /// Kernel name (`gemm_f32`, `gemm_mixed_fp16`, `trsm`, …).
+    kernel: String,
+    /// Shape as `m x n x k` (or `m x n` for 2D kernels).
+    shape: String,
+    /// Worker threads the kernel was allowed to use.
+    threads: usize,
+    /// Best-of-reps wall-clock seconds.
+    secs: f64,
+    /// Achieved GFLOP/s (or Gelem/s for cast kernels).
+    gflops: f64,
+}
+
+/// The whole trajectory datum.
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    /// Schema tag for downstream tooling.
+    schema: String,
+    /// True when run with `--quick` (CI smoke sizes).
+    quick: bool,
+    /// Thread counts swept.
+    threads: Vec<usize>,
+    /// Kernel measurements.
+    entries: Vec<Entry>,
+    /// End-to-end functional `hplai` solve wall-clock seconds (0 when
+    /// skipped with `--no-e2e`).
+    hplai_functional_secs: f64,
+    /// Problem size of the end-to-end solve.
+    hplai_n: usize,
+}
+
+fn rand_f32(len: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed | 1;
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / 9.007199254740992e15) as f32 - 0.5
+        })
+        .collect()
+}
+
+/// Best-of-`reps` wall-clock timing of `f`.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn set_threads(t: usize) {
+    std::env::set_var("RAYON_NUM_THREADS", t.to_string());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_gemm_shapes(
+    entries: &mut Vec<Entry>,
+    threads: usize,
+    sizes: &[(usize, usize, usize)],
+    reps: usize,
+) {
+    for &(m, n, k) in sizes {
+        let flops = 2.0 * m as f64 * n as f64 * k as f64;
+        let a32 = rand_f32(m * k, 1);
+        let b32 = rand_f32(k * n, 2);
+        let shape = format!("{m}x{n}x{k}");
+
+        // f32
+        let mut c = vec![0.0f32; m * n];
+        let secs = best_of(reps, || {
+            gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.0f32,
+                black_box(&a32),
+                m,
+                black_box(&b32),
+                k,
+                0.0,
+                &mut c,
+                m,
+            )
+        });
+        entries.push(Entry {
+            kernel: "gemm_f32".into(),
+            shape: shape.clone(),
+            threads,
+            secs,
+            gflops: flops / secs / 1e9,
+        });
+
+        // f64
+        let a64: Vec<f64> = a32.iter().map(|&v| v as f64).collect();
+        let b64: Vec<f64> = b32.iter().map(|&v| v as f64).collect();
+        let mut c64 = vec![0.0f64; m * n];
+        let secs = best_of(reps, || {
+            gemm(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.0f64,
+                black_box(&a64),
+                m,
+                black_box(&b64),
+                k,
+                0.0,
+                &mut c64,
+                m,
+            )
+        });
+        entries.push(Entry {
+            kernel: "gemm_f64".into(),
+            shape: shape.clone(),
+            threads,
+            secs,
+            gflops: flops / secs / 1e9,
+        });
+
+        // mixed fp16 / bf16
+        let a16: Vec<F16> = a32.iter().map(|&v| F16::from_f32(v)).collect();
+        let b16: Vec<F16> = b32.iter().map(|&v| F16::from_f32(v)).collect();
+        let secs = best_of(reps, || {
+            gemm_mixed(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.0,
+                black_box(&a16),
+                m,
+                black_box(&b16),
+                k,
+                0.0,
+                &mut c,
+                m,
+            )
+        });
+        entries.push(Entry {
+            kernel: "gemm_mixed_fp16".into(),
+            shape: shape.clone(),
+            threads,
+            secs,
+            gflops: flops / secs / 1e9,
+        });
+
+        let ab: Vec<B16> = a32.iter().map(|&v| B16::from_f32(v)).collect();
+        let bb: Vec<B16> = b32.iter().map(|&v| B16::from_f32(v)).collect();
+        let secs = best_of(reps, || {
+            gemm_mixed(
+                Trans::No,
+                Trans::No,
+                m,
+                n,
+                k,
+                1.0,
+                black_box(&ab),
+                m,
+                black_box(&bb),
+                k,
+                0.0,
+                &mut c,
+                m,
+            )
+        });
+        entries.push(Entry {
+            kernel: "gemm_mixed_bf16".into(),
+            shape,
+            threads,
+            secs,
+            gflops: flops / secs / 1e9,
+        });
+    }
+}
+
+fn bench_trsm(entries: &mut Vec<Entry>, threads: usize, kdim: usize, n: usize, reps: usize) {
+    // The paper's TRSM_L_LOW shape: unit-lower k×k triangle, k×n RHS.
+    let mut tri = rand_f32(kdim * kdim, 3);
+    for i in 0..kdim {
+        tri[i * kdim + i] = 1.0;
+    }
+    let rhs = rand_f32(kdim * n, 4);
+    let flops = kdim as f64 * kdim as f64 * n as f64; // k²·n MACs
+    let mut b = rhs.clone();
+    let secs = best_of(reps, || {
+        b.copy_from_slice(&rhs);
+        trsm(
+            Side::Left,
+            Uplo::Lower,
+            Diag::Unit,
+            kdim,
+            n,
+            1.0f32,
+            black_box(&tri),
+            kdim,
+            &mut b,
+            kdim,
+        );
+    });
+    entries.push(Entry {
+        kernel: "trsm_l_low_f32".into(),
+        shape: format!("{kdim}x{n}"),
+        threads,
+        secs,
+        gflops: flops / secs / 1e9,
+    });
+}
+
+fn bench_getrf(entries: &mut Vec<Entry>, threads: usize, n: usize, reps: usize) {
+    let mut a = rand_f32(n * n, 5);
+    for i in 0..n {
+        a[i * n + i] = n as f32; // diagonally dominant, as in HPL-AI
+    }
+    let flops = 2.0 / 3.0 * (n as f64).powi(3);
+    let mut lu = a.clone();
+    let secs = best_of(reps, || {
+        lu.copy_from_slice(&a);
+        getrf_nopiv(n, black_box(&mut lu), n).expect("factorization");
+    });
+    entries.push(Entry {
+        kernel: "getrf_nopiv_f32".into(),
+        shape: format!("{n}x{n}"),
+        threads,
+        secs,
+        gflops: flops / secs / 1e9,
+    });
+}
+
+fn bench_casts(entries: &mut Vec<Entry>, threads: usize, m: usize, n: usize, reps: usize) {
+    let src = rand_f32(m * n, 6);
+    let elems = (m * n) as f64;
+    let mut dst = vec![F16::ZERO; m * n];
+    let secs = best_of(reps, || cast_f32_to_low(m, n, black_box(&src), m, &mut dst));
+    entries.push(Entry {
+        kernel: "cast_f32_to_fp16".into(),
+        shape: format!("{m}x{n}"),
+        threads,
+        secs,
+        gflops: elems / secs / 1e9, // Gelem/s
+    });
+    let secs = best_of(reps, || {
+        trans_cast_f32_to_low(m, n, black_box(&src), m, &mut dst)
+    });
+    entries.push(Entry {
+        kernel: "trans_cast_f32_to_fp16".into(),
+        shape: format!("{m}x{n}"),
+        threads,
+        secs,
+        gflops: elems / secs / 1e9,
+    });
+}
+
+/// End-to-end functional solve (real BLAS under the thread-per-rank
+/// runtime): the `hplai` hot path this engine serves.
+fn bench_hplai(n: usize, b: usize) -> f64 {
+    use hplai_core::solve::{run, RunConfig};
+    use hplai_core::{grid::ProcessGrid, systems::testbed};
+    let cfg = RunConfig::functional(testbed(1, 4), ProcessGrid::col_major(2, 2, 4), n, b)
+        .build_or_panic();
+    let t0 = Instant::now();
+    let out = run(&cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(out.converged, "functional solve failed to converge");
+    secs
+}
+
+fn repo_root() -> std::path::PathBuf {
+    mxp_bench::results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .to_path_buf()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let no_e2e = args.iter().any(|a| a == "--no-e2e");
+    let floor: Option<f64> = args
+        .iter()
+        .position(|a| a == "--floor")
+        .map(|i| args[i + 1].parse().expect("--floor takes a number"));
+    let threads: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--threads")
+        .map(|i| {
+            args[i + 1]
+                .split(',')
+                .map(|t| t.parse().expect("--threads takes e.g. 1,2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4]);
+
+    let square: Vec<(usize, usize, usize)> = if quick {
+        vec![(256, 256, 256), (512, 512, 512)]
+    } else {
+        vec![(256, 256, 256), (512, 512, 512), (1024, 1024, 1024)]
+    };
+    // The tall-skinny trailing-update shape (m ≫ n) that the old engine ran
+    // serial: local trailing matrix tall, panel width narrow.
+    let tall: (usize, usize, usize) = if quick {
+        (2048, 128, 256)
+    } else {
+        (4096, 128, 4096)
+    };
+    let reps = if quick { 2 } else { 3 };
+
+    let mut entries = Vec::new();
+    for &t in &threads {
+        set_threads(t);
+        eprintln!("== threads={t}");
+        bench_gemm_shapes(&mut entries, t, &square, reps);
+        bench_gemm_shapes(&mut entries, t, &[tall], reps);
+        bench_trsm(&mut entries, t, 512, if quick { 128 } else { 512 }, reps);
+        bench_getrf(&mut entries, t, if quick { 384 } else { 768 }, reps);
+        bench_casts(&mut entries, t, 1024, if quick { 256 } else { 1024 }, reps);
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let (hplai_n, hplai_b) = if quick { (512, 64) } else { (1024, 64) };
+    let hplai_secs = if no_e2e {
+        0.0
+    } else {
+        bench_hplai(hplai_n, hplai_b)
+    };
+
+    let report = Report {
+        schema: "kernel-bench-v1".into(),
+        quick,
+        threads: threads.clone(),
+        entries,
+        hplai_functional_secs: hplai_secs,
+        hplai_n: if no_e2e { 0 } else { hplai_n },
+    };
+
+    let mut table = mxp_bench::Table::new(
+        "Kernel wall-clock trajectory",
+        "BENCH_kernels",
+        &["kernel", "shape", "threads", "secs", "GFLOP/s"],
+    );
+    for e in &report.entries {
+        table.row(&[
+            &e.kernel,
+            &e.shape,
+            &e.threads,
+            &format!("{:.4}", e.secs),
+            &format!("{:.2}", e.gflops),
+        ]);
+    }
+    println!("{}", table.render());
+    if !no_e2e {
+        println!("hplai functional solve (n={hplai_n}, b={hplai_b}, 2x2 grid): {hplai_secs:.3} s");
+    }
+
+    let path = repo_root().join("BENCH_kernels.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_kernels.json");
+    eprintln!("wrote {}", path.display());
+
+    if let Some(floor) = floor {
+        let e = report
+            .entries
+            .iter()
+            .find(|e| e.kernel == "gemm_f32" && e.shape == "512x512x512" && e.threads == 1)
+            .expect("512³ single-thread f32 entry");
+        if e.gflops < floor {
+            eprintln!(
+                "FAIL: single-thread f32 GEMM 512³ at {:.2} GFLOP/s is below the floor {floor}",
+                e.gflops
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "floor check ok: single-thread f32 GEMM 512³ at {:.2} GFLOP/s >= {floor}",
+            e.gflops
+        );
+    }
+}

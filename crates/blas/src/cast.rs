@@ -60,16 +60,38 @@ pub fn trans_cast_f32_to_low<L: LowPrec>(
     if m == 0 || n == 0 {
         return;
     }
-    // Tiled transpose for cache friendliness.
+    // Blocked transpose through a contiguous scratch tile. A direct
+    // transposing sweep reads `src[j·lda + i]` with `j` innermost — a
+    // stride-`lda` walk that, for the power-of-two panel strides the solver
+    // uses, maps every read to the same L1 set and runs ~10× slower than
+    // CAST. Instead each `TILE × TILE` block is loaded with contiguous
+    // column reads into a scratch array (the strided access pattern lands
+    // in L1-resident scratch, not DRAM), then stored to `dst` with
+    // contiguous column writes, casting on the way out.
     const TILE: usize = 32;
     let do_col_band = |i0: usize, band: &mut [L]| {
-        // band covers dst columns i0..i0+bw (each of height n).
+        // band covers dst columns i0..i0+bw (each of height n), i.e. src
+        // rows i0..i0+bw.
         let bw = band.len() / n;
-        for j0 in (0..n).step_by(TILE) {
-            let jb = TILE.min(n - j0);
-            for i in 0..bw {
-                for j in j0..j0 + jb {
-                    band[i * n + j] = L::from_f32(src[j * lda + (i0 + i)]);
+        let mut scratch = [0.0f32; TILE * TILE];
+        for ib in (0..bw).step_by(TILE) {
+            let ibw = TILE.min(bw - ib);
+            for j0 in (0..n).step_by(TILE) {
+                let jb = TILE.min(n - j0);
+                // Load: contiguous `ibw`-long runs down each src column,
+                // transposed into scratch (stride-TILE stores stay in L1).
+                for j in 0..jb {
+                    let col = &src[(j0 + j) * lda + i0 + ib..][..ibw];
+                    for (i, &v) in col.iter().enumerate() {
+                        scratch[i * TILE + j] = v;
+                    }
+                }
+                // Store: contiguous `jb`-long runs down each dst column.
+                for i in 0..ibw {
+                    let out = &mut band[(ib + i) * n + j0..][..jb];
+                    for (o, &v) in out.iter_mut().zip(&scratch[i * TILE..]) {
+                        *o = L::from_f32(v);
+                    }
                 }
             }
         }
@@ -162,6 +184,43 @@ mod tests {
         cast_f32_to_low(m, n, &src, m, &mut dst);
         for k in (0..m * n).step_by(997) {
             assert_eq!(dst[k].to_f32(), F16::from_f32(src[k]).to_f32());
+        }
+    }
+
+    #[test]
+    fn trans_cast_matches_naive_loop() {
+        // The blocked scratch-tile transpose must agree element-for-element
+        // with the naive transposing loop, across ragged (non-multiple-of-
+        // TILE) shapes, padded lda, degenerate rows/columns, and both the
+        // serial and parallel dispatch paths.
+        for &(m, n, pad) in &[
+            (1usize, 1usize, 0usize), // single element
+            (1, 37, 0),               // single row
+            (37, 1, 3),               // single column, padded lda
+            (32, 32, 0),              // exactly one tile
+            (33, 31, 5),              // one past / one short of a tile
+            (100, 70, 7),             // ragged both ways, padded lda
+            (257, 300, 1),            // crosses the parallel threshold
+        ] {
+            let lda = m + pad;
+            let src: Vec<f32> = (0..lda * n)
+                .map(|k| ((k * 131) % 8191) as f32 * 0.0625 - 256.0)
+                .collect();
+            let mut dst = vec![F16::ZERO; m * n];
+            trans_cast_f32_to_low(m, n, &src, lda, &mut dst);
+            let mut naive = vec![F16::ZERO; m * n];
+            for j in 0..n {
+                for i in 0..m {
+                    naive[i * n + j] = F16::from_f32(src[j * lda + i]);
+                }
+            }
+            for k in 0..m * n {
+                assert_eq!(
+                    dst[k].to_bits(),
+                    naive[k].to_bits(),
+                    "{m}x{n} lda={lda}: element {k} diverged from the naive loop"
+                );
+            }
         }
     }
 

@@ -3,9 +3,31 @@
 //! `gemm_mixed` is the heart of HPL-AI (§III-C): the trailing-matrix update
 //! `A₂₂ ← A₂₂ − L₂₁·U₁₂` reads FP16 panels and accumulates in FP32, which is
 //! what `cublasSgemmEx` / `rocblas_gemm_ex` execute on tensor cores. Both
-//! entry points share one cache-blocked, rayon-parallel core; the reduced
-//! format is widened during packing so the inner kernel always runs on the
-//! accumulator type.
+//! entry points share one packed, register-blocked, rayon-parallel engine;
+//! the reduced format is widened during packing so the inner kernel always
+//! runs on the accumulator type.
+//!
+//! # Engine structure (DESIGN.md §9)
+//!
+//! The engine is BLIS-shaped. For each `KC`-deep slab of the `k` dimension:
+//!
+//! 1. **Pack A once.** The whole `op(A)[:, l0..l0+kc]` slab is packed into
+//!    `MR`-row micro-panels (zero-padded at the ragged edge), in parallel,
+//!    and then shared **read-only** by every task — the old engine re-packed
+//!    the A panel inside each rayon column chunk.
+//! 2. **Pack B once**, into `NR`-column micro-panels with `α` folded in, so
+//!    the micro-kernel is a pure FMA sweep.
+//! 3. **2D macro step.** C is cut into a `ti × tj` task grid chosen by
+//!    [`gemm_task_grid`] from the flop count and
+//!    `rayon::current_num_threads()` — both wide (`n ≫ m`) and tall-skinny
+//!    (`m ≫ n`) shapes decompose, where the old engine could only split
+//!    columns. Each task owns a disjoint C tile and runs the macro-kernel:
+//!    `MC`-row blocks kept hot in L2, `NR`-wide B micro-panels hot in L1,
+//!    an `MR×NR` register-tile micro-kernel innermost.
+//!
+//! β is folded into the first `KC` slab's store (overwrite for β = 0, plain
+//! add for β = 1), so no separate pass over C happens unless `k == 0` or
+//! `α = 0` reduce the call to a pure scaling.
 
 use mxp_precision::{LowPrec, Real};
 use rayon::prelude::*;
@@ -19,11 +41,36 @@ pub enum Trans {
     Yes,
 }
 
-// Cache-blocking parameters. MC×KC f32 ≈ 128 KiB fits in L2; NC bounds the
-// per-task working set and sets the rayon grain.
+/// Micro-kernel register tile height: C is updated `MR` rows at a time. 16
+/// f32 lanes are one AVX-512 vector (two AVX2), 16 f64 lanes two (four), so
+/// the `MR`-long FMA body vectorizes cleanly for both accumulator types.
+const MR: usize = 16;
+/// Micro-kernel register tile width: `NR` accumulator columns of `MR` lanes
+/// live in registers across the whole `kc` sweep (MR·NR = 64 accumulators).
+const NR: usize = 4;
+/// L2 cache block: each macro-kernel pass streams an `MC × KC` packed A
+/// block against B micro-panels (MC·KC f32 = 128 KiB).
 const MC: usize = 128;
+/// k-dimension slab depth: one A+B packing pass covers `KC` of `k`.
 const KC: usize = 256;
+/// Nominal per-task column-block width used in the task-grain derivation
+/// (the old engine's fixed rayon chunk width).
 const NC: usize = 128;
+
+/// How many flops a parallel task must do per element it packs or touches.
+///
+/// A task that owns an `MC × NC` C tile touches `MC·KC` packed A elements,
+/// `KC·NC` packed B elements and `MC·NC` C elements per slab, and performs
+/// `2·MC·NC·KC` flops on them. Spawn/packing traffic is amortized once a
+/// task does at least `PACK_AMORTIZE` flops per touched element; below
+/// that, parallel dispatch loses to a serial sweep.
+const PACK_AMORTIZE: usize = 16;
+
+/// Minimum flops a parallel task must amortize: `PACK_AMORTIZE` flops per
+/// element of the `MC·KC + KC·NC + MC·NC` working set a nominal task
+/// touches per slab (≈ 1.3 M flops — the magic `2e6` this replaces, now
+/// derived from the pack cost it guards against).
+pub(crate) const MIN_FLOPS_PER_TASK: f64 = (PACK_AMORTIZE * (MC * KC + KC * NC + MC * NC)) as f64;
 
 /// Full-precision GEMM: `C ← α·op(A)·op(B) + β·C`.
 ///
@@ -78,8 +125,9 @@ pub fn gemm<R: Real>(
 /// reduced format (`F16`, `B16`, or `f32`) and `C` accumulated in `f32`.
 ///
 /// Matches the tensor-core contract of `cublasSgemmEx(CUDA_R_16F, …,
-/// CUDA_R_32F)`: each reduced input is widened exactly to f32, products and
-/// sums are full f32 operations.
+/// CUDA_R_32F)`: each reduced input is widened exactly to f32 during
+/// packing, products and sums are full f32 operations — the result is
+/// bit-identical to [`gemm`] on pre-widened operands.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_mixed<L: LowPrec>(
     transa: Trans,
@@ -113,6 +161,75 @@ pub fn gemm_mixed<L: LowPrec>(
         c,
         ldc,
     );
+}
+
+/// The `(row_tasks, col_tasks)` grid the engine will decompose an
+/// `m × n × k` GEMM into, given the current rayon pool width.
+///
+/// The task count is `min(threads, flops / MIN_FLOPS_PER_TASK)`, capped by
+/// the number of `MR`-row / `NR`-column micro-panels, and factored so task
+/// tiles stay as square as possible — a tall-skinny product (`m ≫ n`)
+/// splits along rows, a wide one along columns. `(1, 1)` means the call
+/// runs serially.
+pub fn gemm_task_grid(m: usize, n: usize, k: usize) -> (usize, usize) {
+    if m == 0 || n == 0 || k == 0 {
+        return (1, 1);
+    }
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let by_flops = (flops / MIN_FLOPS_PER_TASK).floor() as usize;
+    let tasks = rayon::current_num_threads().min(by_flops).max(1);
+    let mi = m.div_ceil(MR);
+    let nj = n.div_ceil(NR);
+    let mut best = (1usize, 1usize);
+    let mut best_score = (0usize, f64::INFINITY);
+    for ti in 1..=tasks {
+        let tj = (tasks / ti).min(nj);
+        let ti = ti.min(mi);
+        if ti * tj == 0 {
+            continue;
+        }
+        // Prefer maximal parallelism, then the most square C tiles (least
+        // packed-panel re-reading per task).
+        let aspect = {
+            let th = m as f64 / ti as f64;
+            let tw = n as f64 / tj as f64;
+            (th / tw).max(tw / th)
+        };
+        let score = (ti * tj, aspect);
+        if score.0 > best_score.0 || (score.0 == best_score.0 && score.1 < best_score.1) {
+            best_score = score;
+            best = (ti, tj);
+        }
+    }
+    best
+}
+
+/// Raw pointer wrapper so disjoint tiles of one buffer can be written from
+/// parallel tasks (also used by the TRSM row-block split). Safety rests on
+/// the caller's partitioning: no element may be touched by two tasks.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub(crate) *mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// The wrapped pointer. Going through a method (rather than `.0`) keeps
+    /// edition-2021 closures capturing the `SendPtr` itself — field-precise
+    /// capture of the bare `*mut T` would lose the `Send + Sync` impls.
+    pub(crate) fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// How the micro-kernel result is committed to C.
+#[derive(Clone, Copy)]
+enum Store<R> {
+    /// `C = acc` (β = 0 on the first slab: overwrites NaN per BLAS rules).
+    Overwrite,
+    /// `C += acc` (β = 1, or any slab after the first).
+    Add,
+    /// `C = β·C + acc` (general β folded into the first slab).
+    Scale(R),
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -153,77 +270,247 @@ fn gemm_impl<S, R, FA, FB>(
         return;
     }
 
-    // β-scaling is applied up front over the full C region so the k-blocked
-    // accumulation below can always use plain adds.
-    if beta != R::ONE {
-        for j in 0..n {
-            for x in &mut c[j * ldc..j * ldc + m] {
-                *x = if beta == R::ZERO { R::ZERO } else { *x * beta };
+    if k == 0 || alpha == R::ZERO {
+        // Nothing to accumulate: the call degenerates to C ← β·C. The β
+        // branch is hoisted out of the element loop, and β = 1 skips the
+        // pass entirely.
+        if beta == R::ZERO {
+            for j in 0..n {
+                c[j * ldc..j * ldc + m].fill(R::ZERO);
+            }
+        } else if beta != R::ONE {
+            for j in 0..n {
+                for x in &mut c[j * ldc..j * ldc + m] {
+                    *x *= beta;
+                }
             }
         }
-    }
-    if k == 0 || alpha == R::ZERO {
         return;
     }
 
-    let process_chunk = |j0: usize, jn: usize, cchunk: &mut [R]| {
-        // cchunk covers columns j0..j0+jn of C, stride ldc, local offset 0.
-        let mut bp = vec![R::ZERO; KC * jn.max(1)];
-        let mut ap = [R::ZERO; MC * KC];
-        let mut l0 = 0;
-        while l0 < k {
-            let kc = KC.min(k - l0);
-            // Pack op(B)[l0..l0+kc, j0..j0+jn] into bp, kc-tight columns,
-            // scaled by alpha (so the inner kernel is a pure FMA).
-            for j in 0..jn {
-                for l in 0..kc {
-                    let v = match transb {
-                        Trans::No => fb(b[(j0 + j) * ldb + (l0 + l)]),
-                        Trans::Yes => fb(b[(l0 + l) * ldb + (j0 + j)]),
-                    };
-                    bp[j * kc + l] = v * alpha;
-                }
-            }
-            let mut i0 = 0;
-            while i0 < m {
-                let mc = MC.min(m - i0);
-                // Pack op(A)[i0..i0+mc, l0..l0+kc] into ap, mc-tight columns.
-                for l in 0..kc {
-                    for i in 0..mc {
-                        ap[l * mc + i] = match transa {
-                            Trans::No => fa(a[(l0 + l) * lda + (i0 + i)]),
-                            Trans::Yes => fa(a[(i0 + i) * lda + (l0 + l)]),
-                        };
+    // Packed slabs, zero-padded to whole micro-panels, allocated once and
+    // reused across k-slabs.
+    let mp = m.div_ceil(MR) * MR;
+    let np = n.div_ceil(NR) * NR;
+    let mut apack = vec![R::ZERO; mp * KC.min(k)];
+    let mut bpack = vec![R::ZERO; np * KC.min(k)];
+
+    let (ti, tj) = gemm_task_grid(m, n, k);
+    let parallel = ti * tj > 1;
+
+    let mut l0 = 0;
+    while l0 < k {
+        let kc = KC.min(k - l0);
+
+        // 1. Pack op(A)[:, l0..l0+kc] into MR-row micro-panels, once,
+        //    shared read-only by every task below.
+        let pack_a_panel = |p: usize, panel: &mut [R]| {
+            let i0 = p * MR;
+            let rows = MR.min(m - i0);
+            for l in 0..kc {
+                let dst = &mut panel[l * MR..l * MR + MR];
+                match transa {
+                    Trans::No => {
+                        let src = &a[(l0 + l) * lda + i0..(l0 + l) * lda + i0 + rows];
+                        for (d, &s) in dst.iter_mut().zip(src) {
+                            *d = fa(s);
+                        }
                     }
-                }
-                // Micro-kernel: rank-kc update of the mc×jn C tile.
-                for j in 0..jn {
-                    let ccol = &mut cchunk[j * ldc + i0..j * ldc + i0 + mc];
-                    for l in 0..kc {
-                        let blj = bp[j * kc + l];
-                        let acol = &ap[l * mc..l * mc + mc];
-                        for (ci, &ai) in ccol.iter_mut().zip(acol) {
-                            *ci = ai.mul_add(blj, *ci);
+                    Trans::Yes => {
+                        for (i, d) in dst.iter_mut().enumerate().take(rows) {
+                            *d = fa(a[(i0 + i) * lda + l0 + l]);
                         }
                     }
                 }
-                i0 += mc;
+                for d in &mut dst[rows..] {
+                    *d = R::ZERO;
+                }
             }
-            l0 += kc;
+        };
+        // 2. Pack op(B)[l0..l0+kc, :] into NR-column micro-panels with α
+        //    folded in, so the micro-kernel is a pure FMA.
+        let pack_b_panel = |q: usize, panel: &mut [R]| {
+            let j0 = q * NR;
+            let cols = NR.min(n - j0);
+            for l in 0..kc {
+                let dst = &mut panel[l * NR..l * NR + NR];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = if j < cols {
+                        let v = match transb {
+                            Trans::No => fb(b[(j0 + j) * ldb + l0 + l]),
+                            Trans::Yes => fb(b[(l0 + l) * ldb + j0 + j]),
+                        };
+                        v * alpha
+                    } else {
+                        R::ZERO
+                    };
+                }
+            }
+        };
+        if parallel {
+            apack[..mp * kc]
+                .par_chunks_mut(MR * kc)
+                .enumerate()
+                .for_each(|(p, panel)| pack_a_panel(p, panel));
+            bpack[..np * kc]
+                .par_chunks_mut(NR * kc)
+                .enumerate()
+                .for_each(|(q, panel)| pack_b_panel(q, panel));
+        } else {
+            for (p, panel) in apack[..mp * kc].chunks_mut(MR * kc).enumerate() {
+                pack_a_panel(p, panel);
+            }
+            for (q, panel) in bpack[..np * kc].chunks_mut(NR * kc).enumerate() {
+                pack_b_panel(q, panel);
+            }
         }
-    };
 
-    let flops = 2.0 * m as f64 * n as f64 * k as f64;
-    if n > NC && flops > 2e6 {
-        c.par_chunks_mut(ldc * NC)
-            .enumerate()
-            .for_each(|(chunk_idx, cchunk)| {
-                let j0 = chunk_idx * NC;
-                let jn = NC.min(n - j0);
-                process_chunk(j0, jn, cchunk);
-            });
-    } else {
-        process_chunk(0, n, c);
+        // β is folded into the first slab's store; later slabs accumulate.
+        let store = if l0 == 0 {
+            if beta == R::ZERO {
+                Store::Overwrite
+            } else if beta == R::ONE {
+                Store::Add
+            } else {
+                Store::Scale(beta)
+            }
+        } else {
+            Store::Add
+        };
+
+        // 3. Macro step over the ti × tj task grid of disjoint C tiles.
+        let apack = &apack[..mp * kc];
+        let bpack = &bpack[..np * kc];
+        let cptr = SendPtr(c.as_mut_ptr());
+        let macro_task = |t: usize| {
+            let (tr, tc) = (t / tj, t % tj);
+            // Whole micro-panels per task, remainders spread to the front.
+            let (r0, r1) = split_range(m.div_ceil(MR), ti, tr);
+            let (q0, q1) = split_range(n.div_ceil(NR), tj, tc);
+            macro_kernel(kc, apack, bpack, cptr, ldc, m, n, r0, r1, q0, q1, store);
+        };
+        if parallel {
+            (0..ti * tj).into_par_iter().for_each(macro_task);
+        } else {
+            macro_task(0);
+        }
+
+        l0 += kc;
+    }
+}
+
+/// Splits `total` micro-panels into `parts` near-even contiguous ranges and
+/// returns the half-open range of part `idx`.
+fn split_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
+    let base = total / parts;
+    let extra = total % parts;
+    let start = idx * base + idx.min(extra);
+    let len = base + usize::from(idx < extra);
+    (start, start + len)
+}
+
+/// Macro-kernel over one task's tile: rows `r0..r1` (in `MR` panels) ×
+/// columns `q0..q1` (in `NR` panels) of C, against the shared packed slabs.
+/// `MC`-row blocks of packed A stay hot in L2 while all of the task's B
+/// micro-panels stream through L1.
+///
+/// C is addressed through a raw base pointer because concurrent tasks hold
+/// tiles of the same allocation; the task grid guarantees the panel ranges
+/// — and therefore every element written — are disjoint across tasks.
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel<R: Real>(
+    kc: usize,
+    apack: &[R],
+    bpack: &[R],
+    c: SendPtr<R>,
+    ldc: usize,
+    m: usize,
+    n: usize,
+    r0: usize,
+    r1: usize,
+    q0: usize,
+    q1: usize,
+    store: Store<R>,
+) {
+    const MC_PANELS: usize = MC / MR;
+    let mut rb = r0;
+    while rb < r1 {
+        let rb_end = (rb + MC_PANELS).min(r1);
+        for q in q0..q1 {
+            let j0 = q * NR;
+            let nr_eff = NR.min(n - j0);
+            let bp = &bpack[q * NR * kc..(q + 1) * NR * kc];
+            for p in rb..rb_end {
+                let i0 = p * MR;
+                let mr_eff = MR.min(m - i0);
+                let ap = &apack[p * MR * kc..(p + 1) * MR * kc];
+                let mut acc = [[R::ZERO; MR]; NR];
+                micro_kernel(kc, ap, bp, &mut acc);
+                // SAFETY: (i0, j0) lies inside this task's disjoint panel
+                // range and `c` outlives the scoped worker threads.
+                unsafe { store_tile(&acc, c, ldc, i0, j0, mr_eff, nr_eff, store) };
+            }
+        }
+        rb = rb_end;
+    }
+}
+
+/// The register-tile micro-kernel: a rank-`kc` update of an `MR × NR`
+/// accumulator block held in a fixed-size local array. The `MR`-long FMA
+/// body over contiguous packed slices is what the autovectorizer turns
+/// into vector FMAs.
+#[inline(always)]
+fn micro_kernel<R: Real>(kc: usize, ap: &[R], bp: &[R], acc: &mut [[R; MR]; NR]) {
+    for (arow, brow) in ap.chunks_exact(MR).take(kc).zip(bp.chunks_exact(NR)) {
+        for (j, accj) in acc.iter_mut().enumerate() {
+            let bv = brow[j];
+            for i in 0..MR {
+                accj[i] = arow[i].mul_add(bv, accj[i]);
+            }
+        }
+    }
+}
+
+/// Commits an accumulator tile to C, applying the slab's β mode. Ragged
+/// edges (`mr_eff < MR`, `nr_eff < NR`) store only the valid sub-tile; the
+/// zero-padded pack rows/columns guarantee the padded lanes hold zero.
+///
+/// # Safety
+///
+/// `c` must point to a live column-major buffer of stride `ldc` covering
+/// the `(i0..i0+mr_eff) × (j0..j0+nr_eff)` tile, and no other thread may
+/// concurrently access that tile (the task grid enforces this).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn store_tile<R: Real>(
+    acc: &[[R; MR]; NR],
+    c: SendPtr<R>,
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    store: Store<R>,
+) {
+    for (j, accj) in acc.iter().enumerate().take(nr_eff) {
+        let colp = c.0.add((j0 + j) * ldc + i0);
+        match store {
+            Store::Overwrite => {
+                for (i, &v) in accj.iter().enumerate().take(mr_eff) {
+                    *colp.add(i) = v;
+                }
+            }
+            Store::Add => {
+                for (i, &v) in accj.iter().enumerate().take(mr_eff) {
+                    *colp.add(i) += v;
+                }
+            }
+            Store::Scale(beta) => {
+                for (i, &v) in accj.iter().enumerate().take(mr_eff) {
+                    *colp.add(i) = *colp.add(i) * beta + v;
+                }
+            }
+        }
     }
 }
 
@@ -249,8 +536,8 @@ mod tests {
     use crate::Mat;
     use mxp_precision::F16;
 
-    /// Reference GEMM with the same per-element accumulation order as the
-    /// blocked kernel would use if KC >= k (l ascending, fma).
+    /// Reference GEMM accumulating each element over `l` ascending with
+    /// fma, like one k-slab of the engine would.
     #[allow(clippy::too_many_arguments)]
     fn naive<R: Real>(
         ta: Trans,
@@ -341,8 +628,8 @@ mod tests {
 
     #[test]
     fn blocked_path_matches_naive() {
-        // Dimensions chosen to exercise multiple MC/KC/NC blocks and the
-        // rayon path (n > NC and flops > threshold).
+        // Dimensions chosen to exercise multiple MC/KC blocks, ragged
+        // micro-panel edges, and (thread count permitting) the task grid.
         let (m, n, k) = (300, 260, 530);
         let a = rand_mat(m, k, 10);
         let b = rand_mat(k, n, 20);
@@ -364,7 +651,7 @@ mod tests {
             c.as_mut_slice(),
             m,
         );
-        // Different k-block summation order => tolerance, not equality.
+        // Different k-slab summation order => tolerance, not equality.
         assert_close(&c, &cref, 1e-11);
     }
 
@@ -603,6 +890,25 @@ mod tests {
             m,
         );
         assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn task_grid_splits_tall_skinny() {
+        // With ≥2 workers the tall-skinny trailing-update shape must split
+        // along rows — the old engine's n-only chunking left it serial.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let (ti, tj) = gemm_task_grid(4096, 128, 4096);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(ti * tj >= 2, "tall-skinny grid {ti}x{tj} did not split");
+        assert!(ti >= 2, "expected a row split, got {ti}x{tj}");
+    }
+
+    #[test]
+    fn task_grid_serial_below_flop_floor() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let grid = gemm_task_grid(32, 32, 32);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(grid, (1, 1), "tiny GEMM must not pay parallel dispatch");
     }
 
     #[test]

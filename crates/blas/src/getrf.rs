@@ -35,7 +35,13 @@ impl core::fmt::Display for GetrfError {
 impl std::error::Error for GetrfError {}
 
 /// Panel width of the blocked factorization.
-const NB: usize = 48;
+///
+/// Retuned for the packed register-blocked GEMM engine: the unblocked
+/// panel factor is scalar rank-1 code, so a narrower panel pushes more of
+/// the n³ work into the fast trailing GEMM. Single-thread f32 sweep at
+/// n = 768 (`kernel_bench`, GFLOP/s): NB=16 → 22.3, 24 → 26.2, **32 →
+/// 27.5**, 48 (old) → 16.9, 64 → 20.5, 96 → 22.1.
+const NB: usize = 32;
 
 /// Unpivoted in-place LU: on return the strictly lower triangle of `A`
 /// holds `L` (unit diagonal implicit) and the upper triangle holds `U`.

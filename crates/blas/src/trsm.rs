@@ -7,8 +7,9 @@
 //! combinations are implemented so the kernel matches the full
 //! `cublasStrsm`/`rocblas_strsm` contract.
 
-use crate::gemm::{gemm, Trans};
+use crate::gemm::{gemm, SendPtr, Trans, MIN_FLOPS_PER_TASK};
 use mxp_precision::Real;
+use rayon::prelude::*;
 
 /// Which side the triangular matrix appears on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,7 +98,68 @@ pub fn trsm<R: Real>(
             return;
         }
     }
-    trsm_rec(side, uplo, diag, m, n, a, lda, b, ldb);
+    // The k-independent dimension of B (columns for Left, rows for Right)
+    // splits into blocks solved by independent rayon tasks; each block is a
+    // full triangular solve against the shared read-only A, so the
+    // GEMM-rich recursion below runs concurrently per block.
+    let tasks = trsm_task_count(side, m, n);
+    match side {
+        Side::Left if tasks > 1 => {
+            let cols = n.div_ceil(tasks);
+            b[..ldb * (n - 1) + m]
+                .par_chunks_mut(ldb * cols)
+                .enumerate()
+                .for_each(|(idx, chunk)| {
+                    let jn = cols.min(n - idx * cols);
+                    trsm_rec(side, uplo, diag, m, jn, a, lda, chunk, ldb);
+                });
+        }
+        Side::Right if tasks > 1 => {
+            // Rows interleave in memory, so each task packs its row block
+            // into a tight buffer, solves there, and writes back — disjoint
+            // rows, hence the raw-pointer hand-off.
+            let rows_per = m.div_ceil(tasks);
+            let bptr = SendPtr(b.as_mut_ptr());
+            (0..m.div_ceil(rows_per)).into_par_iter().for_each(|t| {
+                let r0 = t * rows_per;
+                let rows = rows_per.min(m - r0);
+                let mut tight = vec![R::ZERO; rows * n];
+                // SAFETY: tasks own disjoint row ranges [r0, r0+rows) of b,
+                // which outlives the scoped worker threads.
+                unsafe {
+                    for j in 0..n {
+                        for i in 0..rows {
+                            tight[j * rows + i] = *bptr.get().add(j * ldb + r0 + i);
+                        }
+                    }
+                }
+                trsm_rec(side, uplo, diag, rows, n, a, lda, &mut tight, rows);
+                unsafe {
+                    for j in 0..n {
+                        for i in 0..rows {
+                            *bptr.get().add(j * ldb + r0 + i) = tight[j * rows + i];
+                        }
+                    }
+                }
+            });
+        }
+        _ => trsm_rec(side, uplo, diag, m, n, a, lda, b, ldb),
+    }
+}
+
+/// Number of independent solve tasks worth dispatching: bounded by the
+/// rayon pool, the per-task flop floor shared with the GEMM engine, and
+/// the count of independent columns (Left) or rows (Right).
+fn trsm_task_count(side: Side, m: usize, n: usize) -> usize {
+    // A triangular solve does ~k² flops per independent vector (k = m for
+    // Left, k = n for Right).
+    let (k, indep) = match side {
+        Side::Left => (m as f64, n),
+        Side::Right => (n as f64, m),
+    };
+    let flops = k * k * indep as f64;
+    let by_flops = (flops / MIN_FLOPS_PER_TASK).floor() as usize;
+    rayon::current_num_threads().min(by_flops).min(indep).max(1)
 }
 
 /// Recursive blocked TRSM on the already α-scaled B.
@@ -600,6 +662,55 @@ mod tests {
             for i in 0..k {
                 assert_eq!(x1[(i, j)], x2_pad[(i, j)]);
             }
+        }
+    }
+
+    #[test]
+    fn parallel_split_matches_serial_bitwise() {
+        // Force a multi-task split and check it produces exactly the same
+        // result as the serial path: each column/row block runs the same
+        // per-element operations in the same order.
+        for &(side, m, n) in &[(Side::Left, 96, 512), (Side::Right, 512, 96)] {
+            let k = match side {
+                Side::Left => m,
+                Side::Right => n,
+            };
+            let a = tri_mat(k, Uplo::Lower, Diag::NonUnit, 21);
+            let b = rand_mat(m, n, 22);
+            let mut serial = b.clone();
+            std::env::set_var("RAYON_NUM_THREADS", "1");
+            trsm(
+                side,
+                Uplo::Lower,
+                Diag::NonUnit,
+                m,
+                n,
+                1.0,
+                a.as_slice(),
+                k,
+                serial.as_mut_slice(),
+                m,
+            );
+            let mut par = b.clone();
+            std::env::set_var("RAYON_NUM_THREADS", "4");
+            assert!(
+                super::trsm_task_count(side, m, n) > 1,
+                "shape {m}x{n} must cross the task floor"
+            );
+            trsm(
+                side,
+                Uplo::Lower,
+                Diag::NonUnit,
+                m,
+                n,
+                1.0,
+                a.as_slice(),
+                k,
+                par.as_mut_slice(),
+                m,
+            );
+            std::env::remove_var("RAYON_NUM_THREADS");
+            assert_eq!(serial, par, "{side:?} parallel split diverged");
         }
     }
 

@@ -14,6 +14,62 @@ fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
     })
 }
 
+/// Column-major stored matrix with `lda >= rows` padding, filled from an LCG.
+fn rand_padded(rows: usize, cols: usize, lda: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed | 1;
+    let mut v = vec![f64::NAN; lda * cols.max(1)]; // NaN padding: reads of pad rows would poison C
+    for j in 0..cols {
+        for x in &mut v[j * lda..j * lda + rows] {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *x = ((s >> 11) as f64 / 9.007199254740992e15) - 0.5;
+        }
+    }
+    v
+}
+
+/// Reference triple loop: `C ← α·op(A)·op(B) + β·C`, β = 0 overwriting.
+#[allow(clippy::too_many_arguments)]
+fn naive_gemm(
+    ta: Trans,
+    tb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    for j in 0..n {
+        for i in 0..m {
+            let mut acc = 0.0;
+            for l in 0..k {
+                let av = match ta {
+                    Trans::No => a[l * lda + i],
+                    Trans::Yes => a[i * lda + l],
+                };
+                let bv = match tb {
+                    Trans::No => b[j * ldb + l],
+                    Trans::Yes => b[l * ldb + j],
+                };
+                acc += av * bv;
+            }
+            let prev = c[j * ldc + i];
+            c[j * ldc + i] = if beta == 0.0 {
+                alpha * acc
+            } else {
+                alpha * acc + beta * prev
+            };
+        }
+    }
+}
+
 fn dominant_mat(n: usize, seed: u64) -> Mat<f64> {
     let r = rand_mat(n, n, seed);
     Mat::from_fn(n, n, |i, j| {
@@ -121,6 +177,84 @@ proptest! {
         trsv(Uplo::Upper, Diag::NonUnit, n, lu.as_slice(), n, &mut b);
         for i in 0..n {
             prop_assert!((b[i] - x_true[(i, 0)]).abs() < 1e-9);
+        }
+    }
+
+    /// The packed register-blocked engine agrees with a naive triple loop
+    /// across every edge it special-cases: dims straddling the MR/NR tile
+    /// boundaries (single row/column included), `lda > m` padding, both
+    /// `Trans` values per operand, and the α = 0 / β ∈ {0, 1, other}
+    /// prologue branches.
+    #[test]
+    fn gemm_matches_naive_at_engine_edges(
+        m in prop::sample::select(vec![1usize, 2, 15, 16, 17, 31, 33, 48]),
+        n in prop::sample::select(vec![1usize, 3, 4, 5, 21, 37]),
+        k in prop::sample::select(vec![1usize, 7, 16, 29]),
+        ta_yes: bool, tb_yes: bool,
+        pa in 0usize..4, pb in 0usize..4, pc in 0usize..4,
+        alpha in prop::sample::select(vec![0.0f64, 1.0, -0.5]),
+        beta in prop::sample::select(vec![0.0f64, 1.0, 0.25]),
+        seed: u64,
+    ) {
+        let ta = if ta_yes { Trans::Yes } else { Trans::No };
+        let tb = if tb_yes { Trans::Yes } else { Trans::No };
+        let (ar, ac) = match ta { Trans::No => (m, k), Trans::Yes => (k, m) };
+        let (br, bc) = match tb { Trans::No => (k, n), Trans::Yes => (n, k) };
+        let (lda, ldb, ldc) = (ar + pa, br + pb, m + pc);
+        let a = rand_padded(ar, ac, lda, seed);
+        let b = rand_padded(br, bc, ldb, seed ^ 7);
+        let c0 = rand_padded(m, n, ldc, seed ^ 8);
+        let mut c = c0.clone();
+        let mut cref = c0.clone();
+        gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
+        naive_gemm(ta, tb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut cref, ldc);
+        for j in 0..n {
+            for i in 0..m {
+                let (got, want) = (c[j * ldc + i], cref[j * ldc + i]);
+                prop_assert!(
+                    (got - want).abs() <= 1e-12 * (k as f64 + 1.0),
+                    "({i},{j}) got {got} want {want} [ta={ta_yes} tb={tb_yes} α={alpha} β={beta}]"
+                );
+            }
+        }
+        // NaN padding rows of C must never be touched.
+        for j in 0..n {
+            for i in m..ldc {
+                prop_assert!(c[j * ldc + i].is_nan());
+            }
+        }
+    }
+
+    /// gemm_mixed's widen-during-pack contract: on f16 operands it is
+    /// bit-identical to full-precision f32 GEMM on the pre-widened data,
+    /// for every transpose combination, padded lda, and ragged tile edge —
+    /// the engine rewrite must never reorder the mixed-precision math.
+    #[test]
+    fn mixed_f16_bitwise_equals_widened_gemm(
+        m in prop::sample::select(vec![1usize, 5, 16, 17, 40]),
+        n in prop::sample::select(vec![1usize, 4, 9, 23]),
+        k in prop::sample::select(vec![1usize, 8, 27]),
+        ta_yes: bool, tb_yes: bool,
+        pa in 0usize..3, pb in 0usize..3,
+        seed: u64,
+    ) {
+        let ta = if ta_yes { Trans::Yes } else { Trans::No };
+        let tb = if tb_yes { Trans::Yes } else { Trans::No };
+        let (ar, ac) = match ta { Trans::No => (m, k), Trans::Yes => (k, m) };
+        let (br, bc) = match tb { Trans::No => (k, n), Trans::Yes => (n, k) };
+        let (lda, ldb) = (ar + pa, br + pb);
+        let a16: Vec<F16> = rand_padded(ar, ac, lda, seed)
+            .iter().map(|&v| if v.is_nan() { F16::ZERO } else { F16::from_f64(v) }).collect();
+        let b16: Vec<F16> = rand_padded(br, bc, ldb, seed ^ 11)
+            .iter().map(|&v| if v.is_nan() { F16::ZERO } else { F16::from_f64(v) }).collect();
+        let a32: Vec<f32> = a16.iter().map(|x| x.to_f32()).collect();
+        let b32: Vec<f32> = b16.iter().map(|x| x.to_f32()).collect();
+        let mut c_mixed = vec![0.25f32; m * n];
+        let mut c_full = c_mixed.clone();
+        gemm_mixed(ta, tb, m, n, k, -1.0, &a16, lda, &b16, ldb, 1.0, &mut c_mixed, m);
+        gemm(ta, tb, m, n, k, -1.0f32, &a32, lda, &b32, ldb, 1.0, &mut c_full, m);
+        for i in 0..m * n {
+            prop_assert_eq!(c_mixed[i].to_bits(), c_full[i].to_bits(), "element {}", i);
         }
     }
 

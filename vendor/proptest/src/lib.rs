@@ -137,6 +137,30 @@ pub mod strategy {
     impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 }
 
+/// `proptest::sample` subset: drawing from an explicit value list.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn pick(&self, rng: &mut TestRng) -> T {
+            self.values[(rng.next_u64() as usize) % self.values.len()].clone()
+        }
+    }
+
+    /// Picks uniformly from `values`, like `proptest::sample::select`.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select from empty list");
+        Select { values }
+    }
+}
+
 /// `any::<T>()` and the [`Arbitrary`] trait behind it.
 pub mod arbitrary {
     use crate::strategy::Strategy;
@@ -212,6 +236,9 @@ impl Default for ProptestConfig {
 
 /// The commonly imported surface, mirroring `proptest::prelude`.
 pub mod prelude {
+    /// The `prop` module alias the real prelude exports, so
+    /// `prop::sample::select(...)` works as documented upstream.
+    pub use crate as prop;
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::Strategy;
     pub use crate::test_runner::{TestCaseError, TestRng};

@@ -1,14 +1,111 @@
 //! Offline stub of the `rayon` crate (see `vendor/README.md`).
 //!
-//! Implements the one data-parallel pattern this workspace uses —
-//! `slice.par_chunks_mut(n).enumerate().for_each(f)` — with real
-//! parallelism over `std::thread::scope`. Chunks are distributed round-robin
-//! across `available_parallelism()` workers; the closure must therefore be
+//! Implements the data-parallel surface this workspace uses with real
+//! parallelism over `std::thread::scope`:
+//!
+//! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
+//! * `(0..n).into_par_iter().for_each(f)` — the task-index loop the 2D
+//!   GEMM decomposition schedules over
+//! * `rayon::join(a, b)` — binary fork-join for recursive splits
+//! * `rayon::current_num_threads()` — pool width, honoring the
+//!   `RAYON_NUM_THREADS` environment variable exactly like the real
+//!   crate's global pool (re-read on every call so benchmarks can sweep
+//!   thread counts in-process)
+//!
+//! Work items are distributed round-robin across workers; closures must be
 //! `Fn + Send + Sync`, exactly as rayon requires.
+
+use std::ops::Range;
 
 /// Rayon's prelude: the extension traits that add `par_*` methods.
 pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
     pub use crate::ParallelSliceMut;
+}
+
+/// Number of worker threads a parallel operation will use: the
+/// `RAYON_NUM_THREADS` environment variable if set to a positive integer,
+/// otherwise `std::thread::available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    let mut rb = None;
+    let ra = std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        rb = Some(handle.join().expect("rayon::join worker panicked"));
+        ra
+    });
+    (ra, rb.expect("join result"))
+}
+
+/// Parallel-iterator traits (`rayon::iter` subset).
+pub mod iter {
+    use super::{run_parallel, Range};
+
+    /// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+    pub trait IntoParallelIterator {
+        /// The type of item this iterator yields.
+        type Item: Send;
+        /// The concrete parallel iterator.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A parallel iterator (`rayon::iter::ParallelIterator` subset).
+    pub trait ParallelIterator: Sized {
+        /// The type of item this iterator yields.
+        type Item: Send;
+        /// Runs `f` on every item, in parallel.
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Send + Sync;
+    }
+
+    /// Parallel iterator over a `Range<usize>`.
+    pub struct RangeParIter {
+        range: Range<usize>,
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = RangeParIter;
+        fn into_par_iter(self) -> RangeParIter {
+            RangeParIter { range: self }
+        }
+    }
+
+    impl ParallelIterator for RangeParIter {
+        type Item = usize;
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(usize) + Send + Sync,
+        {
+            run_parallel(self.range.collect(), &|i| f(i));
+        }
+    }
 }
 
 /// Parallel iterator over mutable, non-overlapping chunks of a slice.
@@ -69,10 +166,7 @@ where
     I: Send,
     F: Fn(I) + Send + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|v| v.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
+    let workers = current_num_threads().min(items.len().max(1));
     if workers <= 1 {
         for item in items {
             f(item);
@@ -116,5 +210,27 @@ mod tests {
         v.par_chunks_mut(32).enumerate().for_each(|(i, chunk)| {
             assert_eq!(chunk[0], i * 32);
         });
+    }
+
+    #[test]
+    fn range_par_iter_covers_every_index() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        (0..hits.len()).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn current_num_threads_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
