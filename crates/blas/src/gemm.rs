@@ -288,12 +288,16 @@ fn gemm_impl<S, R, FA, FB>(
         return;
     }
 
-    // Packed slabs, zero-padded to whole micro-panels, allocated once and
-    // reused across k-slabs.
+    // Packed slabs, zero-padded to whole micro-panels, drawn from the
+    // thread-local scratch arena (the pack loops below fully overwrite
+    // every element — including the padding lanes — so the unspecified
+    // contents of `take` are safe) and reused across k-slabs *and* across
+    // GEMM calls: a blocked factorization's trailing updates stop paying
+    // two allocations per block step.
     let mp = m.div_ceil(MR) * MR;
     let np = n.div_ceil(NR) * NR;
-    let mut apack = vec![R::ZERO; mp * KC.min(k)];
-    let mut bpack = vec![R::ZERO; np * KC.min(k)];
+    let mut apack = crate::scratch::take::<R>(mp * KC.min(k));
+    let mut bpack = crate::scratch::take::<R>(np * KC.min(k));
 
     let (ti, tj) = gemm_task_grid(m, n, k);
     let parallel = ti * tj > 1;

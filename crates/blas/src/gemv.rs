@@ -4,8 +4,18 @@
 //! with a parallel GEMV over regenerated matrix columns (Algorithm 1 line
 //! 38); this kernel is its single-rank core.
 
-use crate::gemm::Trans;
+use crate::gemm::{Trans, MIN_FLOPS_PER_TASK};
 use mxp_precision::Real;
+use rayon::prelude::*;
+
+/// Independent tasks worth dispatching for an `m × n` GEMV: bounded by the
+/// rayon pool and the flop floor shared with the GEMM/TRSM engines (a GEMV
+/// does `2·m·n` flops).
+fn gemv_task_count(m: usize, n: usize) -> usize {
+    let flops = 2.0 * m as f64 * n as f64;
+    let by_flops = (flops / MIN_FLOPS_PER_TASK).floor() as usize;
+    rayon::current_num_threads().min(by_flops).max(1)
+}
 
 /// `y ← α·op(A)·x + β·y` with `A` an `m × n` column-major matrix.
 ///
@@ -49,25 +59,56 @@ pub fn gemv<R: Real>(
     match trans {
         Trans::No => {
             // Column-sweep: y += (alpha * x[j]) * A[:, j]; contiguous reads.
-            for j in 0..n {
-                let axj = alpha * x[j];
-                if axj != R::ZERO {
-                    let col = &a[j * lda..j * lda + m];
-                    for (yi, &aij) in y.iter_mut().zip(col) {
-                        *yi = aij.mul_add(axj, *yi);
+            // Parallel split is over disjoint *row* chunks of y; every chunk
+            // still sweeps j ascending, so each y[i] accumulates its terms
+            // in exactly the serial order — bitwise identical at any thread
+            // count (the residual determinism IR depends on).
+            let row_sweep = |r0: usize, yc: &mut [R]| {
+                let rows = yc.len();
+                for j in 0..n {
+                    let axj = alpha * x[j];
+                    if axj != R::ZERO {
+                        let col = &a[j * lda + r0..j * lda + r0 + rows];
+                        for (yi, &aij) in yc.iter_mut().zip(col) {
+                            *yi = aij.mul_add(axj, *yi);
+                        }
                     }
                 }
+            };
+            let tasks = gemv_task_count(m, n).min(m);
+            if tasks > 1 {
+                let rows_per = m.div_ceil(tasks);
+                y[..m]
+                    .par_chunks_mut(rows_per)
+                    .enumerate()
+                    .for_each(|(t, yc)| row_sweep(t * rows_per, yc));
+            } else {
+                row_sweep(0, &mut y[..m]);
             }
         }
         Trans::Yes => {
-            // Dot products with each column.
-            for j in 0..n {
-                let col = &a[j * lda..j * lda + m];
-                let mut acc = R::ZERO;
-                for (&aij, &xi) in col.iter().zip(x) {
-                    acc = aij.mul_add(xi, acc);
+            // Dot products with each column; columns are independent, and
+            // each dot runs i ascending regardless of the split — bitwise
+            // identical at any thread count.
+            let col_dots = |j0: usize, yc: &mut [R]| {
+                for (dj, yj) in yc.iter_mut().enumerate() {
+                    let col = &a[(j0 + dj) * lda..(j0 + dj) * lda + m];
+                    let mut acc = R::ZERO;
+                    for (&aij, &xi) in col.iter().zip(x) {
+                        acc = aij.mul_add(xi, acc);
+                    }
+                    *yj = alpha.mul_add(acc, *yj);
                 }
-                y[j] = alpha.mul_add(acc, y[j]);
+            };
+            let tasks = gemv_task_count(m, n).min(n);
+            if tasks > 1 {
+                let cols_per = n.div_ceil(tasks);
+                y[..n]
+                    .par_chunks_mut(cols_per)
+                    .enumerate()
+                    .for_each(|(t, yc)| col_dots(t * cols_per, yc));
+            } else {
+                col_dots(0, &mut y[..n]);
             }
         }
     }
@@ -144,6 +185,34 @@ mod tests {
         let mut r = b.clone();
         gemv(Trans::No, n, n, -1.0, a.as_slice(), n, &x, 1.0, &mut r);
         assert!(r.iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        // Shapes big enough to cross the flop floor under 4 threads; the
+        // row/column split must reproduce the serial result bit for bit.
+        for &trans in &[Trans::No, Trans::Yes] {
+            let (m, n) = (4096, 512);
+            let a = rand_mat(m, n, 17);
+            let (xs, ys) = match trans {
+                Trans::No => (n, m),
+                Trans::Yes => (m, n),
+            };
+            let x: Vec<f64> = (0..xs).map(|i| (i as f64 * 0.37).cos()).collect();
+            let y0: Vec<f64> = (0..ys).map(|i| i as f64 * 0.01).collect();
+            std::env::set_var("RAYON_NUM_THREADS", "1");
+            let mut serial = y0.clone();
+            gemv(trans, m, n, -1.0, a.as_slice(), m, &x, 1.0, &mut serial);
+            std::env::set_var("RAYON_NUM_THREADS", "4");
+            assert!(
+                super::gemv_task_count(m, n) > 1,
+                "shape must cross the task floor"
+            );
+            let mut par = y0.clone();
+            gemv(trans, m, n, -1.0, a.as_slice(), m, &x, 1.0, &mut par);
+            std::env::remove_var("RAYON_NUM_THREADS");
+            assert_eq!(serial, par, "{trans:?} parallel gemv diverged");
+        }
     }
 
     #[test]

@@ -7,8 +7,17 @@
 //! Gaussian elimination without pivoting is backward stable for such
 //! matrices. The pivoted variant implements the classic right-looking
 //! partial-pivoting algorithm HPL itself uses.
+//!
+//! The panel factor is itself recursively blocked (split-in-half → TRSM +
+//! register-blocked GEMM, scalar base case only below [`PANEL_BASE`]
+//! columns), so the serial rank-1 fraction of the factorization is
+//! O(n·PANEL_BASE) columns wide instead of O(n·NB) — the Amdahl cleanup
+//! the packed GEMM engine exposed (DESIGN.md §10). All per-block-step pack
+//! buffers come from the thread-local [`crate::scratch`] arena and are
+//! reused across steps.
 
 use crate::gemm::{gemm, Trans};
+use crate::scratch;
 use crate::trsm::{trsm, Diag, Side, Uplo};
 use mxp_precision::Real;
 
@@ -36,12 +45,23 @@ impl std::error::Error for GetrfError {}
 
 /// Panel width of the blocked factorization.
 ///
-/// Retuned for the packed register-blocked GEMM engine: the unblocked
-/// panel factor is scalar rank-1 code, so a narrower panel pushes more of
-/// the n³ work into the fast trailing GEMM. Single-thread f32 sweep at
-/// n = 768 (`kernel_bench`, GFLOP/s): NB=16 → 22.3, 24 → 26.2, **32 →
-/// 27.5**, 48 (old) → 16.9, 64 → 20.5, 96 → 22.1.
+/// Re-swept after the recursive panel factor landed (the
+/// `nb_sweep_report` test below regenerates this table): single-thread f32
+/// at n = 768, best of 3, GFLOP/s — NB=8 → 17.7, 16 → 26.3, 24 → 27.0,
+/// **32 → 28.0**, 48 → 24.5, 64 → 22.0, 96 → 23.6, 128 → 22.4. The
+/// recursive panel lifts the wide-panel end (NB=96 was unusable with the
+/// scalar rank-1 panel) but the optimum stays at 32: the trailing GEMM's
+/// `KC`-slab packing amortizes best when the panel feeds it rank-32
+/// updates, and wider panels just move flops into the lower-rate in-panel
+/// GEMMs.
 const NB: usize = 32;
+
+/// Base-case width of the recursive panel factorization: below this the
+/// fused scalar elimination runs. 8 keeps the base case within one
+/// register-blocked GEMM micro-tile width of work while bounding the
+/// scalar fraction of an `NB`-wide panel to `PANEL_BASE/NB` of its
+/// columns.
+const PANEL_BASE: usize = 8;
 
 /// Unpivoted in-place LU: on return the strictly lower triangle of `A`
 /// holds `L` (unit diagonal implicit) and the upper triangle holds `U`.
@@ -56,15 +76,29 @@ const NB: usize = 32;
 /// assert_eq!(a, [4.0, 1.5, 3.0, -1.5]);
 /// ```
 pub fn getrf_nopiv<R: Real>(n: usize, a: &mut [R], lda: usize) -> Result<(), GetrfError> {
+    getrf_nopiv_nb(n, a, lda, NB)
+}
+
+/// [`getrf_nopiv`] with an explicit panel width — the hook `kernel_bench`
+/// style sweeps use to retune [`NB`]; not part of the stable API.
+#[doc(hidden)]
+pub fn getrf_nopiv_nb<R: Real>(
+    n: usize,
+    a: &mut [R],
+    lda: usize,
+    panel_nb: usize,
+) -> Result<(), GetrfError> {
     assert!(lda >= n.max(1), "lda {lda} < n {n}");
+    assert!(panel_nb > 0, "panel width must be positive");
     if n > 0 {
         assert!(a.len() >= lda * (n - 1) + n, "A buffer too small");
     }
     let mut k = 0;
     while k < n {
-        let nb = NB.min(n - k);
-        // Factor the diagonal panel A[k.., k..k+nb] unblocked.
-        getrf_nopiv_unblocked(n - k, nb, &mut a[k * lda + k..], lda, k)?;
+        let nb = panel_nb.min(n - k);
+        // Factor the panel A[k.., k..k+nb] with the recursive blocked
+        // factor (TRSM + GEMM down to the fused scalar base case).
+        getrf_nopiv_panel(n - k, nb, &mut a[k * lda + k..], lda, k)?;
         let rest = n - k - nb;
         if rest > 0 {
             // U12 = L11^{-1} A12 (unit lower triangular solve).
@@ -86,9 +120,10 @@ pub fn getrf_nopiv<R: Real>(n: usize, a: &mut [R], lda: usize) -> Result<(), Get
                 lda,
             );
             // A22 -= L21 * U12. U12 (rows 0..nb of the a12 view) is packed
-            // into a tight scratch buffer so the GEMM operands don't alias
-            // the rows it updates.
-            let mut u12 = vec![R::ZERO; nb * rest];
+            // into tight arena scratch so the GEMM operands don't alias the
+            // rows it updates; the arena hands the same buffer back every
+            // block step.
+            let mut u12 = scratch::take::<R>(nb * rest);
             for c in 0..rest {
                 u12[c * nb..(c + 1) * nb].copy_from_slice(&a12[c * lda..c * lda + nb]);
             }
@@ -115,9 +150,69 @@ pub fn getrf_nopiv<R: Real>(n: usize, a: &mut [R], lda: usize) -> Result<(), Get
     Ok(())
 }
 
-/// Unblocked unpivoted LU on the top-left `nb` columns of an `m × nb` panel
-/// (the panel includes the rows below the diagonal block).
-fn getrf_nopiv_unblocked<R: Real>(
+/// Recursive unpivoted factorization of an `m × nb` panel (`m ≥ nb`; the
+/// panel includes the rows below its diagonal block): split the columns in
+/// half, factor the left half, solve `U₁₂ = L₁₁⁻¹·A₁₂`, rank-`nb/2` update
+/// the right half with the register-blocked GEMM, recurse. Only the
+/// [`PANEL_BASE`]-wide base case runs scalar code.
+fn getrf_nopiv_panel<R: Real>(
+    m: usize,
+    nb: usize,
+    a: &mut [R],
+    lda: usize,
+    col_offset: usize,
+) -> Result<(), GetrfError> {
+    if nb <= PANEL_BASE {
+        return getrf_nopiv_base(m, nb, a, lda, col_offset);
+    }
+    let nb1 = nb / 2;
+    let nb2 = nb - nb1;
+    getrf_nopiv_panel(m, nb1, a, lda, col_offset)?;
+    let (left, right) = a.split_at_mut(nb1 * lda);
+    // U12 = L11^{-1} A12 over the top nb1 rows of the right half.
+    trsm(
+        Side::Left,
+        Uplo::Lower,
+        Diag::Unit,
+        nb1,
+        nb2,
+        R::ONE,
+        left,
+        lda,
+        right,
+        lda,
+    );
+    // A22 -= L21 · U12, with U12 packed tight from arena scratch (same
+    // non-aliasing requirement as the outer blocked loop).
+    let mut u12 = scratch::take::<R>(nb1 * nb2);
+    for c in 0..nb2 {
+        u12[c * nb1..(c + 1) * nb1].copy_from_slice(&right[c * lda..c * lda + nb1]);
+    }
+    let l21 = &left[nb1..];
+    let a22 = &mut right[nb1..];
+    gemm(
+        Trans::No,
+        Trans::No,
+        m - nb1,
+        nb2,
+        nb1,
+        -R::ONE,
+        l21,
+        lda,
+        &u12,
+        nb1,
+        R::ONE,
+        a22,
+        lda,
+    );
+    getrf_nopiv_panel(m - nb1, nb2, a22, lda, col_offset + nb1)
+}
+
+/// Scalar base case of the recursive panel: classic right-looking
+/// elimination, with the rank-1 updates fused over **pairs** of trailing
+/// columns so each load of `L(:,j)` feeds two FMA streams (halves the
+/// panel-column read traffic and doubles the ILP of the update loop).
+fn getrf_nopiv_base<R: Real>(
     m: usize,
     nb: usize,
     a: &mut [R],
@@ -137,14 +232,26 @@ fn getrf_nopiv_unblocked<R: Real>(
         for i in j + 1..m {
             a[j * lda + i] *= inv;
         }
-        // Rank-1 update of the trailing panel columns.
-        for c in j + 1..nb {
+        // Fused rank-1 update of the trailing panel columns, two at a time.
+        let mut c = j + 1;
+        while c + 1 < nb {
             let ujc = a[c * lda + j];
-            if ujc != R::ZERO {
-                let (colj, colc) = borrow_two_cols(a, lda, j, c);
-                for i in j + 1..m {
-                    colc[i] = (-colj[i]).mul_add(ujc, colc[i]);
-                }
+            let ujd = a[(c + 1) * lda + j];
+            let (lo, hi) = a.split_at_mut(c * lda);
+            let colj = &lo[j * lda..];
+            let (colc, cold) = hi.split_at_mut(lda);
+            for i in j + 1..m {
+                let lij = colj[i];
+                colc[i] = (-lij).mul_add(ujc, colc[i]);
+                cold[i] = (-lij).mul_add(ujd, cold[i]);
+            }
+            c += 2;
+        }
+        if c < nb {
+            let ujc = a[c * lda + j];
+            let (colj, colc) = borrow_two_cols(a, lda, j, c);
+            for i in j + 1..m {
+                colc[i] = (-colj[i]).mul_add(ujc, colc[i]);
             }
         }
     }
@@ -178,10 +285,12 @@ pub fn getrf_pivoted<R: Real>(n: usize, a: &mut [R], lda: usize) -> Result<Vec<u
         if !best.is_finite() {
             return Err(GetrfError::NonFinite(j));
         }
-        // Swap full rows j and p.
+        // Swap full rows j and p: one `slice::swap` per column chunk, so
+        // the offsets are computed once per column by the chunk walk
+        // instead of twice per element by `a.swap(c·lda+j, c·lda+p)`.
         if p != j {
-            for c in 0..n {
-                a.swap(c * lda + j, c * lda + p);
+            for col in a.chunks_mut(lda).take(n) {
+                col.swap(j, p);
             }
         }
         let piv = a[j * lda + j];
@@ -291,6 +400,67 @@ mod tests {
     }
 
     #[test]
+    fn recursive_panel_matches_scalar_reference() {
+        // The recursive panel (TRSM + GEMM splits) must agree with a plain
+        // scalar right-looking elimination to rounding accuracy, including
+        // ragged widths that are not powers of two.
+        for &(m, nb) in &[(96usize, 48usize), (77, 29), (40, 8), (33, 9)] {
+            let a = dominant_mat(m, 1234 + m as u64);
+            // Take the first nb columns as the panel.
+            let mut panel = vec![0.0f64; m * nb];
+            for j in 0..nb {
+                for i in 0..m {
+                    panel[j * m + i] = a[(i, j)];
+                }
+            }
+            let mut reference = panel.clone();
+            // Scalar reference elimination.
+            for j in 0..nb {
+                let piv = reference[j * m + j];
+                for i in j + 1..m {
+                    reference[j * m + i] /= piv;
+                }
+                for c in j + 1..nb {
+                    let ujc = reference[c * m + j];
+                    for i in j + 1..m {
+                        reference[c * m + i] -= reference[j * m + i] * ujc;
+                    }
+                }
+            }
+            getrf_nopiv_panel(m, nb, &mut panel, m, 0).unwrap();
+            for k in 0..m * nb {
+                let d = (panel[k] - reference[k]).abs();
+                assert!(d < 1e-10, "panel {m}x{nb}: element {k} off by {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_steps_reuse_arena_scratch() {
+        // Second identical factorization must acquire scratch without a
+        // single fresh allocation: every pack buffer (panel U12, outer U12,
+        // GEMM A/B slabs) comes back out of the thread-local arena.
+        let n = 192;
+        let a = dominant_mat(n, 77);
+        let mut lu = a.clone();
+        getrf_nopiv(n, lu.as_mut_slice(), n).unwrap(); // warm the arena
+        let (acq0, miss0) = crate::scratch::stats();
+        let mut lu2 = a.clone();
+        getrf_nopiv(n, lu2.as_mut_slice(), n).unwrap();
+        let (acq1, miss1) = crate::scratch::stats();
+        assert!(
+            acq1 - acq0 >= 2 * (n / NB),
+            "expected at least one U12 + GEMM pack acquisition per block step, saw {}",
+            acq1 - acq0
+        );
+        assert_eq!(
+            miss1 - miss0,
+            0,
+            "steady-state factorization must not allocate scratch"
+        );
+    }
+
+    #[test]
     fn nopiv_with_lda_padding() {
         let n = 70;
         let tight = dominant_mat(n, 3);
@@ -373,6 +543,40 @@ mod tests {
     }
 
     #[test]
+    fn pivoted_with_lda_padding_matches_tight() {
+        // Regression for the strided row-swap rewrite: the pivoted variant
+        // on an `lda > n` padded buffer must match the tight-buffer result
+        // exactly — pivots and all factor entries.
+        let n = 40;
+        let mut s = 31u64;
+        let tight = Mat::from_fn(n, n, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / 9.007199254740992e15) - 0.5
+        });
+        let mut padded = Mat::<f64>::zeros_lda(n, n, n + 11);
+        for j in 0..n {
+            for i in 0..n {
+                padded[(i, j)] = tight[(i, j)];
+            }
+        }
+        let mut lu_tight = tight.clone();
+        let ipiv_tight = getrf_pivoted(n, lu_tight.as_mut_slice(), n).unwrap();
+        let ipiv_pad = getrf_pivoted(n, padded.as_mut_slice(), n + 11).unwrap();
+        assert_eq!(ipiv_tight, ipiv_pad, "pivot choice diverged under padding");
+        for j in 0..n {
+            for i in 0..n {
+                assert_eq!(
+                    padded[(i, j)],
+                    lu_tight[(i, j)],
+                    "LU entry ({i},{j}) diverged under padding"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn uniform_matrix_growth_vs_dominant() {
         // Element growth of unpivoted LU on a *non*-dominant random matrix
         // is far worse than on the HPL-AI dominant one — the negative
@@ -416,5 +620,58 @@ mod tests {
         // Backward error at f32 level, scaled by the dominant diagonal.
         let scale = n as f64 / 2.0 + 1.0;
         assert!(back.max_abs_diff(&a64) < 1e-4 * scale);
+    }
+
+    #[test]
+    #[ignore = "manual NB sweep: cargo test -p mxp-blas --release nb_sweep -- --ignored --nocapture"]
+    fn nb_sweep_report() {
+        // Evidence generator for the `NB` doc comment: single-thread f32
+        // factorization rate at n = 768 across panel widths.
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let n = 768usize;
+        let mut s = 1u64;
+        let a: Vec<f32> = (0..n * n)
+            .map(|_| {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((s >> 11) as f64 / 9.007199254740992e15) - 0.5) as f32
+            })
+            .collect();
+        let mut a = a;
+        for i in 0..n {
+            a[i * n + i] = n as f32;
+        }
+        let flops = 2.0 / 3.0 * (n as f64).powi(3);
+        for nb in [8usize, 16, 24, 32, 48, 64, 96, 128] {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let mut lu = a.clone();
+                let t0 = std::time::Instant::now();
+                getrf_nopiv_nb(n, &mut lu, n, nb).unwrap();
+                best = best.min(t0.elapsed().as_secs_f64());
+            }
+            println!("NB={nb:3}  {:.3}s  {:.1} GFLOP/s", best, flops / best / 1e9);
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+    }
+
+    #[test]
+    fn nb_override_matches_default() {
+        // Any panel width must give the same factorization to rounding
+        // accuracy — the NB sweep relies on this hook being equivalent.
+        let n = 130;
+        let a = dominant_mat(n, 21);
+        let mut base = a.clone();
+        getrf_nopiv(n, base.as_mut_slice(), n).unwrap();
+        for nb in [8usize, 16, 33, 64, 200] {
+            let mut lu = a.clone();
+            getrf_nopiv_nb(n, lu.as_mut_slice(), n, nb).unwrap();
+            let back = reconstruct(n, &lu);
+            assert!(
+                back.max_abs_diff(&a) < 1e-10 * n as f64,
+                "nb={nb} failed to reconstruct"
+            );
+        }
     }
 }

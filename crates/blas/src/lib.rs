@@ -31,6 +31,7 @@ mod getrf;
 mod level1;
 mod mat;
 mod norms;
+pub mod scratch;
 mod trsm;
 mod trsv;
 

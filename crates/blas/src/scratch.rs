@@ -1,0 +1,215 @@
+//! Thread-local scratch arenas for the blocked kernels (DESIGN.md §10).
+//!
+//! The blocked factorization path allocates short-lived pack buffers at
+//! every block step: `getrf_nopiv` packs `U₁₂` before the trailing GEMM,
+//! `trsm` packs row blocks ahead of its rank-k updates, and the GEMM
+//! engine packs A and B slabs. Before this module each of those was a
+//! fresh `vec!` — for an `n = 4096`, `NB = 32` factorization that is
+//! several hundred heap allocations (plus page faults on first touch) on
+//! the critical path. The arena keeps one buffer per (thread, element
+//! type, role-peak-size) alive and hands it back out on the next
+//! acquisition, so steady-state block steps allocate nothing.
+//!
+//! # Ownership model
+//!
+//! * Buffers live in a **thread-local** pool: no locks, no sharing, and a
+//!   kernel running on a rayon worker reuses the buffers of the previous
+//!   dispatch on that worker (the vendored rayon pool keeps workers — and
+//!   therefore their arenas — alive across calls).
+//! * [`take`] pops the **largest** pooled buffer of the element type
+//!   (resizing it to the request), so one buffer serves a shrinking
+//!   sequence of requests — exactly the shape of a right-looking
+//!   factorization whose trailing matrix shrinks every step — instead of
+//!   ping-ponging between per-size buffers.
+//! * The returned [`ScratchGuard`] owns the buffer; dropping it returns
+//!   the buffer to the pool. Contents are **unspecified** (stale data from
+//!   a previous use) — every current caller fully overwrites its scratch
+//!   before reading, which is the whole point: no `memset` per step
+//!   either. Use [`take_zeroed`] when cleared contents are required.
+//! * The pool holds at most [`MAX_POOLED`] buffers per element type;
+//!   beyond that, dropped guards free their buffer instead (bounds memory
+//!   on pathological acquire patterns).
+//!
+//! [`stats`] exposes per-thread acquisition/allocation counters so tests
+//! can assert the no-allocation steady state (see `getrf` tests).
+
+use core::any::{Any, TypeId};
+use core::cell::{Cell, RefCell};
+use core::ops::{Deref, DerefMut};
+use std::collections::HashMap;
+
+/// Maximum buffers retained per element type per thread.
+const MAX_POOLED: usize = 8;
+
+thread_local! {
+    /// Pooled buffers, keyed by element type. Values are `Vec<Vec<T>>`
+    /// behind `dyn Any`.
+    static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+    /// Total acquisitions on this thread.
+    static ACQUIRES: Cell<usize> = const { Cell::new(0) };
+    /// Acquisitions that had to allocate a fresh buffer (pool miss).
+    static MISSES: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Per-thread arena counters: `(acquires, misses)`. An acquisition is any
+/// [`take`]/[`take_zeroed`] call; a miss is one that allocated a fresh
+/// buffer instead of reusing a pooled one. In the steady state of a
+/// blocked kernel, `acquires` grows with the block count while `misses`
+/// stays at the handful of distinct buffer roles.
+pub fn stats() -> (usize, usize) {
+    (ACQUIRES.with(Cell::get), MISSES.with(Cell::get))
+}
+
+/// An exclusively owned scratch buffer of `len` elements, returned to the
+/// thread-local pool on drop.
+pub struct ScratchGuard<T: 'static> {
+    buf: Vec<T>,
+}
+
+impl<T> Deref for ScratchGuard<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        &self.buf
+    }
+}
+
+impl<T> DerefMut for ScratchGuard<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.buf
+    }
+}
+
+impl<T: 'static> Drop for ScratchGuard<T> {
+    fn drop(&mut self) {
+        let buf = core::mem::take(&mut self.buf);
+        POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let entry = pool
+                .entry(TypeId::of::<T>())
+                .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()));
+            let bufs = entry
+                .downcast_mut::<Vec<Vec<T>>>()
+                .expect("pool entry type");
+            if bufs.len() < MAX_POOLED {
+                bufs.push(buf);
+            }
+        });
+    }
+}
+
+/// Acquires a scratch buffer of exactly `len` elements with **unspecified
+/// contents** (stale data on reuse, `T::default()` on first touch). The
+/// caller must fully overwrite the buffer before reading it.
+pub fn take<T: Copy + Default + 'static>(len: usize) -> ScratchGuard<T> {
+    ACQUIRES.with(|c| c.set(c.get() + 1));
+    let mut buf: Vec<T> = POOL
+        .with(|pool| {
+            let mut pool = pool.borrow_mut();
+            let bufs = pool
+                .get_mut(&TypeId::of::<T>())?
+                .downcast_mut::<Vec<Vec<T>>>()
+                .expect("pool entry type");
+            // Pop the largest buffer so the request resizes (and any later,
+            // smaller request re-fits) without reallocating.
+            let best = bufs
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, b)| b.capacity())
+                .map(|(i, _)| i)?;
+            Some(bufs.swap_remove(best))
+        })
+        .unwrap_or_else(|| {
+            MISSES.with(|c| c.set(c.get() + 1));
+            Vec::new()
+        });
+    if buf.capacity() < len {
+        // Growing an existing buffer is still a heap round-trip: count it.
+        if buf.capacity() > 0 {
+            MISSES.with(|c| c.set(c.get() + 1));
+        }
+        buf.reserve_exact(len - buf.len());
+    }
+    // Cheap length fix-up: only elements beyond the previous length are
+    // default-filled; the reused prefix keeps stale contents.
+    if buf.len() < len {
+        buf.resize(len, T::default());
+    } else {
+        buf.truncate(len);
+    }
+    ScratchGuard { buf }
+}
+
+/// Like [`take`] but with every element cleared to `T::default()`.
+pub fn take_zeroed<T: Copy + Default + 'static>(len: usize) -> ScratchGuard<T> {
+    let mut g = take::<T>(len);
+    g.buf.fill(T::default());
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_has_requested_len() {
+        let g = take::<f64>(37);
+        assert_eq!(g.len(), 37);
+        let z = take_zeroed::<f32>(8);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn buffers_are_reused_on_this_thread() {
+        let (a0, m0) = stats();
+        {
+            let mut g = take::<f64>(100);
+            g[0] = 1.0;
+        } // returned to pool
+        for _ in 0..10 {
+            let g = take::<f64>(50); // smaller: must re-fit, not allocate
+            drop(g);
+        }
+        let (a1, m1) = stats();
+        assert_eq!(a1 - a0, 11);
+        assert!(
+            m1 - m0 <= 1,
+            "expected at most one fresh allocation, got {}",
+            m1 - m0
+        );
+    }
+
+    #[test]
+    fn distinct_types_pool_independently() {
+        let g32 = take::<f32>(16);
+        let g64 = take::<f64>(16);
+        assert_eq!(g32.len(), 16);
+        assert_eq!(g64.len(), 16);
+    }
+
+    #[test]
+    fn concurrent_guards_are_distinct_buffers() {
+        let mut a = take::<f64>(4);
+        let mut b = take::<f64>(4);
+        a.fill(1.0);
+        b.fill(2.0);
+        assert!(a.iter().all(|&v| v == 1.0));
+        assert!(b.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn growing_request_counts_as_miss() {
+        // Warm the pool with a small buffer, then request a bigger one.
+        drop(take::<i64>(8));
+        let (_, m0) = stats();
+        drop(take::<i64>(1024));
+        let (_, m1) = stats();
+        assert_eq!(m1 - m0, 1, "growth must be visible as a miss");
+        // And now the grown buffer serves big requests without misses.
+        let (_, m2) = stats();
+        drop(take::<i64>(1024));
+        let (_, m3) = stats();
+        assert_eq!(m3 - m2, 0);
+    }
+}

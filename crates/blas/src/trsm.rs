@@ -8,6 +8,7 @@
 //! `cublasStrsm`/`rocblas_strsm` contract.
 
 use crate::gemm::{gemm, SendPtr, Trans, MIN_FLOPS_PER_TASK};
+use crate::scratch;
 use mxp_precision::Real;
 use rayon::prelude::*;
 
@@ -123,7 +124,10 @@ pub fn trsm<R: Real>(
             (0..m.div_ceil(rows_per)).into_par_iter().for_each(|t| {
                 let r0 = t * rows_per;
                 let rows = rows_per.min(m - r0);
-                let mut tight = vec![R::ZERO; rows * n];
+                // Arena scratch: every element is overwritten by the gather
+                // below, and the worker's pool hands the same buffer back on
+                // the next dispatch (the vendored pool keeps workers alive).
+                let mut tight = scratch::take::<R>(rows * n);
                 // SAFETY: tasks own disjoint row ranges [r0, r0+rows) of b,
                 // which outlives the scoped worker threads.
                 unsafe {
@@ -298,9 +302,16 @@ fn trsm_rec<R: Real>(
 }
 
 /// Packs rows `[r0, r0+rows)` of the `ldb`-strided matrix into a tight
-/// `rows × n` column-major buffer.
-fn pack_rows<R: Real>(b: &[R], r0: usize, rows: usize, n: usize, ldb: usize) -> Vec<R> {
-    let mut out = vec![R::ZERO; rows * n];
+/// `rows × n` column-major arena buffer (fully overwritten, so the
+/// unspecified contents of [`scratch::take`] are fine).
+fn pack_rows<R: Real>(
+    b: &[R],
+    r0: usize,
+    rows: usize,
+    n: usize,
+    ldb: usize,
+) -> scratch::ScratchGuard<R> {
+    let mut out = scratch::take::<R>(rows * n);
     for j in 0..n {
         out[j * rows..(j + 1) * rows].copy_from_slice(&b[j * ldb + r0..j * ldb + r0 + rows]);
     }

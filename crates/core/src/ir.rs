@@ -21,7 +21,7 @@ use crate::grid::ProcessGrid;
 use crate::local::LocalMatrix;
 use crate::msg::PanelMsg;
 use crate::systems::SystemSpec;
-use mxp_blas::{trsv, vec_inf_norm, Diag, Uplo};
+use mxp_blas::{gemv, trsv, vec_inf_norm, Diag, Trans, Uplo};
 use mxp_lcg::{MatrixGen, MatrixKind};
 use mxp_msgsim::{BcastAlgo, Comm, Group};
 
@@ -95,32 +95,53 @@ pub fn refine(
     let mut iters = 0;
     let mut converged = false;
     let mut residual_inf = f64::INFINITY;
+    // All per-sweep work buffers are hoisted out of the refinement loop and
+    // reused across sweeps; the only `Vec`s created inside the loop are
+    // message payloads, whose ownership moves into the comm layer. The
+    // vectors consumed by Allreduce come back as the reduced result, so
+    // their capacity is reclaimed for the next sweep.
     let mut col_buf = vec![0.0f64; n * b];
+    let mut ax = vec![0.0f64; n];
+    let mut r = vec![0.0f64; n];
+    let mut y_seg = vec![0.0f64; n]; // solved L-segments (owners only)
+    let mut d_seg = vec![0.0f64; n]; // solved U-segments (owners only)
 
     while iters < MAX_IR_ITERS {
         // ---- residual r = b - A·x via regenerated block columns ---------
-        let mut ax = vec![0.0f64; n];
+        ax.fill(0.0);
         for k in 0..n_b {
             if grid.owner_of_block(k, k) != (my_r, my_c) {
                 continue;
             }
             gen.fill_tile(0..n, k * b..(k + 1) * b, n, &mut col_buf);
             comm.charge((n * b) as f64 / sys.cpu.gen_rate / speed);
-            for j in 0..b {
-                let xj = x[k * b + j];
-                if xj != 0.0 {
-                    let col = &col_buf[j * n..(j + 1) * n];
-                    for (a, &c) in ax.iter_mut().zip(col) {
-                        *a += c * xj;
-                    }
-                }
-            }
+            // ax += A(:, k-block) · x(k-block): the (parallel) GEMV kernel
+            // replaces the old handwritten scalar column sweep.
+            gemv(
+                Trans::No,
+                n,
+                b,
+                1.0,
+                &col_buf,
+                n,
+                &x[k * b..(k + 1) * b],
+                1.0,
+                &mut ax,
+            );
             comm.charge(2.0 * (n * b) as f64 / sys.cpu.flop_rate / speed);
         }
-        let ax = world
-            .allreduce(comm, PanelMsg::VecF64(ax), 8 * n as u64, sum_vec)
+        let ax_sum = world
+            .allreduce(
+                comm,
+                PanelMsg::VecF64(core::mem::take(&mut ax)),
+                8 * n as u64,
+                sum_vec,
+            )
             .into_vec64();
-        let r: Vec<f64> = b_vec.iter().zip(&ax).map(|(bv, av)| bv - av).collect();
+        for (ri, (bv, av)) in r.iter_mut().zip(b_vec.iter().zip(&ax_sum)) {
+            *ri = bv - av;
+        }
+        ax = ax_sum; // reclaim the reduced vector as next sweep's buffer
         residual_inf = vec_inf_norm(&r);
         iters += 1;
 
@@ -140,7 +161,7 @@ pub fn refine(
         // descending). Sweeps can share tags because the Allreduce between
         // them is a data-flow barrier and every message is consumed within
         // its sweep.
-        let mut y_seg = vec![0.0f64; n]; // solved segments (owners only)
+        y_seg.fill(0.0);
         let fwd_tag = |k: usize| 0x0001_0000 | k as u32;
         for k in 0..n_b {
             let (kr, kc) = grid.owner_of_block(k, k);
@@ -189,7 +210,7 @@ pub fn refine(
         }
 
         // ---- backward fan-in solve: Ũ·d = y ------------------------------
-        let mut d_seg = vec![0.0f64; n];
+        d_seg.fill(0.0);
         let bwd_tag = |k: usize| 0x0002_0000 | k as u32;
         for k in (0..n_b).rev() {
             let (kr, kc) = grid.owner_of_block(k, k);
@@ -239,11 +260,17 @@ pub fn refine(
 
         // ---- x ← x + d (assemble the correction everywhere) -------------
         let d = world
-            .allreduce(comm, PanelMsg::VecF64(d_seg), 8 * n as u64, sum_vec)
+            .allreduce(
+                comm,
+                PanelMsg::VecF64(core::mem::take(&mut d_seg)),
+                8 * n as u64,
+                sum_vec,
+            )
             .into_vec64();
-        for (xi, di) in x.iter_mut().zip(d) {
+        for (xi, di) in x.iter_mut().zip(&d) {
             *xi += di;
         }
+        d_seg = d; // reclaim for the next sweep
     }
 
     let x_norm = vec_inf_norm(&x);
@@ -279,11 +306,17 @@ fn push_contribs(
     for kp in targets {
         let lr = local.row_of_block(kp);
         let lc = local.col_of_block(k);
+        // One column-sweep GEMV per target (`u` is the message payload, so
+        // it is allocated as the owned Vec the comm layer takes): block
+        // columns of the local matrix are contiguous, so each j contributes
+        // a single widened axpy over a contiguous f32 slice instead of the
+        // old per-element `idx()` address computation.
         let mut u = vec![0.0f64; b];
         for (j, &vj) in v.iter().enumerate().take(b) {
             if vj != 0.0 {
-                for (i, ui) in u.iter_mut().enumerate() {
-                    *ui += local.data[local.idx(lr + i, lc + j)] as f64 * vj;
+                let col = &local.data[local.idx(lr, lc + j)..][..b];
+                for (ui, &aij) in u.iter_mut().zip(col) {
+                    *ui += aij as f64 * vj;
                 }
             }
         }
@@ -293,12 +326,16 @@ fn push_contribs(
     }
 }
 
+/// Looks up an owned diagonal block by global block index. The block list
+/// is built in ascending `k` order (a filtered `0..n_b` range), so the
+/// lookup is a binary search instead of the old linear scan — `O(log n_b)`
+/// per TRSV in the fan-in sweeps.
 fn diag_block(blocks: &[(usize, Vec<f64>)], k: usize) -> &[f64] {
-    &blocks
-        .iter()
-        .find(|(kk, _)| *kk == k)
-        .expect("owner holds its diagonal block")
-        .1
+    debug_assert!(blocks.windows(2).all(|w| w[0].0 < w[1].0));
+    let i = blocks
+        .binary_search_by_key(&k, |(kk, _)| *kk)
+        .expect("owner holds its diagonal block");
+    &blocks[i].1
 }
 
 fn sum_vec(a: PanelMsg, b: PanelMsg) -> PanelMsg {

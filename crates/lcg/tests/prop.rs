@@ -51,6 +51,23 @@ proptest! {
         }
     }
 
+    /// Parallel tile fill is bitwise identical to the serial path for any
+    /// seed and any shape above the parallel-dispatch floor: each column
+    /// jumps to its own stream position and draws the same values the
+    /// serial sweep would have.
+    #[test]
+    fn parallel_fill_matches_serial(seed: u64, n in 130usize..200) {
+        let g = MatrixGen::new(seed, n, MatrixKind::DiagDominant);
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let mut serial = vec![0.0; n * n];
+        g.fill_tile(0..n, 0..n, n, &mut serial);
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let mut par = vec![0.0; n * n];
+        g.fill_tile(0..n, 0..n, n, &mut par);
+        std::env::remove_var("RAYON_NUM_THREADS");
+        prop_assert_eq!(serial, par);
+    }
+
     /// Unit mapping stays in [-0.5, 0.5).
     #[test]
     fn unit_range(seed: u64) {

@@ -1,7 +1,7 @@
 //! Offline stub of the `rayon` crate (see `vendor/README.md`).
 //!
 //! Implements the data-parallel surface this workspace uses with real
-//! parallelism over `std::thread::scope`:
+//! parallelism over a **persistent worker-thread pool**:
 //!
 //! * `slice.par_chunks_mut(n).enumerate().for_each(f)`
 //! * `(0..n).into_par_iter().for_each(f)` — the task-index loop the 2D
@@ -12,10 +12,44 @@
 //!   crate's global pool (re-read on every call so benchmarks can sweep
 //!   thread counts in-process)
 //!
-//! Work items are distributed round-robin across workers; closures must be
-//! `Fn + Send + Sync`, exactly as rayon requires.
+//! # Pool semantics
+//!
+//! Earlier versions of this stub spawned fresh scoped threads on every
+//! parallel call. That cost one `thread::spawn` per worker per call (tens
+//! of microseconds each — significant for the per-block-step GEMM/TRSM
+//! dispatches of a blocked factorization) and, worse, destroyed the
+//! workers' thread-local state between calls, which defeats the
+//! thread-local scratch arenas the BLAS kernels reuse across block steps.
+//! Workers are now spawned once, on demand, and live for the process:
+//!
+//! * The dispatching thread deals work items round-robin into
+//!   `min(current_num_threads(), items)` buckets, runs bucket 0 itself,
+//!   and hands the rest to pool workers, then blocks on a countdown latch
+//!   until every bucket finishes — so borrowed captures stay valid even
+//!   though the queued jobs are lifetime-erased.
+//! * Nested parallel calls *from a pool worker* run inline (sequential on
+//!   that worker). This both avoids dispatch-cycle deadlocks (a blocked
+//!   worker can never be required to drain another blocked worker's
+//!   queue) and matches how the workspace uses nesting: the outer level
+//!   already saturates the pool.
+//! * Worker panics are caught, carried back through the latch, and
+//!   re-raised on the dispatching thread, like real rayon.
+//! * `RAYON_NUM_THREADS` is re-read on every call; the pool grows to the
+//!   largest width ever requested and each call uses a prefix of it, so
+//!   in-process thread-count sweeps (as `kernel_bench --threads` does)
+//!   keep working.
+//!
+//! Work distribution (round-robin by item index) is deterministic and
+//! independent of the pool width actually granted, so any kernel whose
+//! per-item work is self-contained stays bitwise reproducible across
+//! `RAYON_NUM_THREADS` settings.
 
+use std::any::Any;
+use std::cell::Cell;
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Rayon's prelude: the extension traits that add `par_*` methods.
 pub mod prelude {
@@ -39,6 +73,87 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// A lifetime-erased unit of work queued to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Send handles of the persistent workers, grown on demand and never
+/// shrunk; each parallel call uses the prefix `[..workers-1]` (the caller
+/// is the remaining worker).
+static WORKERS: OnceLock<Mutex<Vec<Sender<Job>>>> = OnceLock::new();
+
+thread_local! {
+    /// Set once on pool workers: parallel calls made *from* a worker run
+    /// inline instead of re-dispatching (see module docs).
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Returns send handles for `count` persistent workers, spawning any that
+/// do not exist yet.
+fn worker_senders(count: usize) -> Vec<Sender<Job>> {
+    let pool = WORKERS.get_or_init(|| Mutex::new(Vec::new()));
+    let mut workers = pool.lock().expect("worker registry poisoned");
+    while workers.len() < count {
+        let (tx, rx) = channel::<Job>();
+        std::thread::Builder::new()
+            .name(format!("rayon-stub-{}", workers.len()))
+            .spawn(move || {
+                IS_WORKER.with(|w| w.set(true));
+                for job in rx {
+                    job();
+                }
+            })
+            .expect("spawn pool worker");
+        workers.push(tx);
+    }
+    workers[..count].to_vec()
+}
+
+/// Countdown latch a dispatching thread blocks on until every job it
+/// queued has completed; also ferries the first worker panic back.
+struct Latch {
+    left: Mutex<usize>,
+    done: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl Latch {
+    fn new(count: usize) -> Arc<Self> {
+        Arc::new(Latch {
+            left: Mutex::new(count),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    /// Records a caught worker panic (first one wins).
+    fn poison(&self, payload: Box<dyn Any + Send>) {
+        let mut p = self.panic.lock().expect("panic slot");
+        p.get_or_insert(payload);
+    }
+
+    fn count_down(&self) {
+        let mut left = self.left.lock().expect("latch count");
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.left.lock().expect("latch count");
+        while *left > 0 {
+            left = self.done.wait(left).expect("latch wait");
+        }
+    }
+
+    /// Re-raises a recorded worker panic, if any. Call only after `wait`.
+    fn check(&self) {
+        if let Some(p) = self.panic.lock().expect("panic slot").take() {
+            resume_unwind(p);
+        }
+    }
+}
+
 /// Runs the two closures, potentially in parallel, returning both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
@@ -47,17 +162,36 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    if current_num_threads() <= 1 || IS_WORKER.with(|w| w.get()) {
         return (a(), b());
     }
-    let mut rb = None;
-    let ra = std::thread::scope(|scope| {
-        let handle = scope.spawn(b);
-        let ra = a();
-        rb = Some(handle.join().expect("rayon::join worker panicked"));
-        ra
-    });
-    (ra, rb.expect("join result"))
+    let latch = Latch::new(1);
+    let mut rb: Option<RB> = None;
+    {
+        let rb = &mut rb;
+        let latch_w = Arc::clone(&latch);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            match catch_unwind(AssertUnwindSafe(b)) {
+                Ok(v) => *rb = Some(v),
+                Err(p) => latch_w.poison(p),
+            }
+            latch_w.count_down();
+        });
+        // SAFETY: `latch.wait()` below blocks until the job has run, so the
+        // borrows it captures (`rb`, `b`'s environment) outlive it despite
+        // the erased lifetime.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        worker_senders(1)[0].send(job).expect("pool worker hung up");
+    }
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    latch.wait();
+    match ra {
+        Err(p) => resume_unwind(p),
+        Ok(ra) => {
+            latch.check();
+            (ra, rb.expect("join worker result"))
+        }
+    }
 }
 
 /// Parallel-iterator traits (`rayon::iter` subset).
@@ -167,31 +301,58 @@ where
     F: Fn(I) + Send + Sync,
 {
     let workers = current_num_threads().min(items.len().max(1));
-    if workers <= 1 {
+    if workers <= 1 || IS_WORKER.with(|w| w.get()) {
         for item in items {
             f(item);
         }
         return;
     }
-    // Deal items round-robin so load is balanced even when chunk costs vary.
+    // Deal items round-robin so load is balanced even when chunk costs
+    // vary; the dealing is by item index only, so the assignment (and thus
+    // any per-bucket execution order) is deterministic for a given
+    // (items, workers) pair.
     let mut buckets: Vec<Vec<I>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, item) in items.into_iter().enumerate() {
         buckets[i % workers].push(item);
     }
-    std::thread::scope(|scope| {
-        for bucket in buckets {
-            scope.spawn(move || {
+    let mine = buckets.remove(0);
+    let latch = Latch::new(buckets.len());
+    let senders = worker_senders(buckets.len());
+    for (tx, bucket) in senders.iter().zip(buckets) {
+        let latch_w = Arc::clone(&latch);
+        let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| {
                 for item in bucket {
                     f(item);
                 }
-            });
+            })) {
+                latch_w.poison(p);
+            }
+            latch_w.count_down();
+        });
+        // SAFETY: `latch.wait()` below blocks until every queued job has
+        // completed, so the borrows the job captures (`f` and whatever the
+        // items reference) outlive its execution despite the erased
+        // lifetime; panics are caught and re-raised after the wait.
+        let job: Job = unsafe { std::mem::transmute(job) };
+        tx.send(job).expect("pool worker hung up");
+    }
+    let mine_result = catch_unwind(AssertUnwindSafe(|| {
+        for item in mine {
+            f(item);
         }
-    });
+    }));
+    latch.wait();
+    if let Err(p) = mine_result {
+        resume_unwind(p);
+    }
+    latch.check();
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn chunks_cover_slice_exactly_once() {
@@ -214,7 +375,6 @@ mod tests {
 
     #[test]
     fn range_par_iter_covers_every_index() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
         let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
         (0..hits.len()).into_par_iter().for_each(|i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
@@ -232,5 +392,81 @@ mod tests {
     #[test]
     fn current_num_threads_positive() {
         assert!(super::current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn pool_survives_many_dispatches() {
+        // The persistent pool must keep absorbing work (the scoped-thread
+        // stub this replaces created and destroyed threads per call).
+        std::env::set_var("RAYON_NUM_THREADS", "3");
+        let total = AtomicUsize::new(0);
+        for round in 0..50 {
+            let mut v = vec![1usize; 64 + round];
+            v.par_chunks_mut(7).for_each(|chunk| {
+                total.fetch_add(chunk.len(), Ordering::Relaxed);
+            });
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+        let expect: usize = (0..50).map(|r| 64 + r).sum();
+        assert_eq!(total.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline_and_completes() {
+        // A parallel call from inside a pool worker must not deadlock; it
+        // degrades to inline execution on that worker.
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        (0..8usize).into_par_iter().for_each(|outer| {
+            (0..8usize).into_par_iter().for_each(|inner| {
+                hits[outer * 8 + inner].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        std::env::set_var("RAYON_NUM_THREADS", "4");
+        let result = std::panic::catch_unwind(|| {
+            (0..16usize).into_par_iter().for_each(|i| {
+                if i == 11 {
+                    panic!("boom from item {i}");
+                }
+            });
+        });
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+
+    #[test]
+    fn worker_thread_locals_persist_across_calls() {
+        // The point of the persistent pool: thread-local state (e.g. the
+        // BLAS scratch arenas) must survive from one parallel call to the
+        // next instead of dying with a scoped thread.
+        thread_local! {
+            static CALLS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+        }
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+        let reused = AtomicUsize::new(0);
+        for _ in 0..8 {
+            let mut v = [0u8; 16];
+            v.par_chunks_mut(2).for_each(|_| {
+                let prior = CALLS.with(|c| {
+                    let p = c.get();
+                    c.set(p + 1);
+                    p
+                });
+                if prior > 0 {
+                    reused.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert!(
+            reused.load(Ordering::Relaxed) > 0,
+            "no worker thread-local survived across dispatches"
+        );
     }
 }
