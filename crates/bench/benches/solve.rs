@@ -38,9 +38,9 @@ fn bench_distributed_hpl(c: &mut Criterion) {
             let mut spec = WorldSpec::cluster(1, 4, sys.net);
             spec.locs = grid.locs();
             spec.tuning = sys.tuning;
-            let outs = spec.run::<PanelMsg, _, _>(|mut comm| {
-                hpl_dist_solve(&mut comm, &grid, &sys, 128, 16, 7, MatrixKind::Uniform, 1.0)
-                    .scaled_residual
+            let outs = spec.run::<PanelMsg, _, _>(|comm| {
+                let mut ctx = hplai_core::RankCtx::new(comm, &grid);
+                hpl_dist_solve(&mut ctx, &sys, 128, 16, 7, MatrixKind::Uniform, 1.0).scaled_residual
             });
             black_box(outs)
         });

@@ -348,10 +348,11 @@ fn bench_ir(entries: &mut Vec<Entry>, threads: usize, n: usize, b: usize, reps: 
             seed: 7,
             prec: TrailingPrecision::Fp16,
         };
-        let per_sweep: Vec<f64> = spec.run::<PanelMsg, _, _>(|mut c| {
-            let out = factor(&mut c, &grid, &sys, &cfg, 1.0);
+        let per_sweep: Vec<f64> = spec.run::<PanelMsg, _, _>(|c| {
+            let mut ctx = hplai_core::RankCtx::new(c, &grid);
+            let out = factor(&mut ctx, &sys, &cfg, 1.0);
             let t0 = Instant::now();
-            let o = refine(&mut c, &grid, &sys, &cfg, out.local.as_ref().unwrap(), 1.0);
+            let o = refine(&mut ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0);
             let secs = t0.elapsed().as_secs_f64();
             assert!(o.converged, "ir bench solve failed to converge");
             secs / o.iters.max(1) as f64

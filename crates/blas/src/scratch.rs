@@ -26,7 +26,7 @@
 //!   a previous use) — every current caller fully overwrites its scratch
 //!   before reading, which is the whole point: no `memset` per step
 //!   either. Use [`take_zeroed`] when cleared contents are required.
-//! * The pool holds at most [`MAX_POOLED`] buffers per element type;
+//! * The pool holds at most `MAX_POOLED` buffers per element type;
 //!   beyond that, dropped guards free their buffer instead (bounds memory
 //!   on pathological acquire patterns).
 //!

@@ -20,12 +20,13 @@
 
 use crate::grid::ProcessGrid;
 use crate::local::LocalMatrix;
-use crate::msg::{PanelData, PanelMsg, TrailingPrecision};
+use crate::msg::{PanelData, TrailingPrecision};
+use crate::runtime::{CommScope, PanelBcast, RankCtx};
 use crate::systems::SystemSpec;
 use mxp_blas::{Diag, Side, Uplo};
 use mxp_gpusim::{BlasShim, GcdModel, GcdSpeed, Workspace};
 use mxp_lcg::{MatrixGen, MatrixKind};
-use mxp_msgsim::{BcastAlgo, BcastRequest, Comm, Group};
+use mxp_msgsim::BcastAlgo;
 
 /// Execution fidelity of the driver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,10 +97,10 @@ enum PanelSlot {
     Ready(PanelData),
     /// Root that already holds its data but still owes the collective a
     /// join (deferred-injection vendor `MPI_Ibcast`).
-    RootInFlight(PanelData, BcastRequest<PanelMsg>),
+    RootInFlight(PanelData, PanelBcast),
     /// Receiver whose posted broadcast has not been joined yet — the
     /// transfer is riding under whatever compute happens meanwhile.
-    InFlight(BcastRequest<PanelMsg>),
+    InFlight(PanelBcast),
 }
 
 impl PanelSlot {
@@ -115,8 +116,7 @@ impl PanelSlot {
 /// Completes a slot's pending broadcast (no-op when already resident),
 /// charging join time to `rec.bcast`/`rec.hidden` when a record is given.
 fn resolve_slot(
-    comm: &mut Comm<PanelMsg>,
-    group: &mut Group,
+    ctx: &mut RankCtx,
     slot: &mut PanelSlot,
     fidelity: Fidelity,
     extent: usize,
@@ -126,23 +126,19 @@ fn resolve_slot(
     let cur = std::mem::replace(slot, PanelSlot::Ready(PanelData::empty(prec)));
     *slot = match cur {
         PanelSlot::Ready(d) => PanelSlot::Ready(d),
-        PanelSlot::RootInFlight(d, req) => {
-            let t0 = comm.now();
-            let w0 = comm.wait_total();
-            let (_, info) = group.ibcast_join(comm, req);
+        PanelSlot::RootInFlight(d, pb) => {
+            let (_, st) = ctx.join_panel(pb);
             if let Some(r) = rec {
-                r.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
-                r.hidden += info.hidden;
+                r.bcast += st.busy;
+                r.hidden += st.hidden;
             }
             PanelSlot::Ready(d)
         }
-        PanelSlot::InFlight(req) => {
-            let t0 = comm.now();
-            let w0 = comm.wait_total();
-            let (got, info) = group.ibcast_join(comm, req);
+        PanelSlot::InFlight(pb) => {
+            let (got, st) = ctx.join_panel(pb);
             if let Some(r) = rec {
-                r.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
-                r.hidden += info.hidden;
+                r.bcast += st.busy;
+                r.hidden += st.hidden;
             }
             PanelSlot::Ready(unpack_panel(got, fidelity, extent, prec))
         }
@@ -171,16 +167,17 @@ struct Panels {
 /// Runs the distributed factorization on this rank. `speed` is the GCD's
 /// speed state — a plain `f64` fleet multiplier (1.0 = nominal; times are
 /// divided by it) or a full [`GcdSpeed`] whose injected faults make the
-/// multiplier iteration-dependent.
+/// multiplier iteration-dependent. The process grid, sub-communicators,
+/// and comm instrumentation all come from `ctx`.
 pub fn factor(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
+    ctx: &mut RankCtx,
     sys: &SystemSpec,
     cfg: &FactorConfig,
     speed: impl Into<GcdSpeed>,
 ) -> FactorOutput {
     let speed: GcdSpeed = speed.into();
-    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let grid = *ctx.grid();
+    let (my_r, my_c) = ctx.coords();
     let dev = &sys.gcd;
     let shim = BlasShim::new(dev.vendor);
     let mut ws = Workspace::default();
@@ -188,19 +185,11 @@ pub fn factor(
     let n_b = cfg.n / b;
     let gen = MatrixGen::new(cfg.seed, cfg.n, MatrixKind::DiagDominant);
 
-    // Sub-communicators. Colors: rows < 0x1000, cols offset, world last.
-    let mut row_group = Group::new(comm.rank(), grid.row_members(my_r), my_r as u32)
-        .expect("rank must be in its row group");
-    let mut col_group = Group::new(comm.rank(), grid.col_members(my_c), 0x1000 + my_c as u32)
-        .expect("rank must be in its column group");
-    let mut world_group = Group::new(comm.rank(), (0..grid.size()).collect(), 0x3000)
-        .expect("rank must be in the world group");
-
     // Setup: materialize (functional) and ship the local matrix to the
     // device, then synchronize — benchmark time starts after this barrier.
     let mut local = match cfg.fidelity {
         Fidelity::Functional => {
-            let mut m = LocalMatrix::new(grid, (my_r, my_c), cfg.n, b);
+            let mut m = LocalMatrix::new(&grid, (my_r, my_c), cfg.n, b);
             m.fill_from(&gen);
             Some(m)
         }
@@ -208,10 +197,9 @@ pub fn factor(
     };
     let n_loc_r = cfg.n / grid.p_r;
     let n_loc_c = cfg.n / grid.p_c;
-    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(0));
-    world_group.barrier(comm);
-    let t0 = comm.now();
-    let wait0 = comm.wait_total();
+    ctx.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(0));
+    ctx.barrier(CommScope::World);
+    let t0 = ctx.now();
 
     let mut records: Vec<IterRecord> = Vec::with_capacity(n_b);
     let mut prev: Option<Panels> = None;
@@ -228,11 +216,11 @@ pub fn factor(
         // Device speed this iteration — injected faults (degradation,
         // thermal runaway, failure) change it as the run progresses.
         let sp = speed.at(k);
-        let wait_at_start = comm.wait_total();
+        let wait_at_start = ctx.wait_total();
 
         // Trailing extents *after* block k (the region panels k cover).
-        let lr_k = trailing_row(grid, my_r, k, b);
-        let lc_k = trailing_col(grid, my_c, k, b);
+        let lr_k = trailing_row(&grid, my_r, k, b);
+        let lc_k = trailing_col(&grid, my_c, k, b);
         let m_loc = n_loc_r - lr_k;
         let n_loc = n_loc_c - lc_k;
 
@@ -243,20 +231,16 @@ pub fn factor(
         // reports how much of the transfer that compute actually hid.
         if let Some(p) = prev.as_mut() {
             debug_assert!(cfg.lookahead && p.k + 1 == k);
-            comm.set_default_sharers(grid.sharers_col());
             resolve_slot(
-                comm,
-                &mut col_group,
+                ctx,
                 &mut p.u,
                 cfg.fidelity,
                 p.n_loc,
                 cfg.prec,
                 Some(&mut rec),
             );
-            comm.set_default_sharers(grid.sharers_row());
             resolve_slot(
-                comm,
-                &mut row_group,
+                ctx,
                 &mut p.l,
                 cfg.fidelity,
                 p.m_loc,
@@ -265,14 +249,14 @@ pub fn factor(
             );
         }
         if let Some(p) = prev.as_ref() {
-            let lr_prev = trailing_row(grid, my_r, p.k, b);
-            let lc_prev = trailing_col(grid, my_c, p.k, b);
+            let lr_prev = trailing_row(&grid, my_r, p.k, b);
+            let lc_prev = trailing_col(&grid, my_c, p.k, b);
             let l_prev = p.l.data();
             let u_prev = p.u.data();
             if in_row && p.n_loc > 0 {
                 // Row strip: the B rows of block k × all trailing columns.
                 rec.gemm += gemm_update(
-                    comm,
+                    ctx,
                     dev,
                     cfg.prec,
                     local.as_mut(),
@@ -294,7 +278,7 @@ pub fn factor(
             if in_col && m_loc > 0 {
                 // Column strip: trailing rows below block k × its B cols.
                 rec.gemm += gemm_update(
-                    comm,
+                    ctx,
                     dev,
                     cfg.prec,
                     local.as_mut(),
@@ -328,33 +312,18 @@ pub fn factor(
                 diag = Some(loc.pack_block(lr, lc));
             }
             let dt = dev.getrf_time(b) / sp;
-            comm.charge(dt);
+            ctx.charge(dt);
             rec.getrf += dt;
         }
-        // Broadcast the diagonal block along the owner's row and column.
+        // Broadcast the diagonal block along the owner's row and column
+        // (in place: the owner's block travels, functional receivers end
+        // up holding it, timing-mode ranks stay empty-handed).
         let diag_bytes = 4 * (b * b) as u64;
-        let wrap = |d: &Option<Vec<f32>>| match d {
-            Some(v) => Some(PanelMsg::DiagF32(v.clone())),
-            None => match cfg.fidelity {
-                Fidelity::Timing => Some(PanelMsg::Empty),
-                Fidelity::Functional => None,
-            },
-        };
         if in_row {
-            comm.set_default_sharers(grid.sharers_row());
-            let msg = if i_am_owner { wrap(&diag) } else { None };
-            let got = row_group.bcast(comm, kc, msg, diag_bytes, BcastAlgo::Lib);
-            if !i_am_owner && cfg.fidelity == Fidelity::Functional {
-                diag = Some(got.into_diag());
-            }
+            ctx.bcast_diag(CommScope::Row, kc, &mut diag, diag_bytes);
         }
         if in_col {
-            comm.set_default_sharers(grid.sharers_col());
-            let msg = if i_am_owner { wrap(&diag) } else { None };
-            let got = col_group.bcast(comm, kr, msg, diag_bytes, BcastAlgo::Lib);
-            if !i_am_owner && cfg.fidelity == Fidelity::Functional {
-                diag = Some(got.into_diag());
-            }
+            ctx.bcast_diag(CommScope::Col, kr, &mut diag, diag_bytes);
         }
 
         // ---- 3. Panel updates -------------------------------------------
@@ -387,10 +356,10 @@ pub fn factor(
                 ));
             }
             let dt = dev.trsm_time(b, n_loc) / sp;
-            comm.charge(dt);
+            ctx.charge(dt);
             rec.trsm += dt;
             let dt = dev.cast_time(b * n_loc) / sp;
-            comm.charge(dt);
+            ctx.charge(dt);
             rec.cast += dt;
         }
         // L strip: column-k owners solve L21·U11 = A21 then cast.
@@ -416,10 +385,10 @@ pub fn factor(
                 l16_mine = Some(PanelData::cast(cfg.prec, m_loc, b, &loc.data[off..], lda));
             }
             let dt = dev.trsm_time(b, m_loc) / sp;
-            comm.charge(dt);
+            ctx.charge(dt);
             rec.trsm += dt;
             let dt = dev.cast_time(m_loc * b) / sp;
-            comm.charge(dt);
+            ctx.charge(dt);
             rec.cast += dt;
         }
 
@@ -432,33 +401,29 @@ pub fn factor(
         let elem = cfg.prec.bytes_per_elem();
         let u_bytes = elem * (n_loc * b) as u64;
         let l_bytes = elem * (m_loc * b) as u64;
-        comm.set_default_sharers(grid.sharers_col());
-        let u_payload = in_row.then(|| match &u16t_mine {
-            Some(u) => PanelMsg::Panel(u.clone()),
-            None => PanelMsg::Empty,
-        });
+        // U panel along the column (root: the in-row member). The root
+        // keeps its own data — only receivers unpack the collective.
         let u_slot = if cfg.lookahead {
-            let t0 = comm.now();
-            let req = col_group.ibcast(comm, kr, u_payload, u_bytes, cfg.algo);
-            rec.bcast += comm.now() - t0;
+            let (pb, st) =
+                ctx.ibcast_panel(CommScope::Col, kr, u16t_mine.as_ref(), u_bytes, cfg.algo);
+            rec.bcast += st.busy + st.waited;
             if in_row {
                 let mine = u16t_mine
                     .take()
                     .unwrap_or_else(|| PanelData::empty(cfg.prec));
-                if req.is_resolved() {
-                    let _ = col_group.ibcast_join(comm, req);
+                if pb.is_resolved() {
+                    let _ = ctx.join_panel(pb);
                     PanelSlot::Ready(mine)
                 } else {
-                    PanelSlot::RootInFlight(mine, req)
+                    PanelSlot::RootInFlight(mine, pb)
                 }
             } else {
-                PanelSlot::InFlight(req)
+                PanelSlot::InFlight(pb)
             }
         } else {
-            let t0 = comm.now();
-            let w0 = comm.wait_total();
-            let got = col_group.bcast(comm, kr, u_payload, u_bytes, cfg.algo);
-            rec.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
+            let (got, st) =
+                ctx.bcast_panel(CommScope::Col, kr, u16t_mine.as_ref(), u_bytes, cfg.algo);
+            rec.bcast += st.busy;
             if in_row {
                 PanelSlot::Ready(
                     u16t_mine
@@ -469,33 +434,28 @@ pub fn factor(
                 PanelSlot::Ready(unpack_panel(got, cfg.fidelity, n_loc, cfg.prec))
             }
         };
-        comm.set_default_sharers(grid.sharers_row());
-        let l_payload = in_col.then(|| match &l16_mine {
-            Some(l) => PanelMsg::Panel(l.clone()),
-            None => PanelMsg::Empty,
-        });
+        // L panel along the row (root: the in-column member).
         let l_slot = if cfg.lookahead {
-            let t0 = comm.now();
-            let req = row_group.ibcast(comm, kc, l_payload, l_bytes, cfg.algo);
-            rec.bcast += comm.now() - t0;
+            let (pb, st) =
+                ctx.ibcast_panel(CommScope::Row, kc, l16_mine.as_ref(), l_bytes, cfg.algo);
+            rec.bcast += st.busy + st.waited;
             if in_col {
                 let mine = l16_mine
                     .take()
                     .unwrap_or_else(|| PanelData::empty(cfg.prec));
-                if req.is_resolved() {
-                    let _ = row_group.ibcast_join(comm, req);
+                if pb.is_resolved() {
+                    let _ = ctx.join_panel(pb);
                     PanelSlot::Ready(mine)
                 } else {
-                    PanelSlot::RootInFlight(mine, req)
+                    PanelSlot::RootInFlight(mine, pb)
                 }
             } else {
-                PanelSlot::InFlight(req)
+                PanelSlot::InFlight(pb)
             }
         } else {
-            let t0 = comm.now();
-            let w0 = comm.wait_total();
-            let got = row_group.bcast(comm, kc, l_payload, l_bytes, cfg.algo);
-            rec.bcast += (comm.now() - t0) - (comm.wait_total() - w0);
+            let (got, st) =
+                ctx.bcast_panel(CommScope::Row, kc, l16_mine.as_ref(), l_bytes, cfg.algo);
+            rec.bcast += st.busy;
             if in_col {
                 PanelSlot::Ready(
                     l16_mine
@@ -513,11 +473,11 @@ pub fn factor(
             // after block k in both dimensions), then stash this
             // iteration's panels for the next strips.
             if let Some(p) = prev.take() {
-                let lr_prev = trailing_row(grid, my_r, p.k, b);
-                let lc_prev = trailing_col(grid, my_c, p.k, b);
+                let lr_prev = trailing_row(&grid, my_r, p.k, b);
+                let lc_prev = trailing_col(&grid, my_c, p.k, b);
                 if m_loc > 0 && n_loc > 0 {
                     rec.gemm += gemm_update(
-                        comm,
+                        ctx,
                         dev,
                         cfg.prec,
                         local.as_mut(),
@@ -547,7 +507,7 @@ pub fn factor(
         } else if m_loc > 0 && n_loc > 0 {
             // Immediate full trailing update with this iteration's panels.
             rec.gemm += gemm_update(
-                comm,
+                ctx,
                 dev,
                 cfg.prec,
                 local.as_mut(),
@@ -567,7 +527,7 @@ pub fn factor(
             );
         }
 
-        rec.wait = comm.wait_total() - wait_at_start;
+        rec.wait = ctx.wait_total() - wait_at_start;
         records.push(rec);
     }
     // Look-ahead leaves the last panels pending; their trailing region is
@@ -575,20 +535,16 @@ pub fn factor(
     // Ranks still owing a join on the final (zero-extent) broadcasts must
     // complete it so every posted message is consumed.
     if let Some(p) = prev.as_mut() {
-        comm.set_default_sharers(grid.sharers_col());
         resolve_slot(
-            comm,
-            &mut col_group,
+            ctx,
             &mut p.u,
             cfg.fidelity,
             p.n_loc,
             cfg.prec,
             records.last_mut(),
         );
-        comm.set_default_sharers(grid.sharers_row());
         resolve_slot(
-            comm,
-            &mut row_group,
+            ctx,
             &mut p.l,
             cfg.fidelity,
             p.m_loc,
@@ -598,10 +554,9 @@ pub fn factor(
     }
 
     // Copy factors back to the host for iterative refinement (§III-C).
-    comm.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(n_b));
+    ctx.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(n_b));
 
-    let elapsed = comm.now() - t0;
-    let _ = wait0; // start-of-run wait baseline, kept for future reporting
+    let elapsed = ctx.now() - t0;
     FactorOutput {
         local,
         records,
@@ -612,13 +567,13 @@ pub fn factor(
 /// Extracts a reduced-precision panel from a broadcast result (empty in
 /// timing mode or for zero-extent panels).
 fn unpack_panel(
-    msg: PanelMsg,
+    got: Option<PanelData>,
     fidelity: Fidelity,
     extent: usize,
     prec: TrailingPrecision,
 ) -> PanelData {
     match (fidelity, extent) {
-        (Fidelity::Functional, e) if e > 0 => msg.into_panel(),
+        (Fidelity::Functional, e) if e > 0 => got.expect("functional broadcast must carry a panel"),
         _ => PanelData::empty(prec),
     }
 }
@@ -648,7 +603,7 @@ fn trailing_col(grid: &ProcessGrid, my_c: usize, k: usize, b: usize) -> usize {
 /// the device time. Returns the charged GEMM time.
 #[allow(clippy::too_many_arguments)]
 fn gemm_update(
-    comm: &mut Comm<PanelMsg>,
+    ctx: &mut RankCtx,
     dev: &GcdModel,
     prec: TrailingPrecision,
     local: Option<&mut LocalMatrix>,
@@ -680,7 +635,7 @@ fn gemm_update(
     // The device-model LDA is the stored leading dimension of the local
     // matrix (fixed at N_Lr for the whole run — the Fig. 7 effect).
     let dt = dev.gemm_mixed_time(m, n, b, lda_model) * prec_time_factor(dev, prec) / speed;
-    comm.charge(dt);
+    ctx.charge(dt);
     dt
 }
 
@@ -688,6 +643,7 @@ fn gemm_update(
 mod tests {
     use super::*;
     use crate::grid::ProcessGrid;
+    use crate::msg::PanelMsg;
     use crate::systems::testbed;
     use mxp_msgsim::WorldSpec;
 
@@ -713,7 +669,10 @@ mod tests {
             seed: 42,
             prec: TrailingPrecision::Fp16,
         };
-        spec.run::<PanelMsg, _, _>(|mut c| factor(&mut c, &grid, &sys, &cfg, 1.0))
+        spec.run::<PanelMsg, _, _>(|c| {
+            let mut ctx = RankCtx::new(c, &grid);
+            factor(&mut ctx, &sys, &cfg, 1.0)
+        })
     }
 
     /// Gathers the distributed factors into one dense LU and checks
@@ -903,13 +862,17 @@ mod tests {
             prec: TrailingPrecision::Fp16,
         };
         let nominal = spec
-            .run::<PanelMsg, _, _>(|mut c| factor(&mut c, &grid, &sys, &cfg, 1.0).elapsed)
+            .run::<PanelMsg, _, _>(|c| {
+                let mut ctx = RankCtx::new(c, &grid);
+                factor(&mut ctx, &sys, &cfg, 1.0).elapsed
+            })
             .into_iter()
             .fold(0.0, f64::max);
         let degraded = spec
-            .run::<PanelMsg, _, _>(|mut c| {
+            .run::<PanelMsg, _, _>(|c| {
                 let speed = if c.rank() == 3 { 0.5 } else { 1.0 };
-                factor(&mut c, &grid, &sys, &cfg, speed).elapsed
+                let mut ctx = RankCtx::new(c, &grid);
+                factor(&mut ctx, &sys, &cfg, speed).elapsed
             })
             .into_iter()
             .fold(0.0, f64::max);

@@ -132,6 +132,11 @@ impl ProcessGrid {
         (0..self.p_r).map(|r| self.rank_of(r, pi_c)).collect()
     }
 
+    /// All world ranks, in rank order — the member list of the world group.
+    pub fn world_members(&self) -> Vec<usize> {
+        (0..self.size()).collect()
+    }
+
     /// NIC sharers during **row-direction** traffic (L panels moving along
     /// grid rows): the number of distinct grid rows a node hosts.
     pub fn sharers_row(&self) -> u32 {

@@ -10,14 +10,17 @@
 //! FP64. Unlike HPL-AI, no conditioning assumption is needed — the tests
 //! run it on uniform random matrices where the unpivoted factorization
 //! suffers catastrophic growth.
+//!
+//! All communication goes through [`RankCtx`]: pivot selection is
+//! [`RankCtx::allreduce_max_by`], row exchanges draw their tags from named
+//! [`TagRange`]s, and every operation lands in the context's
+//! [`crate::runtime::CommTrace`].
 
-use crate::grid::ProcessGrid;
 use crate::local::{count_owned, LocalMat};
-use crate::msg::PanelMsg;
+use crate::runtime::{CommScope, RankCtx, TagRange};
 use crate::systems::SystemSpec;
 use mxp_blas::{gemm, trsm, trsv, vec_inf_norm, Diag, Side, Trans, Uplo};
 use mxp_lcg::{MatrixGen, MatrixKind};
-use mxp_msgsim::{BcastAlgo, Comm, Group};
 
 /// Result of a distributed HPL solve on one rank.
 #[derive(Clone, Debug)]
@@ -28,12 +31,12 @@ pub struct HplDistOutcome {
     pub scaled_residual: f64,
     /// Number of genuine row interchanges performed.
     pub swaps: usize,
+    /// The full pivot record: `ipiv[j]` is the global row swapped with row
+    /// `j` at elimination step `j` (replicated on every rank).
+    pub ipiv: Vec<usize>,
     /// Simulated seconds.
     pub elapsed: f64,
 }
-
-const TAG_PANEL_SWAP: u32 = 0x0010_0000;
-const TAG_TRAIL_SWAP: u32 = 0x0020_0000;
 
 /// Runs the distributed pivoted FP64 factorization and solve.
 ///
@@ -41,8 +44,7 @@ const TAG_TRAIL_SWAP: u32 = 0x0020_0000;
 /// pivoting (the diagonally dominant class never swaps).
 #[allow(clippy::too_many_arguments)]
 pub fn hpl_dist_solve(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
+    ctx: &mut RankCtx,
     sys: &SystemSpec,
     n: usize,
     b: usize,
@@ -50,22 +52,23 @@ pub fn hpl_dist_solve(
     kind: MatrixKind,
     speed: f64,
 ) -> HplDistOutcome {
-    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let grid = *ctx.grid();
+    let (my_r, my_c) = ctx.coords();
     let n_b = n / b;
     let dev = &sys.gcd;
     let gen = MatrixGen::new(seed, n, kind);
 
-    let mut row_group =
-        Group::new(comm.rank(), grid.row_members(my_r), 0x2100 + my_r as u32).unwrap();
-    let mut col_group =
-        Group::new(comm.rank(), grid.col_members(my_c), 0x2200 + my_c as u32).unwrap();
-    let mut world = Group::new(comm.rank(), (0..grid.size()).collect(), 0x2300).unwrap();
+    // Point-to-point tag namespaces, one tag per global row / block.
+    let panel_swap = ctx.alloc_tags("hpl-panel-swap", n as u32);
+    let trail_swap = ctx.alloc_tags("hpl-trail-swap", n as u32);
+    let fwd_tags = ctx.alloc_tags("hpl-fanin-fwd", n_b as u32);
+    let bwd_tags = ctx.alloc_tags("hpl-fanin-bwd", n_b as u32);
 
-    let mut local: LocalMat<f64> = LocalMat::new(grid, (my_r, my_c), n, b);
+    let mut local: LocalMat<f64> = LocalMat::new(&grid, (my_r, my_c), n, b);
     local.fill_from_f64(&gen);
     let lda = local.lda();
-    world.barrier(comm);
-    let t0 = comm.now();
+    ctx.barrier(CommScope::World);
+    let t0 = ctx.now();
 
     // Global pivot record (every rank learns every panel's pivots).
     let mut ipiv = vec![0usize; n];
@@ -78,7 +81,6 @@ pub fn hpl_dist_solve(
         let lc_panel = if in_col { local.col_of_block(k) } else { 0 };
 
         // ---- distributed pivoted panel factorization --------------------
-        let mut panel_piv = vec![0.0f64; b]; // pivot rows as f64 for bcast
         if in_col {
             for j in 0..b {
                 let g_diag = k * b + j;
@@ -98,40 +100,28 @@ pub fn hpl_dist_solve(
                         }
                     }
                 }
-                comm.charge(8.0 * (n / grid.p_r) as f64 / dev.mem_bw / speed);
-                // Distributed IAMAX: allreduce keeps the largest magnitude
-                // (smallest global row on ties, matching serial IAMAX).
-                let winner = col_group
-                    .allreduce(
-                        comm,
-                        PanelMsg::VecF64(vec![best_val, best_row as f64]),
-                        16,
-                        pivot_max,
-                    )
-                    .into_vec64();
-                let piv_row = winner[1] as usize;
-                assert!(winner[0] > 0.0, "HPL hit an exactly singular column");
+                ctx.charge(8.0 * (n / grid.p_r) as f64 / dev.mem_bw / speed);
+                // Distributed IAMAX: the allreduce keeps the largest
+                // magnitude (smallest global row on ties, matching serial
+                // IAMAX).
+                let (win_val, piv_row) = ctx.allreduce_max_by(CommScope::Col, best_val, best_row);
+                assert!(win_val > 0.0, "HPL hit an exactly singular column");
                 ipiv[g_diag] = piv_row;
                 if piv_row != g_diag {
                     swap_rows_panel(
-                        comm, grid, &mut local, lc_panel, b, g_diag, piv_row, my_r, my_c,
+                        ctx, &mut local, lc_panel, b, g_diag, piv_row, panel_swap, my_r, my_c,
                     );
                 }
                 // Broadcast the pivot row's panel segment [j..b) from its
                 // (post-swap) owner down the column.
                 let owner_r = (g_diag / b) % grid.p_r;
-                let seg = if my_r == owner_r {
+                let seg = (my_r == owner_r).then(|| {
                     let lr = local.row_of_block(g_diag / b) + g_diag % b;
-                    let v: Vec<f64> = (j..b)
+                    (j..b)
                         .map(|c| local.data[local.idx(lr, lc_panel + c)])
-                        .collect();
-                    Some(PanelMsg::VecF64(v))
-                } else {
-                    None
-                };
-                let seg = col_group
-                    .bcast(comm, owner_r, seg, 8 * (b - j) as u64, BcastAlgo::Lib)
-                    .into_vec64();
+                        .collect()
+                });
+                let seg = ctx.bcast_f64(CommScope::Col, owner_r, seg, 8 * (b - j) as u64);
                 let piv = seg[0];
                 // Rank-1 update of the local panel below the pivot row.
                 for i_blk in (my_r..n_b).step_by(grid.p_r) {
@@ -151,24 +141,15 @@ pub fn hpl_dist_solve(
                         }
                     }
                 }
-                comm.charge(
+                ctx.charge(
                     2.0 * (b - j) as f64 * (n / grid.p_r) as f64 / (dev.fp64_peak * 0.15) / speed,
                 );
-                panel_piv[j] = piv;
             }
         }
-        // Everyone learns this panel's pivots (row-group broadcast from the
+        // Everyone learns this panel's pivots (row-scope broadcast from the
         // panel column's member).
-        let piv_msg = if in_col {
-            Some(PanelMsg::VecF64(
-                (0..b).map(|j| ipiv[k * b + j] as f64).collect(),
-            ))
-        } else {
-            None
-        };
-        let got = row_group
-            .bcast(comm, kc, piv_msg, 8 * b as u64, BcastAlgo::Lib)
-            .into_vec64();
+        let piv_msg = in_col.then(|| (0..b).map(|j| ipiv[k * b + j] as f64).collect());
+        let got = ctx.bcast_f64(CommScope::Row, kc, piv_msg, 8 * b as u64);
         for (j, &p) in got.iter().enumerate() {
             ipiv[k * b + j] = p as usize;
         }
@@ -179,7 +160,7 @@ pub fn hpl_dist_solve(
             let r2 = ipiv[r1];
             if r1 != r2 {
                 swap_rows_trailing(
-                    comm, grid, &mut local, in_col, lc_panel, b, r1, r2, my_r, my_c,
+                    ctx, &mut local, in_col, lc_panel, b, r1, r2, trail_swap, my_r, my_c,
                 );
             }
         }
@@ -191,17 +172,9 @@ pub fn hpl_dist_solve(
         let n_loc = local.n_loc_c - lc_k1;
 
         // L11 (unit-lower part of the factored diagonal block) to the row.
-        let l11 = if in_row && in_col {
-            Some(PanelMsg::VecF64(pack_f64_block(&local, k)))
-        } else {
-            None
-        };
         let l11 = if in_row {
-            Some(
-                row_group
-                    .bcast(comm, kc, l11, 8 * (b * b) as u64, BcastAlgo::Lib)
-                    .into_vec64(),
-            )
+            let mine = in_col.then(|| pack_f64_block(&local, k));
+            Some(ctx.bcast_f64(CommScope::Row, kc, mine, 8 * (b * b) as u64))
         } else {
             None
         };
@@ -221,37 +194,27 @@ pub fn hpl_dist_solve(
                 &mut local.data[off..],
                 lda,
             );
-            comm.charge((b * b * n_loc) as f64 / (dev.fp64_peak * 0.8) / speed);
+            ctx.charge((b * b * n_loc) as f64 / (dev.fp64_peak * 0.8) / speed);
         }
 
         // Panel broadcasts (FP64: twice the HPL-AI volume even vs FP32).
-        let u12 = if in_row {
-            let v = if n_loc > 0 {
+        let u12 = in_row.then(|| {
+            if n_loc > 0 {
                 let lr = local.row_of_block(k);
                 pack_rows_f64(&local, lr, b, lc_k1, n_loc)
             } else {
                 Vec::new()
-            };
-            Some(PanelMsg::VecF64(v))
-        } else {
-            None
-        };
-        let u12 = col_group
-            .bcast(comm, kr, u12, 8 * (b * n_loc) as u64, BcastAlgo::Lib)
-            .into_vec64();
-        let l21 = if in_col {
-            let v = if m_loc > 0 {
+            }
+        });
+        let u12 = ctx.bcast_f64(CommScope::Col, kr, u12, 8 * (b * n_loc) as u64);
+        let l21 = in_col.then(|| {
+            if m_loc > 0 {
                 pack_rows_f64(&local, lr_k1, m_loc, lc_panel, b)
             } else {
                 Vec::new()
-            };
-            Some(PanelMsg::VecF64(v))
-        } else {
-            None
-        };
-        let l21 = row_group
-            .bcast(comm, kc, l21, 8 * (m_loc * b) as u64, BcastAlgo::Lib)
-            .into_vec64();
+            }
+        });
+        let l21 = ctx.bcast_f64(CommScope::Row, kc, l21, 8 * (m_loc * b) as u64);
 
         // ---- FP64 trailing update ----------------------------------------
         if m_loc > 0 && n_loc > 0 {
@@ -272,7 +235,7 @@ pub fn hpl_dist_solve(
                 lda,
             );
             let flops = 2.0 * (m_loc * n_loc * b) as f64;
-            comm.charge(flops / crate::hpl::dgemm_rate(dev, b) / speed);
+            ctx.charge(flops / crate::hpl::dgemm_rate(dev, b) / speed);
         }
     }
 
@@ -287,31 +250,18 @@ pub fn hpl_dist_solve(
             rhs.swap(j, p);
         }
     }
-    let x = fan_in_solve(comm, grid, &mut col_group, &mut world, &local, &rhs, n, b);
+    let x = fan_in_solve(ctx, &local, &rhs, n, b, fwd_tags, bwd_tags);
 
     // ---- verification -----------------------------------------------------
-    let (r_inf, a_norm, x_norm) = residual_check(comm, grid, &mut world, &gen, &x, &b_vec, n, b);
+    let (r_inf, a_norm, x_norm) = residual_check(ctx, &gen, &x, &b_vec, n, b);
     let scaled = r_inf / (f64::EPSILON * (a_norm * x_norm + b_norm) * n as f64);
 
     HplDistOutcome {
         x,
         scaled_residual: scaled,
         swaps: ipiv.iter().enumerate().filter(|(j, &p)| p != *j).count(),
-        elapsed: comm.now() - t0,
-    }
-}
-
-/// Allreduce combiner: keep the candidate with the larger magnitude,
-/// breaking ties toward the smaller global row (serial IAMAX semantics).
-fn pivot_max(a: PanelMsg, b: PanelMsg) -> PanelMsg {
-    let (av, bv) = match (&a, &b) {
-        (PanelMsg::VecF64(x), PanelMsg::VecF64(y)) => (x, y),
-        _ => panic!("pivot allreduce expects VecF64"),
-    };
-    if av[0] > bv[0] || (av[0] == bv[0] && av[1] <= bv[1]) {
-        a
-    } else {
-        b
+        ipiv,
+        elapsed: ctx.now() - t0,
     }
 }
 
@@ -319,16 +269,17 @@ fn pivot_max(a: PanelMsg, b: PanelMsg) -> PanelMsg {
 /// their owner grid rows (within process column `kc` only).
 #[allow(clippy::too_many_arguments)]
 fn swap_rows_panel(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
+    ctx: &mut RankCtx,
     local: &mut LocalMat<f64>,
     lc_panel: usize,
     b: usize,
     r1: usize,
     r2: usize,
+    tags: TagRange,
     my_r: usize,
     my_c: usize,
 ) {
+    let grid = *ctx.grid();
     let o1 = (r1 / b) % grid.p_r;
     let o2 = (r2 / b) % grid.p_r;
     let row_slice = |local: &LocalMat<f64>, g_row: usize| -> Vec<f64> {
@@ -353,19 +304,19 @@ fn swap_rows_panel(
         }
         return;
     }
-    let tag = TAG_PANEL_SWAP | (r1 as u32 & 0xFFFF);
+    let tag = tags.at(r1);
     if my_r == o1 {
         let mine = row_slice(local, r1);
         let partner = grid.rank_of(o2, my_c);
-        comm.send(partner, tag, PanelMsg::VecF64(mine), 8 * b as u64);
-        let (msg, _) = comm.recv(partner, tag);
-        write_row(local, r1, &msg.into_vec64());
+        ctx.send_f64(partner, tag, mine);
+        let got = ctx.recv_f64(partner, tag);
+        write_row(local, r1, &got);
     } else if my_r == o2 {
         let mine = row_slice(local, r2);
         let partner = grid.rank_of(o1, my_c);
-        comm.send(partner, tag, PanelMsg::VecF64(mine), 8 * b as u64);
-        let (msg, _) = comm.recv(partner, tag);
-        write_row(local, r2, &msg.into_vec64());
+        ctx.send_f64(partner, tag, mine);
+        let got = ctx.recv_f64(partner, tag);
+        write_row(local, r2, &got);
     }
 }
 
@@ -373,17 +324,18 @@ fn swap_rows_panel(
 /// across every process column.
 #[allow(clippy::too_many_arguments)]
 fn swap_rows_trailing(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
+    ctx: &mut RankCtx,
     local: &mut LocalMat<f64>,
     in_panel_col: bool,
     lc_panel: usize,
     b: usize,
     r1: usize,
     r2: usize,
+    tags: TagRange,
     my_r: usize,
     my_c: usize,
 ) {
+    let grid = *ctx.grid();
     let o1 = (r1 / b) % grid.p_r;
     let o2 = (r2 / b) % grid.p_r;
     if my_r != o1 && my_r != o2 {
@@ -414,20 +366,19 @@ fn swap_rows_trailing(
         }
         return;
     }
-    let tag = TAG_TRAIL_SWAP | (r1 as u32 & 0xFFFF);
-    let bytes = 8 * cols.len() as u64;
+    let tag = tags.at(r1);
     if my_r == o1 {
         let mine = gather(local, r1);
         let partner = grid.rank_of(o2, my_c);
-        comm.send(partner, tag, PanelMsg::VecF64(mine), bytes);
-        let (msg, _) = comm.recv(partner, tag);
-        scatter(local, r1, &msg.into_vec64());
+        ctx.send_f64(partner, tag, mine);
+        let got = ctx.recv_f64(partner, tag);
+        scatter(local, r1, &got);
     } else {
         let mine = gather(local, r2);
         let partner = grid.rank_of(o1, my_c);
-        comm.send(partner, tag, PanelMsg::VecF64(mine), bytes);
-        let (msg, _) = comm.recv(partner, tag);
-        scatter(local, r2, &msg.into_vec64());
+        ctx.send_f64(partner, tag, mine);
+        let got = ctx.recv_f64(partner, tag);
+        scatter(local, r2, &got);
     }
 }
 
@@ -449,21 +400,18 @@ fn pack_rows_f64(local: &LocalMat<f64>, lr: usize, m: usize, lc: usize, nc: usiz
 
 /// Distributed fan-in triangular solves on the FP64 factors (structure as
 /// in `crate::ir`, but reading `LocalMat<f64>` directly).
-#[allow(clippy::too_many_arguments)]
 fn fan_in_solve(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
-    col_group: &mut Group,
-    world: &mut Group,
+    ctx: &mut RankCtx,
     local: &LocalMat<f64>,
     rhs: &[f64],
     n: usize,
     b: usize,
+    fwd_tags: TagRange,
+    bwd_tags: TagRange,
 ) -> Vec<f64> {
     let n_b = n / b;
-    let (my_r, my_c) = grid.coord_of(comm.rank());
-    let fwd_tag = |k: usize| 0x0040_0000 | k as u32;
-    let bwd_tag = |k: usize| 0x0080_0000 | k as u32;
+    let grid = *ctx.grid();
+    let (my_r, my_c) = ctx.coords();
 
     let diag_of =
         |k: usize| -> Vec<f64> { local.pack_block(local.row_of_block(k), local.col_of_block(k)) };
@@ -479,25 +427,22 @@ fn fan_in_solve(
             let mut y: Vec<f64> = rhs[k * b..(k + 1) * b].to_vec();
             for j in 0..k {
                 let src = grid.rank_of(kr, j % grid.p_c);
-                let (msg, _) = comm.recv(src, fwd_tag(k));
-                for (yi, ui) in y.iter_mut().zip(msg.into_vec64()) {
+                let got = ctx.recv_f64(src, fwd_tags.at(k));
+                for (yi, ui) in y.iter_mut().zip(got) {
                     *yi -= ui;
                 }
             }
             trsv(Uplo::Lower, Diag::Unit, b, &diag_of(k), b, &mut y);
             y_seg[k * b..(k + 1) * b].copy_from_slice(&y);
-            Some(PanelMsg::VecF64(y))
+            Some(y)
         } else {
             None
         };
-        let yk = col_group
-            .bcast(comm, kr, solved, 8 * b as u64, BcastAlgo::Lib)
-            .into_vec64();
+        let yk = ctx.bcast_f64(CommScope::Col, kr, solved, 8 * b as u64);
         push_contribs_f64(
-            comm,
-            grid,
+            ctx,
             local,
-            &fwd_tag,
+            fwd_tags,
             b,
             &yk,
             (k + 1..n_b).filter(|kp| kp % grid.p_r == my_r),
@@ -516,25 +461,22 @@ fn fan_in_solve(
             let mut y: Vec<f64> = y_seg[k * b..(k + 1) * b].to_vec();
             for j in k + 1..n_b {
                 let src = grid.rank_of(kr, j % grid.p_c);
-                let (msg, _) = comm.recv(src, bwd_tag(k));
-                for (yi, ui) in y.iter_mut().zip(msg.into_vec64()) {
+                let got = ctx.recv_f64(src, bwd_tags.at(k));
+                for (yi, ui) in y.iter_mut().zip(got) {
                     *yi -= ui;
                 }
             }
             trsv(Uplo::Upper, Diag::NonUnit, b, &diag_of(k), b, &mut y);
             x_seg[k * b..(k + 1) * b].copy_from_slice(&y);
-            Some(PanelMsg::VecF64(y))
+            Some(y)
         } else {
             None
         };
-        let xk = col_group
-            .bcast(comm, kr, solved, 8 * b as u64, BcastAlgo::Lib)
-            .into_vec64();
+        let xk = ctx.bcast_f64(CommScope::Col, kr, solved, 8 * b as u64);
         push_contribs_f64(
-            comm,
-            grid,
+            ctx,
             local,
-            &bwd_tag,
+            bwd_tags,
             b,
             &xk,
             (0..k).filter(|kp| kp % grid.p_r == my_r),
@@ -542,32 +484,21 @@ fn fan_in_solve(
         );
     }
 
-    world
-        .allreduce(comm, PanelMsg::VecF64(x_seg), 8 * n as u64, |a, b| {
-            match (a, b) {
-                (PanelMsg::VecF64(mut x), PanelMsg::VecF64(y)) => {
-                    for (xi, yi) in x.iter_mut().zip(y) {
-                        *xi += yi;
-                    }
-                    PanelMsg::VecF64(x)
-                }
-                _ => panic!("allreduce expects VecF64"),
-            }
-        })
-        .into_vec64()
+    // Partial x segments sum to the replicated solution.
+    ctx.allreduce_f64(CommScope::World, &mut x_seg);
+    x_seg
 }
 
-#[allow(clippy::too_many_arguments)]
 fn push_contribs_f64(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
+    ctx: &mut RankCtx,
     local: &LocalMat<f64>,
-    tag: &dyn Fn(usize) -> u32,
+    tags: TagRange,
     b: usize,
     v: &[f64],
     targets: impl Iterator<Item = usize>,
     k: usize,
 ) {
+    let grid = *ctx.grid();
     for kp in targets {
         let lr = local.row_of_block(kp);
         let lc = local.col_of_block(k);
@@ -580,16 +511,13 @@ fn push_contribs_f64(
             }
         }
         let dst = grid.rank_of(kp % grid.p_r, kp % grid.p_c);
-        comm.send(dst, tag(kp), PanelMsg::VecF64(u), 8 * b as u64);
+        ctx.send_f64(dst, tags.at(kp), u);
     }
 }
 
 /// Residual of `x` against the regenerated system (distributed as in IR).
-#[allow(clippy::too_many_arguments)]
 fn residual_check(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
-    world: &mut Group,
+    ctx: &mut RankCtx,
     gen: &MatrixGen,
     x: &[f64],
     b_vec: &[f64],
@@ -597,7 +525,8 @@ fn residual_check(
     b: usize,
 ) -> (f64, f64, f64) {
     let n_b = n / b;
-    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let grid = *ctx.grid();
+    let (my_r, my_c) = ctx.coords();
     let mut ax = vec![0.0f64; n];
     let mut col_buf = vec![0.0f64; n * b];
     let mut a_rowsum_part = vec![0.0f64; n];
@@ -615,22 +544,8 @@ fn residual_check(
             }
         }
     }
-    let combined = world
-        .allreduce(
-            comm,
-            PanelMsg::VecF64(ax.into_iter().chain(a_rowsum_part).collect()),
-            16 * n as u64,
-            |a, b| match (a, b) {
-                (PanelMsg::VecF64(mut x), PanelMsg::VecF64(y)) => {
-                    for (xi, yi) in x.iter_mut().zip(y) {
-                        *xi += yi;
-                    }
-                    PanelMsg::VecF64(x)
-                }
-                _ => panic!("allreduce expects VecF64"),
-            },
-        )
-        .into_vec64();
+    let mut combined: Vec<f64> = ax.into_iter().chain(a_rowsum_part).collect();
+    ctx.allreduce_f64(CommScope::World, &mut combined);
     let (ax, rowsums) = combined.split_at(n);
     let r_inf = ax
         .iter()
@@ -645,6 +560,8 @@ fn residual_check(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::ProcessGrid;
+    use crate::msg::PanelMsg;
     use crate::systems::testbed;
     use mxp_msgsim::WorldSpec;
 
@@ -654,8 +571,9 @@ mod tests {
         let mut spec = WorldSpec::cluster(grid.size() / q, q, sys.net);
         spec.locs = grid.locs();
         spec.tuning = sys.tuning;
-        spec.run::<PanelMsg, _, _>(|mut c| {
-            hpl_dist_solve(&mut c, &grid, &sys, n, b, 4242, kind, 1.0)
+        spec.run::<PanelMsg, _, _>(|c| {
+            let mut ctx = RankCtx::new(c, &grid);
+            hpl_dist_solve(&mut ctx, &sys, n, b, 4242, kind, 1.0)
         })
     }
 
@@ -668,6 +586,19 @@ mod tests {
         }
         // Real pivoting happened.
         assert!(outs[0].swaps > 10, "swaps: {}", outs[0].swaps);
+        // And the pivot record is replicated and self-consistent.
+        assert_eq!(
+            outs[0].swaps,
+            outs[0]
+                .ipiv
+                .iter()
+                .enumerate()
+                .filter(|(j, &p)| p != *j)
+                .count()
+        );
+        for o in &outs {
+            assert_eq!(o.ipiv, outs[0].ipiv);
+        }
     }
 
     #[test]
@@ -706,15 +637,136 @@ mod tests {
 
     #[test]
     fn rectangular_grids_and_single_rank_agree() {
+        // Non-square grids exercise distinct row/col scopes and tag
+        // namespaces; a pivoted solve must still match the 1-rank answer
+        // in both orientations.
         let single = run_hpl(ProcessGrid::col_major(1, 1, 1), 48, 8, MatrixKind::Uniform);
         let wide = run_hpl(ProcessGrid::col_major(2, 3, 6), 48, 8, MatrixKind::Uniform);
+        let tall = run_hpl(ProcessGrid::col_major(3, 2, 6), 48, 8, MatrixKind::Uniform);
         for (a, b) in single[0].x.iter().zip(&wide[0].x) {
             assert!((a - b).abs() < 1e-7 * a.abs().max(1.0));
         }
+        for (a, b) in single[0].x.iter().zip(&tall[0].x) {
+            assert!((a - b).abs() < 1e-7 * a.abs().max(1.0));
+        }
+        assert!(
+            wide[0].swaps > 0 && tall[0].swaps > 0,
+            "pivoting must engage"
+        );
         // Everyone holds the same replicated solution.
         for o in &wide {
             assert_eq!(o.x, wide[0].x);
         }
+        for o in &tall {
+            assert_eq!(o.x, tall[0].x);
+        }
+    }
+
+    #[test]
+    fn comm_trace_matches_analytic_counts() {
+        use crate::runtime::{CommOp, CommScope};
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let sys = testbed(1, 4);
+        let mut spec = WorldSpec::cluster(1, 4, sys.net);
+        spec.locs = grid.locs();
+        spec.tuning = sys.tuning;
+        let (n, b) = (32usize, 8usize);
+        let n_b = n / b;
+        let outs = spec.run::<PanelMsg, _, _>(|c| {
+            let mut ctx = RankCtx::new(c, &grid);
+            let out = hpl_dist_solve(&mut ctx, &sys, n, b, 4242, MatrixKind::Uniform, 1.0);
+            (out, ctx.take_trace())
+        });
+        // Rank 0 sits at grid (0,0): in the k = 0 panel column and row.
+        let (out, trace) = &outs[0];
+        let ipiv = &out.ipiv;
+
+        // ---- event-by-event walk of the first column step ----------------
+        // A world barrier, then per eliminated column j: the 16-byte IAMAX
+        // allreduce over the process column, a symmetric row exchange when
+        // the pivot lives on the other grid row, and the 8·(b−j)-byte
+        // pivot-row segment broadcast.
+        let ev = trace.events();
+        assert_eq!(ev[0].op, CommOp::Barrier);
+        let mut i = 1;
+        for (j, &piv) in ipiv.iter().enumerate().take(b) {
+            assert_eq!(
+                (ev[i].op, ev[i].scope, ev[i].bytes),
+                (CommOp::Allreduce, Some(CommScope::Col), 16),
+                "IAMAX at column {j}"
+            );
+            i += 1;
+            if piv != j && (piv / b) % grid.p_r != 0 {
+                assert_eq!((ev[i].op, ev[i].bytes), (CommOp::Send, 8 * b as u64));
+                assert_eq!(
+                    (ev[i + 1].op, ev[i + 1].bytes),
+                    (CommOp::Recv, 8 * b as u64)
+                );
+                i += 2;
+            }
+            assert_eq!(
+                (ev[i].op, ev[i].bytes),
+                (CommOp::Bcast, 8 * (b - j) as u64),
+                "pivot-row segment at column {j}"
+            );
+            i += 1;
+        }
+        // The step closes with the pivot-record broadcast along the row.
+        assert_eq!(
+            (ev[i].op, ev[i].scope, ev[i].bytes),
+            (CommOp::Bcast, Some(CommScope::Row), 8 * b as u64)
+        );
+
+        // ---- whole-run totals against the analytic count -----------------
+        // Allreduces: one IAMAX per eliminated column of the panels this
+        // rank's column owns, plus the fan-in solution sum and the residual
+        // check (both world-scope).
+        let owned_panels = (0..n_b).filter(|k| k % grid.p_c == 0).count();
+        let ar = trace.totals(CommOp::Allreduce);
+        assert_eq!(ar.count, owned_panels * b + 2);
+        assert_eq!(
+            ar.bytes,
+            (owned_panels * b) as u64 * 16 + 8 * n as u64 + 16 * n as u64
+        );
+
+        // Point-to-point traffic, derived from the run's own pivot record.
+        // Every cross-row swap involves grid row 0 (on a 2-row grid), as a
+        // panel exchange when rank 0's column owns the panel plus a
+        // trailing exchange in every case.
+        let (mut swap_ops, mut swap_bytes) = (0usize, 0u64);
+        for (r1, &r2) in ipiv.iter().enumerate() {
+            if r2 == r1 || (r1 / b) % grid.p_r == (r2 / b) % grid.p_r {
+                continue;
+            }
+            let in_panel_col = (r1 / b) % grid.p_c == 0;
+            if in_panel_col {
+                swap_ops += 1;
+                swap_bytes += 8 * b as u64;
+            }
+            let cols = n / grid.p_c - if in_panel_col { b } else { 0 };
+            swap_ops += 1;
+            swap_bytes += 8 * cols as u64;
+        }
+        // Fan-in contributions pushed to later (fwd) / earlier (bwd) diag
+        // owners in this rank's grid row, and partial sums received while
+        // solving the diag blocks this rank owns.
+        let fan_sends: usize = (0..n_b)
+            .filter(|k| k % grid.p_c == 0)
+            .map(|k| {
+                (k + 1..n_b).filter(|kp| kp % grid.p_r == 0).count()
+                    + (0..k).filter(|kp| kp % grid.p_r == 0).count()
+            })
+            .sum();
+        let fan_recvs: usize = (0..n_b)
+            .filter(|k| k % grid.p_r == 0 && k % grid.p_c == 0)
+            .map(|k| k + (n_b - 1 - k))
+            .sum();
+        let st = trace.totals(CommOp::Send);
+        let rt = trace.totals(CommOp::Recv);
+        assert_eq!(st.count, swap_ops + fan_sends);
+        assert_eq!(rt.count, swap_ops + fan_recvs);
+        assert_eq!(st.bytes, swap_bytes + (fan_sends * 8 * b) as u64);
+        assert_eq!(rt.bytes, swap_bytes + (fan_recvs * 8 * b) as u64);
     }
 
     #[test]
@@ -739,7 +791,7 @@ mod tests {
         // Recover HPL-AI's solution for comparison.
         use crate::factor::{factor, FactorConfig, Fidelity};
         use crate::ir::refine;
-        use mxp_msgsim::WorldSpec;
+        use mxp_msgsim::BcastAlgo;
         let mut spec = WorldSpec::cluster(1, 4, testbed(1, 4).net);
         spec.locs = grid.locs();
         let sys2 = testbed(1, 4);
@@ -752,9 +804,10 @@ mod tests {
             seed: 4242,
             prec: crate::msg::TrailingPrecision::Fp16,
         };
-        let ai_x = spec.run::<PanelMsg, _, _>(|mut c| {
-            let f = factor(&mut c, &grid, &sys2, &fcfg, 1.0);
-            refine(&mut c, &grid, &sys2, &fcfg, f.local.as_ref().unwrap(), 1.0).x
+        let ai_x = spec.run::<PanelMsg, _, _>(|c| {
+            let mut ctx = RankCtx::new(c, &grid);
+            let f = factor(&mut ctx, &sys2, &fcfg, 1.0);
+            refine(&mut ctx, &sys2, &fcfg, f.local.as_ref().unwrap(), 1.0).x
         });
         for (i, (a, h)) in ai_x[0].iter().zip(&hpl[0].x).enumerate() {
             assert!(

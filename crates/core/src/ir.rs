@@ -17,13 +17,11 @@
 //!   `‖r‖∞ < 8·N·ε·(2·‖diag(A)‖∞·‖x‖∞ + ‖b‖∞)`.
 
 use crate::factor::FactorConfig;
-use crate::grid::ProcessGrid;
 use crate::local::LocalMatrix;
-use crate::msg::PanelMsg;
+use crate::runtime::{CommScope, RankCtx, TagRange};
 use crate::systems::SystemSpec;
 use mxp_blas::{gemv, trsv, vec_inf_norm, Diag, Trans, Uplo};
 use mxp_lcg::{MatrixGen, MatrixKind};
-use mxp_msgsim::{BcastAlgo, Comm, Group};
 
 /// Result of the refinement phase on one rank.
 #[derive(Clone, Debug)]
@@ -50,23 +48,25 @@ pub const MAX_IR_ITERS: usize = 50;
 /// Runs distributed iterative refinement. Requires the factored
 /// [`LocalMatrix`] from [`crate::factor::factor`] (functional mode).
 pub fn refine(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
+    ctx: &mut RankCtx,
     sys: &SystemSpec,
     cfg: &FactorConfig,
     local: &LocalMatrix,
     speed: f64,
 ) -> IrOutcome {
-    let t_start = comm.now();
+    let t_start = ctx.now();
     let n = cfg.n;
     let b = cfg.b;
     let n_b = n / b;
-    let (my_r, my_c) = grid.coord_of(comm.rank());
+    let grid = *ctx.grid();
+    let (my_r, my_c) = ctx.coords();
     let gen = MatrixGen::new(cfg.seed, n, MatrixKind::DiagDominant);
 
-    let mut world = Group::new(comm.rank(), (0..grid.size()).collect(), 0x3100).unwrap();
-    let mut col_group =
-        Group::new(comm.rank(), grid.col_members(my_c), 0x3200 + my_c as u32).unwrap();
+    // Contribution tags carry the *target* block index, one tag per block
+    // per direction; the allocator keeps the two ranges disjoint from every
+    // other claim in this context's lifetime.
+    let fwd_tags = ctx.alloc_tags("ir-fanin-fwd", n_b as u32);
+    let bwd_tags = ctx.alloc_tags("ir-fanin-bwd", n_b as u32);
 
     // Replicated right-hand side and initial guess x = b / diag(A).
     let mut b_vec = vec![0.0f64; n];
@@ -114,7 +114,7 @@ pub fn refine(
                 continue;
             }
             gen.fill_tile(0..n, k * b..(k + 1) * b, n, &mut col_buf);
-            comm.charge((n * b) as f64 / sys.cpu.gen_rate / speed);
+            ctx.charge((n * b) as f64 / sys.cpu.gen_rate / speed);
             // ax += A(:, k-block) · x(k-block): the (parallel) GEMV kernel
             // replaces the old handwritten scalar column sweep.
             gemv(
@@ -128,20 +128,12 @@ pub fn refine(
                 1.0,
                 &mut ax,
             );
-            comm.charge(2.0 * (n * b) as f64 / sys.cpu.flop_rate / speed);
+            ctx.charge(2.0 * (n * b) as f64 / sys.cpu.flop_rate / speed);
         }
-        let ax_sum = world
-            .allreduce(
-                comm,
-                PanelMsg::VecF64(core::mem::take(&mut ax)),
-                8 * n as u64,
-                sum_vec,
-            )
-            .into_vec64();
-        for (ri, (bv, av)) in r.iter_mut().zip(b_vec.iter().zip(&ax_sum)) {
+        ctx.allreduce_f64(CommScope::World, &mut ax);
+        for (ri, (bv, av)) in r.iter_mut().zip(b_vec.iter().zip(&ax)) {
             *ri = bv - av;
         }
-        ax = ax_sum; // reclaim the reduced vector as next sweep's buffer
         residual_inf = vec_inf_norm(&r);
         iters += 1;
 
@@ -162,7 +154,6 @@ pub fn refine(
         // them is a data-flow barrier and every message is consumed within
         // its sweep.
         y_seg.fill(0.0);
-        let fwd_tag = |k: usize| 0x0001_0000 | k as u32;
         for k in 0..n_b {
             let (kr, kc) = grid.owner_of_block(k, k);
             let i_own = (my_r, my_c) == (kr, kc);
@@ -173,35 +164,27 @@ pub fn refine(
                 let mut y: Vec<f64> = r[k * b..(k + 1) * b].to_vec();
                 for j in 0..k {
                     let src = grid.rank_of(kr, j % grid.p_c);
-                    let (msg, _) = comm.recv(src, fwd_tag(k));
-                    for (yi, ui) in y.iter_mut().zip(msg.into_vec64()) {
+                    let got = ctx.recv_f64(src, fwd_tags.at(k));
+                    for (yi, ui) in y.iter_mut().zip(got) {
                         *yi -= ui;
                     }
                 }
                 let dk = diag_block(&my_diag_blocks, k);
                 trsv(Uplo::Lower, Diag::Unit, b, dk, b, &mut y);
-                comm.charge((b * b) as f64 / sys.cpu.flop_rate / speed);
+                ctx.charge((b * b) as f64 / sys.cpu.flop_rate / speed);
                 y_seg[k * b..(k + 1) * b].copy_from_slice(&y);
                 Some(y)
             } else {
                 None
             };
-            let got = col_group.bcast(
-                comm,
-                kr,
-                solved.map(PanelMsg::VecF64),
-                8 * b as u64,
-                BcastAlgo::Lib,
-            );
-            let dk = got.into_vec64();
+            let dk = ctx.bcast_f64(CommScope::Col, kr, solved, 8 * b as u64);
             // Push L(k', k)·y_k to every later diagonal owner.
             push_contribs(
-                comm,
-                grid,
+                ctx,
                 local,
                 sys,
                 speed,
-                &fwd_tag,
+                fwd_tags,
                 b,
                 &dk,
                 ((k + 1)..n_b).filter(|kp| kp % grid.p_r == my_r),
@@ -211,7 +194,6 @@ pub fn refine(
 
         // ---- backward fan-in solve: Ũ·d = y ------------------------------
         d_seg.fill(0.0);
-        let bwd_tag = |k: usize| 0x0002_0000 | k as u32;
         for k in (0..n_b).rev() {
             let (kr, kc) = grid.owner_of_block(k, k);
             let i_own = (my_r, my_c) == (kr, kc);
@@ -222,35 +204,27 @@ pub fn refine(
                 let mut y: Vec<f64> = y_seg[k * b..(k + 1) * b].to_vec();
                 for j in k + 1..n_b {
                     let src = grid.rank_of(kr, j % grid.p_c);
-                    let (msg, _) = comm.recv(src, bwd_tag(k));
-                    for (yi, ui) in y.iter_mut().zip(msg.into_vec64()) {
+                    let got = ctx.recv_f64(src, bwd_tags.at(k));
+                    for (yi, ui) in y.iter_mut().zip(got) {
                         *yi -= ui;
                     }
                 }
                 let dk = diag_block(&my_diag_blocks, k);
                 trsv(Uplo::Upper, Diag::NonUnit, b, dk, b, &mut y);
-                comm.charge((b * b) as f64 / sys.cpu.flop_rate / speed);
+                ctx.charge((b * b) as f64 / sys.cpu.flop_rate / speed);
                 d_seg[k * b..(k + 1) * b].copy_from_slice(&y);
                 Some(y)
             } else {
                 None
             };
-            let got = col_group.bcast(
-                comm,
-                kr,
-                solved.map(PanelMsg::VecF64),
-                8 * b as u64,
-                BcastAlgo::Lib,
-            );
-            let xk = got.into_vec64();
+            let xk = ctx.bcast_f64(CommScope::Col, kr, solved, 8 * b as u64);
             // Push U(k', k)·x_k to every earlier diagonal owner.
             push_contribs(
-                comm,
-                grid,
+                ctx,
                 local,
                 sys,
                 speed,
-                &bwd_tag,
+                bwd_tags,
                 b,
                 &xk,
                 (0..k).filter(|kp| kp % grid.p_r == my_r),
@@ -259,18 +233,10 @@ pub fn refine(
         }
 
         // ---- x ← x + d (assemble the correction everywhere) -------------
-        let d = world
-            .allreduce(
-                comm,
-                PanelMsg::VecF64(core::mem::take(&mut d_seg)),
-                8 * n as u64,
-                sum_vec,
-            )
-            .into_vec64();
-        for (xi, di) in x.iter_mut().zip(&d) {
+        ctx.allreduce_f64(CommScope::World, &mut d_seg);
+        for (xi, di) in x.iter_mut().zip(&d_seg) {
             *xi += di;
         }
-        d_seg = d; // reclaim for the next sweep
     }
 
     let x_norm = vec_inf_norm(&x);
@@ -284,7 +250,7 @@ pub fn refine(
         converged,
         residual_inf,
         scaled_residual: scaled,
-        elapsed: comm.now() - t_start,
+        elapsed: ctx.now() - t_start,
     }
 }
 
@@ -292,17 +258,17 @@ pub fn refine(
 /// and sends it to the owner of diagonal block `kp`.
 #[allow(clippy::too_many_arguments)]
 fn push_contribs(
-    comm: &mut Comm<PanelMsg>,
-    grid: &ProcessGrid,
+    ctx: &mut RankCtx,
     local: &LocalMatrix,
     sys: &SystemSpec,
     speed: f64,
-    tag: &dyn Fn(usize) -> u32,
+    tags: TagRange,
     b: usize,
     v: &[f64],
     targets: impl Iterator<Item = usize>,
     k: usize,
 ) {
+    let grid = *ctx.grid();
     for kp in targets {
         let lr = local.row_of_block(kp);
         let lc = local.col_of_block(k);
@@ -320,9 +286,9 @@ fn push_contribs(
                 }
             }
         }
-        comm.charge(2.0 * (b * b) as f64 / sys.cpu.flop_rate / speed);
+        ctx.charge(2.0 * (b * b) as f64 / sys.cpu.flop_rate / speed);
         let dst = grid.rank_of(kp % grid.p_r, kp % grid.p_c);
-        comm.send(dst, tag(kp), PanelMsg::VecF64(u), 8 * b as u64);
+        ctx.send_f64(dst, tags.at(kp), u);
     }
 }
 
@@ -336,18 +302,6 @@ fn diag_block(blocks: &[(usize, Vec<f64>)], k: usize) -> &[f64] {
         .binary_search_by_key(&k, |(kk, _)| *kk)
         .expect("owner holds its diagonal block");
     &blocks[i].1
-}
-
-fn sum_vec(a: PanelMsg, b: PanelMsg) -> PanelMsg {
-    match (a, b) {
-        (PanelMsg::VecF64(mut x), PanelMsg::VecF64(y)) => {
-            for (xi, yi) in x.iter_mut().zip(y) {
-                *xi += yi;
-            }
-            PanelMsg::VecF64(x)
-        }
-        _ => panic!("allreduce expects VecF64"),
-    }
 }
 
 /// Closed-form IR cost estimate for timing-mode runs (per sweep: block-
@@ -385,9 +339,10 @@ mod tests {
             seed: 7,
             prec: crate::msg::TrailingPrecision::Fp16,
         };
-        spec.run::<PanelMsg, _, _>(|mut c| {
-            let out = factor(&mut c, &grid, &sys, &cfg, 1.0);
-            refine(&mut c, &grid, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
+        spec.run::<crate::msg::PanelMsg, _, _>(|c| {
+            let mut ctx = RankCtx::new(c, &grid);
+            let out = factor(&mut ctx, &sys, &cfg, 1.0);
+            refine(&mut ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
         })
     }
 

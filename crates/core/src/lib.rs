@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod msg;
 pub mod progress;
 pub mod report;
+pub mod runtime;
 pub mod scan;
 pub mod solve;
 pub mod supervisor;
@@ -68,6 +69,10 @@ pub use local::{LocalMat, LocalMatrix};
 pub use metrics::{gflops_per_gcd, hplai_flops, parallel_efficiency};
 pub use msg::{PanelData, PanelMsg, TrailingPrecision};
 pub use report::PerfReport;
+pub use runtime::{
+    CommEvent, CommOp, CommScope, CommStats, CommTotals, CommTrace, PanelBcast, RankCtx,
+    TagAllocator, TagError,
+};
 pub use solve::{
     adjust_n, run, run_sequence, try_adjust_n, ConfigError, RunConfig, RunConfigBuilder, RunOutcome,
 };

@@ -25,6 +25,11 @@ pub struct PerfReport {
     /// Mean per-rank panel-transfer seconds hidden under compute by the
     /// look-ahead pipeline (0.0 when look-ahead is off or unmeasured).
     pub overlap_hidden: f64,
+    /// Total bytes put on the wire, summed across all ranks (0 when the
+    /// run did not go through the traced runtime).
+    pub comm_bytes: u64,
+    /// Communication-wait seconds of the slowest rank.
+    pub comm_wait: f64,
 }
 
 impl PerfReport {
@@ -38,12 +43,22 @@ impl PerfReport {
             gflops_per_gcd: gflops_per_gcd(n, p_total, runtime),
             eflops: eflops(n, runtime),
             overlap_hidden: 0.0,
+            comm_bytes: 0,
+            comm_wait: 0.0,
         }
     }
 
     /// Attaches the measured communication/computation overlap.
     pub fn with_overlap(mut self, hidden: f64) -> Self {
         self.overlap_hidden = hidden;
+        self
+    }
+
+    /// Attaches the communication counters harvested from the rank
+    /// contexts: total wire bytes and the slowest rank's wait time.
+    pub fn with_comm(mut self, bytes: u64, wait: f64) -> Self {
+        self.comm_bytes = bytes;
+        self.comm_wait = wait;
         self
     }
 
@@ -58,6 +73,8 @@ impl PerfReport {
             self.ir_time * mult,
         )
         .with_overlap(self.overlap_hidden * mult)
+        // Stretching the clock stretches stalls but moves no extra data.
+        .with_comm(self.comm_bytes, self.comm_wait * mult)
     }
 
     /// Single-line human summary.
@@ -83,10 +100,13 @@ mod tests {
 
     #[test]
     fn scaling_preserves_work() {
-        let r = PerfReport::new(4096, 16, 2.0, 1.5, 0.5);
+        let r = PerfReport::new(4096, 16, 2.0, 1.5, 0.5).with_comm(1_000, 0.25);
         let s = r.scaled(4096, 16, 2.0);
         assert_eq!(s.runtime, 4.0);
         assert!((s.gflops_per_gcd - r.gflops_per_gcd / 2.0).abs() < 1e-9);
+        // Stalls stretch with the clock; traffic does not.
+        assert_eq!(s.comm_bytes, 1_000);
+        assert!((s.comm_wait - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::grid::ProcessGrid;
 use crate::ir::{ir_time_model, refine};
 use crate::msg::{PanelMsg, TrailingPrecision};
 use crate::report::PerfReport;
+use crate::runtime::RankCtx;
 use crate::systems::SystemSpec;
 use mxp_gpusim::GcdFleet;
 use mxp_msgsim::{BcastAlgo, WorldSpec};
@@ -275,6 +276,8 @@ struct RankResult {
     scaled: Option<f64>,
     ir_iters: usize,
     records: Vec<IterRecord>,
+    comm_bytes: u64,
+    comm_wait: f64,
 }
 
 /// Executes a full benchmark run and aggregates the outcome.
@@ -302,21 +305,22 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     };
     let n_b = cfg.n / cfg.b;
 
-    let results: Vec<RankResult> = spec.run::<PanelMsg, _, _>(|mut comm| {
+    let results: Vec<RankResult> = spec.run::<PanelMsg, _, _>(|comm| {
+        let mut ctx = RankCtx::new(comm, &grid);
         let base = cfg
             .fleet
             .as_ref()
-            .map(|f| f.speed(comm.rank()))
+            .map(|f| f.speed(ctx.rank()))
             .unwrap_or(1.0);
-        let speed = cfg.faults.speed_for(comm.rank(), base);
+        let speed = cfg.faults.speed_for(ctx.rank(), base);
         // IR runs after the factorization: charge it at the end-of-run
         // effective speed.
         let ir_speed = speed.at(n_b);
-        let out = factor(&mut comm, &grid, &cfg.sys, &fcfg, speed);
-        match cfg.fidelity {
+        let out = factor(&mut ctx, &cfg.sys, &fcfg, speed);
+        let mut result = match cfg.fidelity {
             Fidelity::Functional => {
                 let local = out.local.as_ref().expect("functional run keeps factors");
-                let ir = refine(&mut comm, &grid, &cfg.sys, &fcfg, local, ir_speed);
+                let ir = refine(&mut ctx, &cfg.sys, &fcfg, local, ir_speed);
                 RankResult {
                     total: out.elapsed + ir.elapsed,
                     factor: out.elapsed,
@@ -325,13 +329,15 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                     scaled: Some(ir.scaled_residual),
                     ir_iters: ir.iters,
                     records: out.records,
+                    comm_bytes: 0,
+                    comm_wait: 0.0,
                 }
             }
             Fidelity::Timing => {
                 // IR is charged from the closed-form model (the phase is
                 // a small fraction of the run at scale, §II).
                 let ir = ir_time_model(&cfg.sys, cfg.n, grid.size(), 3);
-                comm.charge(ir / ir_speed);
+                ctx.charge(ir / ir_speed);
                 RankResult {
                     total: out.elapsed + ir,
                     factor: out.elapsed,
@@ -340,9 +346,14 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                     scaled: None,
                     ir_iters: 3,
                     records: out.records,
+                    comm_bytes: 0,
+                    comm_wait: 0.0,
                 }
             }
-        }
+        };
+        result.comm_bytes = ctx.bytes_sent();
+        result.comm_wait = ctx.wait_total();
+        result
     });
 
     let runtime = results.iter().map(|r| r.total).fold(0.0, f64::max);
@@ -355,9 +366,12 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         .map(|r| r.records.iter().map(|rec| rec.hidden).sum::<f64>())
         .sum::<f64>()
         / results.len() as f64;
+    let comm_bytes = results.iter().map(|r| r.comm_bytes).sum::<u64>();
+    let comm_wait = results.iter().map(|r| r.comm_wait).fold(0.0, f64::max);
     RunOutcome {
         perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time)
-            .with_overlap(hidden),
+            .with_overlap(hidden)
+            .with_comm(comm_bytes, comm_wait),
         converged,
         scaled_residual: results[0].scaled,
         ir_iters: results[0].ir_iters,
@@ -442,6 +456,9 @@ mod tests {
         assert!(out.perf.gflops_per_gcd > 0.0);
         assert_eq!(out.records_rank0().len(), 8);
         assert_eq!(out.records.len(), 4);
+        // The rank contexts feed real communication counters upward.
+        assert!(out.perf.comm_bytes > 0, "no wire traffic recorded");
+        assert!(out.perf.comm_wait >= 0.0 && out.perf.comm_wait < out.perf.runtime);
     }
 
     #[test]

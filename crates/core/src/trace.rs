@@ -7,6 +7,7 @@
 //! compute-bound head and communication-bound tail of Fig. 10).
 
 use crate::factor::IterRecord;
+use crate::runtime::{CommEvent, CommOp, CommScope};
 use crate::supervisor::RunEvent;
 use serde::Serialize as _;
 use std::fmt::Write as _;
@@ -113,6 +114,52 @@ pub fn chrome_trace(records: &[IterRecord], rank: usize) -> String {
                 h = rec.hidden * 1e6,
             );
         }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serializes a rank's [`CommEvent`] list as Chrome-tracing JSON comm
+/// lanes: one complete ("X") event per operation with nonzero duration,
+/// one thread lane per operation kind — bcast=5, allreduce=6, send=7,
+/// recv=8, barrier=9, continuing the compute lanes of [`chrome_trace`]
+/// (whose panel-bcast busy time already lives on lane 5). Timestamps are
+/// the operations' absolute simulated microseconds, so the comm lanes of
+/// every driver land on one shared timeline.
+pub fn comm_chrome_trace(events: &[CommEvent], rank: usize) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for ev in events {
+        let dur = (ev.busy + ev.waited) * 1e6;
+        if dur <= 0.0 {
+            continue;
+        }
+        let lane = match ev.op {
+            CommOp::Bcast => 5,
+            CommOp::Allreduce => 6,
+            CommOp::Send => 7,
+            CommOp::Recv => 8,
+            CommOp::Barrier => 9,
+        };
+        let scope = match ev.scope {
+            Some(CommScope::Row) => "row",
+            Some(CommScope::Col) => "col",
+            Some(CommScope::World) => "world",
+            None => "p2p",
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            r#"  {{"name":"{name}","cat":"{scope}","ph":"X","ts":{ts:.3},"dur":{dur:.3},"pid":0,"tid":{lane},"args":{{"rank":{rank},"bytes":{bytes},"waited_us":{w:.3},"hidden_us":{h:.3}}}}}"#,
+            name = ev.op.label(),
+            ts = ev.ts * 1e6,
+            bytes = ev.bytes,
+            w = ev.waited * 1e6,
+            h = ev.hidden * 1e6,
+        );
     }
     out.push_str("\n]\n");
     out

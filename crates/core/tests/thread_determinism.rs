@@ -12,6 +12,7 @@ use hplai_core::factor::{factor, FactorConfig, Fidelity};
 use hplai_core::grid::ProcessGrid;
 use hplai_core::ir::{refine, IrOutcome};
 use hplai_core::msg::{PanelMsg, TrailingPrecision};
+use hplai_core::runtime::RankCtx;
 use hplai_core::systems::testbed;
 use mxp_msgsim::WorldSpec;
 
@@ -30,9 +31,10 @@ fn solve(grid: ProcessGrid, n: usize, b: usize) -> Vec<IrOutcome> {
         seed: 7,
         prec: TrailingPrecision::Fp16,
     };
-    spec.run::<PanelMsg, _, _>(|mut c| {
-        let out = factor(&mut c, &grid, &sys, &cfg, 1.0);
-        refine(&mut c, &grid, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
+    spec.run::<PanelMsg, _, _>(|c| {
+        let mut ctx = RankCtx::new(c, &grid);
+        let out = factor(&mut ctx, &sys, &cfg, 1.0);
+        refine(&mut ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
     })
 }
 

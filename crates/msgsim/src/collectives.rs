@@ -214,6 +214,22 @@ impl Group {
         self.ibcast_join(comm, req).0
     }
 
+    /// Borrowed-buffer broadcast: the root's payload is taken out of `buf`
+    /// and everyone's `buf` holds the broadcast value on return. Saves the
+    /// caller the `Option` plumbing when the payload lives in a reusable
+    /// slot.
+    pub fn bcast_buf<M: Clone + Default + Send + 'static>(
+        &mut self,
+        comm: &mut Comm<M>,
+        root_idx: usize,
+        buf: &mut M,
+        bytes: u64,
+        algo: BcastAlgo,
+    ) {
+        let msg = (self.my_idx() == root_idx).then(|| std::mem::take(buf));
+        *buf = self.bcast(comm, root_idx, msg, bytes, algo);
+    }
+
     /// Posts a split-phase broadcast. The root performs its part of the
     /// algorithm now (its panels leave via DMA while it computes on);
     /// receivers record the post time and do nothing until
@@ -704,6 +720,17 @@ impl Group {
         let bcast_tag = self.next_tag();
         let payload = if vr == 0 { Some(acc) } else { None };
         self.lib_bcast(comm, 0, payload, bytes, bcast_tag, 1.0)
+    }
+
+    /// Borrowed-buffer all-reduce: combines everyone's `buf` in place, so
+    /// callers reusing an accumulation vector skip the take/put dance.
+    pub fn allreduce_buf<M, F>(&mut self, comm: &mut Comm<M>, buf: &mut M, bytes: u64, combine: F)
+    where
+        M: Clone + Default + Send + 'static,
+        F: Fn(M, M) -> M,
+    {
+        let msg = std::mem::take(buf);
+        *buf = self.allreduce(comm, msg, bytes, combine);
     }
 
     /// Gathers one message from every member at `root_idx` (returned in

@@ -38,9 +38,10 @@ fn solve_x(grid: ProcessGrid, n: usize, b: usize, algo: BcastAlgo, lookahead: bo
         seed: 99,
         prec: hplai_core::msg::TrailingPrecision::Fp16,
     };
-    let outs = spec.run::<PanelMsg, _, _>(|mut c| {
-        let f = factor(&mut c, &grid, &sys, &cfg, 1.0);
-        refine(&mut c, &grid, &sys, &cfg, f.local.as_ref().unwrap(), 1.0)
+    let outs = spec.run::<PanelMsg, _, _>(|c| {
+        let mut ctx = hplai_core::RankCtx::new(c, &grid);
+        let f = factor(&mut ctx, &sys, &cfg, 1.0);
+        refine(&mut ctx, &sys, &cfg, f.local.as_ref().unwrap(), 1.0)
     });
     assert!(outs.iter().all(|o| o.converged));
     outs[0].x.clone()
