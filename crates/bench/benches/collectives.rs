@@ -39,6 +39,35 @@ fn bench_bcast(c: &mut Criterion) {
     g.finish();
 }
 
+/// Thread backend vs event backend hosting the same broadcast: the gap is
+/// the per-rank cost floor that decides how many ranks one process can
+/// afford to simulate.
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backend_wallclock");
+    g.sample_size(20);
+    for &p in &[8usize, 64] {
+        let job = move |mut comm: mxp_msgsim::Comm<Vec<u8>>| {
+            let mut grp = Group::new(comm.rank(), (0..p).collect(), 1).unwrap();
+            let payload = if comm.rank() == 0 {
+                Some(vec![0u8; 1 << 12])
+            } else {
+                None
+            };
+            grp.bcast(&mut comm, 0, payload, 8 << 20, BcastAlgo::Lib);
+            comm.now()
+        };
+        g.bench_with_input(BenchmarkId::new("threads", p), &p, |b, &p| {
+            let w = world(p);
+            b.iter(|| black_box(w.run(job)));
+        });
+        g.bench_with_input(BenchmarkId::new("event", p), &p, |b, &p| {
+            let w = world(p);
+            b.iter(|| black_box(w.run_event(job)));
+        });
+    }
+    g.finish();
+}
+
 fn bench_allreduce(c: &mut Criterion) {
     let mut g = c.benchmark_group("allreduce_wallclock");
     g.sample_size(20);
@@ -62,5 +91,5 @@ fn bench_allreduce(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bcast, bench_allreduce);
+criterion_group!(benches, bench_bcast, bench_backends, bench_allreduce);
 criterion_main!(benches);

@@ -26,22 +26,19 @@ fn bench_functional_solve(c: &mut Criterion) {
 
 fn bench_distributed_hpl(c: &mut Criterion) {
     use hplai_core::hpl_dist::hpl_dist_solve;
-    use hplai_core::msg::PanelMsg;
+    use hplai_core::run_with_backend;
     use mxp_lcg::MatrixKind;
-    use mxp_msgsim::WorldSpec;
     let mut g = c.benchmark_group("hpl_baseline");
     g.sample_size(10);
     g.bench_function("hpl_dist_n128_p4_uniform", |b| {
         let grid = ProcessGrid::col_major(2, 2, 4);
         let sys = testbed(1, 4);
+        let cfg = RunConfig::functional(sys.clone(), grid, 128, 16).build_or_panic();
         b.iter(|| {
-            let mut spec = WorldSpec::cluster(1, 4, sys.net);
-            spec.locs = grid.locs();
-            spec.tuning = sys.tuning;
-            let outs = spec.run::<PanelMsg, _, _>(|comm| {
-                let mut ctx = hplai_core::RankCtx::new(comm, &grid);
-                hpl_dist_solve(&mut ctx, &sys, 128, 16, 7, MatrixKind::Uniform, 1.0).scaled_residual
-            });
+            let outs = run_with_backend(&cfg, |ctx| {
+                hpl_dist_solve(ctx, &sys, 128, 16, 7, MatrixKind::Uniform, 1.0).scaled_residual
+            })
+            .unwrap();
             black_box(outs)
         });
     });

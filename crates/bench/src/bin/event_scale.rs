@@ -1,0 +1,281 @@
+//! `event_scale` — full-machine rank counts on the event-driven backend.
+//!
+//! One OS process hosts every rank of the target machine as a fiber under
+//! the discrete-event scheduler and runs a timing-fidelity factorization
+//! at the minimum block count the grid admits. This is the scale the
+//! thread-per-rank backend cannot reach (it refuses past a few thousand
+//! ranks); the run emits the shared [`PerfReport`] schema with backend
+//! provenance, a Chrome comm trace for rank 0, and a simulator-throughput
+//! trajectory to `BENCH_eventsim.json` at the repository root.
+//!
+//! ```text
+//! event_scale [--summit] [--frontier] [--floor <ranks_per_sec>]
+//! ```
+//!
+//! With no flags, runs the Summit extent (27,648 ranks). `--frontier`
+//! adds the full Frontier extent (9408 nodes × 8 GCDs = 75,264 ranks).
+//! `--floor R` exits non-zero if the Summit-extent run simulates fewer
+//! than `R` ranks per wall-clock second — the CI guard against a
+//! scheduling or matching regression making full-machine runs
+//! impractical.
+
+use hplai_core::factor::{factor, FactorConfig, Fidelity};
+use hplai_core::ir::ir_time_model;
+use hplai_core::trace::comm_chrome_trace;
+use hplai_core::{
+    run_with_backend, summit, Backend, CommTrace, PerfReport, ProcessGrid, RunConfig, SystemSpec,
+};
+use mxp_bench::{emit_perf_reports, gflops, results_dir, NamedPerf, Table};
+use mxp_msgsim::BcastAlgo;
+use serde::Serialize;
+use std::time::Instant;
+
+/// What one rank reports back: the scalar totals [`hplai_core::run`]
+/// would aggregate, without the per-iteration records (whose storage at
+/// 75k ranks would dwarf the fibers themselves), plus the comm trace for
+/// the one rank left tracing.
+struct RankOut {
+    total: f64,
+    factor: f64,
+    ir: f64,
+    bytes: u64,
+    wait: f64,
+    hidden: f64,
+    trace: Option<CommTrace>,
+}
+
+/// One machine-extent measurement for the trajectory file.
+#[derive(Clone, Debug, Serialize)]
+struct ScalePoint {
+    /// Machine name.
+    system: String,
+    /// Ranks hosted in this process.
+    ranks: usize,
+    /// Process-grid shape.
+    grid: String,
+    /// Factorization iterations simulated (`N/B`).
+    iterations: usize,
+    /// Host wall-clock seconds for the whole run.
+    wall_secs: f64,
+    /// Simulated ranks per wall-clock second (the throughput headline).
+    ranks_per_sec: f64,
+    /// Simulated seconds of the slowest rank.
+    virtual_secs: f64,
+    /// Wall seconds spent per simulated second.
+    wall_vs_virtual_time: f64,
+    /// Achieved GFLOPS/GCD of the simulated run.
+    gflops_per_gcd: f64,
+}
+
+/// Trajectory file schema.
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    /// Schema tag for downstream tooling.
+    schema: String,
+    /// Measured extents.
+    points: Vec<ScalePoint>,
+}
+
+/// The minimum-`N` timing configuration at a machine's full extent on the
+/// event backend: paper block size, the paper's preferred node-local
+/// grid orientation, and the smallest block count that tiles the grid.
+fn full_extent_config(sys: &SystemSpec, q_r: usize, q_c: usize) -> RunConfig {
+    let per_node = sys.gcds_per_node;
+    assert_eq!(q_r * q_c, per_node);
+    // Split the machine's node count into the tile grid whose rank grid
+    // needs the fewest iterations (`N/B = lcm(P_r, P_c)` at minimum `N`),
+    // breaking ties toward square. On Frontier this picks 224x336 (672
+    // iterations) over near-square splits whose lcm runs to thousands.
+    let ranks = sys.total_gcds();
+    let tiles = ranks / per_node;
+    let gcd = |mut a: usize, mut b: usize| {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a
+    };
+    let mut best: Option<(usize, usize, usize)> = None; // (n_b, skew, tile_rows)
+    for tr in 1..=tiles {
+        if !tiles.is_multiple_of(tr) {
+            continue;
+        }
+        let (p_r, p_c) = (tr * q_r, (tiles / tr) * q_c);
+        let n_b = p_r / gcd(p_r, p_c) * p_c;
+        let skew = p_r.abs_diff(p_c);
+        if best.is_none_or(|(bn, bs, _)| (n_b, skew) < (bn, bs)) {
+            best = Some((n_b, skew, tr));
+        }
+    }
+    let (_, _, tr) = best.expect("machine has at least one node");
+    let grid = ProcessGrid::node_local(tr * q_r, (tiles / tr) * q_c, q_r, q_c);
+    let b = sys.paper_b;
+    let n = hplai_core::adjust_n(1, &grid, b);
+    RunConfig::timing(sys.clone(), grid, n, b)
+        .algo(BcastAlgo::Lib)
+        .backend(Backend::EventTimed)
+        .build_or_panic()
+}
+
+/// Runs one full-extent point, emits its comm trace, and returns the
+/// measurement plus the labelled report.
+fn run_extent(cfg: &RunConfig, label: &str) -> (ScalePoint, NamedPerf) {
+    let sys = cfg.sys.clone();
+    let grid = cfg.grid;
+    let ranks = grid.size();
+    let n_b = cfg.n / cfg.b;
+    let fcfg = FactorConfig {
+        n: cfg.n,
+        b: cfg.b,
+        algo: cfg.algo,
+        lookahead: cfg.lookahead,
+        fidelity: Fidelity::Timing,
+        seed: cfg.seed,
+        prec: cfg.prec,
+    };
+    eprintln!(
+        "{label}: {ranks} ranks as {}x{} fibers, N = {} (B = {}, {n_b} iterations)",
+        grid.p_r, grid.p_c, cfg.n, cfg.b
+    );
+    let started = Instant::now();
+    let outs = run_with_backend(cfg, |ctx| {
+        // Only rank 0 keeps a comm trace: at full extent every-rank
+        // tracing would cost more memory than the fibers themselves.
+        let traced = ctx.rank() == 0;
+        ctx.set_tracing(traced);
+        let out = factor(ctx, &sys, &fcfg, 1.0);
+        let ir = ir_time_model(&sys, fcfg.n, ctx.grid().size(), 3);
+        ctx.charge(ir);
+        RankOut {
+            total: out.elapsed + ir,
+            factor: out.elapsed,
+            ir,
+            bytes: ctx.bytes_sent(),
+            wait: ctx.wait_total(),
+            hidden: out.records.iter().map(|r| r.hidden).sum(),
+            trace: traced.then(|| ctx.take_trace()),
+        }
+    })
+    .expect("the event backend hosts full-machine grids");
+    let wall = started.elapsed().as_secs_f64();
+
+    let runtime = outs.iter().map(|r| r.total).fold(0.0, f64::max);
+    let factor_time = outs.iter().map(|r| r.factor).fold(0.0, f64::max);
+    let ir_time = outs.iter().map(|r| r.ir).fold(0.0, f64::max);
+    let bytes = outs.iter().map(|r| r.bytes).sum::<u64>();
+    let wait = outs.iter().map(|r| r.wait).fold(0.0, f64::max);
+    let hidden = outs.iter().map(|r| r.hidden).sum::<f64>() / ranks as f64;
+    let perf = PerfReport::new(cfg.n, ranks, runtime, factor_time, ir_time)
+        .with_overlap(hidden)
+        .with_comm(bytes, wait)
+        .with_backend(Backend::EventTimed, ranks, wall / runtime);
+
+    let trace = outs[0].trace.as_ref().expect("rank 0 was tracing");
+    let stem = label.to_lowercase().replace(' ', "_");
+    let path = results_dir().join(format!("event_scale_{stem}.trace.json"));
+    std::fs::write(&path, comm_chrome_trace(trace.events(), 0)).expect("write comm trace");
+    eprintln!("wrote {}", path.display());
+
+    let point = ScalePoint {
+        system: sys.name.to_string(),
+        ranks,
+        grid: format!("{}x{}", grid.p_r, grid.p_c),
+        iterations: n_b,
+        wall_secs: wall,
+        ranks_per_sec: ranks as f64 / wall,
+        virtual_secs: runtime,
+        wall_vs_virtual_time: wall / runtime,
+        gflops_per_gcd: perf.gflops_per_gcd,
+    };
+    (point, NamedPerf::new(label, perf))
+}
+
+fn repo_root() -> std::path::PathBuf {
+    results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .to_path_buf()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let do_frontier = args.iter().any(|a| a == "--frontier");
+    let do_summit = args.iter().any(|a| a == "--summit") || !do_frontier;
+    let floor: Option<f64> = args
+        .iter()
+        .position(|a| a == "--floor")
+        .map(|i| args[i + 1].parse().expect("--floor takes ranks/sec"));
+
+    let mut points = Vec::new();
+    let mut reports = Vec::new();
+    if do_summit {
+        // Summit: 4608 nodes × 6 V100 = 27,648 ranks, 3x2 node grid.
+        let cfg = full_extent_config(&summit(), 3, 2);
+        let (pt, np) = run_extent(&cfg, "Summit full extent");
+        points.push(pt);
+        reports.push(np);
+    }
+    if do_frontier {
+        // Frontier: 9408 nodes × 8 GCDs = 75,264 ranks, 2x4 node grid.
+        let cfg = full_extent_config(&hplai_core::frontier(), 2, 4);
+        let (pt, np) = run_extent(&cfg, "Frontier full extent");
+        points.push(pt);
+        reports.push(np);
+    }
+
+    let mut t = Table::new(
+        "Event-backend full-machine scale",
+        "BENCH_eventsim",
+        &[
+            "system",
+            "ranks",
+            "grid",
+            "iters",
+            "wall s",
+            "ranks/s",
+            "virtual s",
+            "GFLOPS/GCD",
+        ],
+    );
+    for p in &points {
+        t.row(&[
+            &p.system,
+            &p.ranks,
+            &p.grid,
+            &p.iterations,
+            &format!("{:.1}", p.wall_secs),
+            &format!("{:.0}", p.ranks_per_sec),
+            &format!("{:.1}", p.virtual_secs),
+            &gflops(p.gflops_per_gcd),
+        ]);
+    }
+    println!("{}", t.render());
+    emit_perf_reports("event_scale", &reports);
+
+    let report = Report {
+        schema: "event-sim-v1".into(),
+        points,
+    };
+    let path = repo_root().join("BENCH_eventsim.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_eventsim.json");
+    eprintln!("wrote {}", path.display());
+
+    if let Some(floor) = floor {
+        let p = report
+            .points
+            .iter()
+            .find(|p| p.system == "Summit")
+            .expect("--floor applies to the Summit extent; run without --frontier-only");
+        if p.ranks_per_sec < floor {
+            eprintln!(
+                "FLOOR VIOLATION: {:.0} ranks/sec < required {floor} at {} ranks",
+                p.ranks_per_sec, p.ranks
+            );
+            std::process::exit(1);
+        }
+        eprintln!("floor ok: {:.0} ranks/sec >= {floor}", p.ranks_per_sec);
+    }
+}

@@ -4,12 +4,13 @@
 
 use hplai_core::critical::{critical_time, CriticalConfig};
 use hplai_core::{frontier, summit, ProcessGrid, SystemSpec};
-use mxp_bench::{gflops, secs, Table};
+use mxp_bench::{emit_perf_reports, gflops, secs, NamedPerf, Table};
 use mxp_msgsim::BcastAlgo;
 
 #[allow(clippy::too_many_arguments)]
 fn sweep(
     t: &mut Table,
+    reports: &mut Vec<NamedPerf>,
     sys: &SystemSpec,
     label: &str,
     p: usize,
@@ -36,6 +37,7 @@ fn sweep(
             &gflops(out.perf.gflops_per_gcd),
             &secs(out.perf.overlap_hidden),
         ]);
+        reports.push(NamedPerf::new(format!("{label} B={b}"), out.perf));
     }
 }
 
@@ -46,10 +48,12 @@ fn main() {
         &["config", "GCDs", "B", "GFLOPS/GCD", "hidden s"],
     );
 
+    let mut reports = Vec::new();
     let s = summit();
     let bs_summit = [256usize, 384, 512, 768, 1024, 1536, 2048, 3072];
     sweep(
         &mut t,
+        &mut reports,
         &s,
         "Summit Bcast col-major",
         54,
@@ -60,6 +64,7 @@ fn main() {
     );
     sweep(
         &mut t,
+        &mut reports,
         &s,
         "Summit Bcast 3x2",
         54,
@@ -73,6 +78,7 @@ fn main() {
     let bs_frontier = [512usize, 1024, 1536, 2048, 3072, 4096, 6144];
     sweep(
         &mut t,
+        &mut reports,
         &f,
         "Frontier Ring2M col-major",
         32,
@@ -83,6 +89,7 @@ fn main() {
     );
     sweep(
         &mut t,
+        &mut reports,
         &f,
         "Frontier Ring2M 2x4",
         32,
@@ -92,6 +99,7 @@ fn main() {
         &bs_frontier,
     );
     t.emit("fig4");
+    emit_perf_reports("fig4", &reports);
 
     // Highlight the optima.
     for config in ["Summit Bcast 3x2", "Frontier Ring2M 2x4"] {

@@ -5,8 +5,8 @@
 
 use hplai_core::critical::{critical_time, CriticalConfig};
 use hplai_core::report::PerfReport;
-use hplai_core::{frontier, summit, ProcessGrid, SystemSpec};
-use mxp_bench::{gflops, Table};
+use hplai_core::{frontier, run, summit, Backend, ProcessGrid, RunConfig, SystemSpec};
+use mxp_bench::{emit_perf_reports, gflops, NamedPerf, Table};
 use mxp_msgsim::BcastAlgo;
 
 fn report(
@@ -43,6 +43,7 @@ fn main() {
         "Fig. 8",
         &["system", "grid", "algo", "GFLOPS/GCD", "hidden"],
     );
+    let mut reports = Vec::new();
 
     let s = summit();
     let summit_grids: [(&str, ProcessGrid); 3] = [
@@ -60,6 +61,10 @@ fn main() {
                 &gflops(r.gflops_per_gcd),
                 &hidden_pct(&r),
             ]);
+            reports.push(NamedPerf::new(
+                format!("Summit {gname} {}", algo.label()),
+                r,
+            ));
         }
     }
 
@@ -79,9 +84,36 @@ fn main() {
                 &gflops(r.gflops_per_gcd),
                 &hidden_pct(&r),
             ]);
+            reports.push(NamedPerf::new(
+                format!("Frontier {gname} {}", algo.label()),
+                r,
+            ));
         }
     }
+
+    // Emergent cross-check of one Frontier point on the event-driven
+    // backend: 1024 ranks hosted as fibers in this process, same driver
+    // as the functional runs. The report carries backend provenance
+    // (`backend`, `simulated_ranks`, `wall_vs_virtual_time`) so the
+    // persisted JSON distinguishes it from the critical-path rows.
+    let grid = ProcessGrid::node_local(32, 32, 2, 4);
+    let cfg = RunConfig::timing(f.clone(), grid, 98304, 3072)
+        .algo(BcastAlgo::Ring2M)
+        .backend(Backend::EventTimed)
+        .build_or_panic();
+    let emergent = run(&cfg);
+    println!(
+        "Emergent event-backend cross-check (Frontier 2x4, 1024 ranks): \
+         {} GFLOPS/GCD at {:.2} wall-s per virtual-s",
+        gflops(emergent.perf.gflops_per_gcd),
+        emergent.perf.wall_vs_virtual_time
+    );
+    reports.push(NamedPerf::new(
+        "Frontier 2x4 ring-2M emergent event-timed",
+        emergent.perf,
+    ));
     t.emit("fig8");
+    emit_perf_reports("fig8", &reports);
 
     // §V-E ablations, reported as the paper states them.
     let grid_s = ProcessGrid::node_local(54, 54, 3, 2);

@@ -328,17 +328,17 @@ fn bench_ir(entries: &mut Vec<Entry>, threads: usize, n: usize, b: usize, reps: 
     use hplai_core::factor::{factor, FactorConfig, Fidelity};
     use hplai_core::grid::ProcessGrid;
     use hplai_core::ir::refine;
-    use hplai_core::msg::{PanelMsg, TrailingPrecision};
+    use hplai_core::msg::TrailingPrecision;
     use hplai_core::systems::testbed;
-    use mxp_msgsim::WorldSpec;
+    use hplai_core::{run_with_backend, RunConfig};
 
     let mut best = f64::INFINITY;
     for _ in 0..reps {
         let grid = ProcessGrid::col_major(1, 1, 1);
         let sys = testbed(1, 1);
-        let mut spec = WorldSpec::cluster(1, 1, sys.net);
-        spec.locs = grid.locs();
-        spec.tuning = sys.tuning;
+        let rcfg = RunConfig::functional(sys.clone(), grid, n, b)
+            .seed(7)
+            .build_or_panic();
         let cfg = FactorConfig {
             n,
             b,
@@ -348,15 +348,15 @@ fn bench_ir(entries: &mut Vec<Entry>, threads: usize, n: usize, b: usize, reps: 
             seed: 7,
             prec: TrailingPrecision::Fp16,
         };
-        let per_sweep: Vec<f64> = spec.run::<PanelMsg, _, _>(|c| {
-            let mut ctx = hplai_core::RankCtx::new(c, &grid);
-            let out = factor(&mut ctx, &sys, &cfg, 1.0);
+        let per_sweep: Vec<f64> = run_with_backend(&rcfg, |ctx| {
+            let out = factor(ctx, &sys, &cfg, 1.0);
             let t0 = Instant::now();
-            let o = refine(&mut ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0);
+            let o = refine(ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0);
             let secs = t0.elapsed().as_secs_f64();
             assert!(o.converged, "ir bench solve failed to converge");
             secs / o.iters.max(1) as f64
-        });
+        })
+        .expect("single rank fits any backend");
         best = best.min(per_sweep[0]);
     }
     // A sweep regenerates n² entries and does a 2n² flop residual GEMV;

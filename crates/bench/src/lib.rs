@@ -235,6 +235,24 @@ mod tests {
     }
 
     #[test]
+    fn perf_schema_carries_backend_provenance() {
+        // Downstream tooling keys on these fields to tell a hosted run
+        // (and on which backend, at what rank count, at what host cost)
+        // from a pure model evaluation; older readers ignore the extra
+        // keys, older files fall back to the defaults.
+        use hplai_core::Backend;
+        let perf =
+            PerfReport::new(1024, 4, 1.0, 0.8, 0.2).with_backend(Backend::EventTimed, 75_264, 0.25);
+        let np = NamedPerf::new("frontier full extent", perf);
+        let mut s = String::new();
+        np.serialize_json(&mut s);
+        let v: serde_json::Value = serde_json::from_str(&s).expect("valid JSON");
+        assert_eq!(v["perf"]["backend"], "event-timed");
+        assert_eq!(v["perf"]["simulated_ranks"].as_f64().unwrap(), 75_264.0);
+        assert_eq!(v["perf"]["wall_vs_virtual_time"].as_f64().unwrap(), 0.25);
+    }
+
+    #[test]
     fn formatters() {
         assert_eq!(tf(123.45e12), "123.5");
         assert_eq!(secs(1.23456), "1.235");

@@ -57,7 +57,7 @@ pub struct FactorConfig {
 }
 
 /// Per-iteration timing record on one rank (the Fig. 10 series).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct IterRecord {
     /// Iteration index `k`.
     pub k: usize,
@@ -643,9 +643,8 @@ fn gemm_update(
 mod tests {
     use super::*;
     use crate::grid::ProcessGrid;
-    use crate::msg::PanelMsg;
+    use crate::solve::{run_with_backend, RunConfig};
     use crate::systems::testbed;
-    use mxp_msgsim::WorldSpec;
 
     fn run_factor(
         grid: ProcessGrid,
@@ -657,9 +656,11 @@ mod tests {
     ) -> Vec<FactorOutput> {
         let q = grid.gcds_per_node();
         let sys = testbed(grid.size() / q, q);
-        let mut spec = WorldSpec::cluster(grid.size() / q, q, sys.net);
-        spec.locs = grid.locs();
-        spec.tuning = sys.tuning;
+        let rcfg = RunConfig::functional(sys.clone(), grid, n, b)
+            .algo(algo)
+            .lookahead(lookahead)
+            .seed(42)
+            .build_or_panic();
         let cfg = FactorConfig {
             n,
             b,
@@ -669,10 +670,8 @@ mod tests {
             seed: 42,
             prec: TrailingPrecision::Fp16,
         };
-        spec.run::<PanelMsg, _, _>(|c| {
-            let mut ctx = RankCtx::new(c, &grid);
-            factor(&mut ctx, &sys, &cfg, 1.0)
-        })
+        run_with_backend(&rcfg, |ctx| factor(ctx, &sys, &cfg, 1.0))
+            .expect("testbed grids fit the functional backend")
     }
 
     /// Gathers the distributed factors into one dense LU and checks
@@ -849,9 +848,9 @@ mod tests {
         // by stalling the pipeline".
         let grid = ProcessGrid::col_major(2, 2, 4);
         let sys = testbed(1, 4);
-        let mut spec = WorldSpec::cluster(1, 4, sys.net);
-        spec.locs = grid.locs();
-        spec.tuning = sys.tuning;
+        let rcfg = RunConfig::functional(sys.clone(), grid, 256, 32)
+            .lookahead(false)
+            .build_or_panic();
         let cfg = FactorConfig {
             n: 256,
             b: 32,
@@ -861,21 +860,17 @@ mod tests {
             seed: 1,
             prec: TrailingPrecision::Fp16,
         };
-        let nominal = spec
-            .run::<PanelMsg, _, _>(|c| {
-                let mut ctx = RankCtx::new(c, &grid);
-                factor(&mut ctx, &sys, &cfg, 1.0).elapsed
-            })
+        let nominal = run_with_backend(&rcfg, |ctx| factor(ctx, &sys, &cfg, 1.0).elapsed)
+            .unwrap()
             .into_iter()
             .fold(0.0, f64::max);
-        let degraded = spec
-            .run::<PanelMsg, _, _>(|c| {
-                let speed = if c.rank() == 3 { 0.5 } else { 1.0 };
-                let mut ctx = RankCtx::new(c, &grid);
-                factor(&mut ctx, &sys, &cfg, speed).elapsed
-            })
-            .into_iter()
-            .fold(0.0, f64::max);
+        let degraded = run_with_backend(&rcfg, |ctx| {
+            let speed = if ctx.rank() == 3 { 0.5 } else { 1.0 };
+            factor(ctx, &sys, &cfg, speed).elapsed
+        })
+        .unwrap()
+        .into_iter()
+        .fold(0.0, f64::max);
         assert!(
             degraded > 1.2 * nominal,
             "slow GCD must stall the pipeline: {degraded} vs {nominal}"

@@ -561,20 +561,17 @@ fn residual_check(
 mod tests {
     use super::*;
     use crate::grid::ProcessGrid;
-    use crate::msg::PanelMsg;
+    use crate::solve::{run_with_backend, RunConfig};
     use crate::systems::testbed;
-    use mxp_msgsim::WorldSpec;
 
     fn run_hpl(grid: ProcessGrid, n: usize, b: usize, kind: MatrixKind) -> Vec<HplDistOutcome> {
         let q = grid.gcds_per_node();
         let sys = testbed(grid.size() / q, q);
-        let mut spec = WorldSpec::cluster(grid.size() / q, q, sys.net);
-        spec.locs = grid.locs();
-        spec.tuning = sys.tuning;
-        spec.run::<PanelMsg, _, _>(|c| {
-            let mut ctx = RankCtx::new(c, &grid);
-            hpl_dist_solve(&mut ctx, &sys, n, b, 4242, kind, 1.0)
+        let rcfg = RunConfig::functional(sys.clone(), grid, n, b).build_or_panic();
+        run_with_backend(&rcfg, |ctx| {
+            hpl_dist_solve(ctx, &sys, n, b, 4242, kind, 1.0)
         })
+        .unwrap()
     }
 
     #[test]
@@ -667,16 +664,14 @@ mod tests {
         use crate::runtime::{CommOp, CommScope};
         let grid = ProcessGrid::col_major(2, 2, 4);
         let sys = testbed(1, 4);
-        let mut spec = WorldSpec::cluster(1, 4, sys.net);
-        spec.locs = grid.locs();
-        spec.tuning = sys.tuning;
         let (n, b) = (32usize, 8usize);
         let n_b = n / b;
-        let outs = spec.run::<PanelMsg, _, _>(|c| {
-            let mut ctx = RankCtx::new(c, &grid);
-            let out = hpl_dist_solve(&mut ctx, &sys, n, b, 4242, MatrixKind::Uniform, 1.0);
+        let rcfg = RunConfig::functional(sys.clone(), grid, n, b).build_or_panic();
+        let outs = run_with_backend(&rcfg, |ctx| {
+            let out = hpl_dist_solve(ctx, &sys, n, b, 4242, MatrixKind::Uniform, 1.0);
             (out, ctx.take_trace())
-        });
+        })
+        .unwrap();
         // Rank 0 sits at grid (0,0): in the k = 0 panel column and row.
         let (out, trace) = &outs[0];
         let ipiv = &out.ipiv;
@@ -778,7 +773,7 @@ mod tests {
         // simulated time — tensor-path GEMM rates need large tiles, so
         // mixed precision only pays off at scale (the claim the critical-
         // path models assert in `hpl::tests` and `tests/paper_claims.rs`).
-        use crate::solve::{run, RunConfig};
+        use crate::solve::run;
         let grid = ProcessGrid::col_major(2, 2, 4);
         let sys = testbed(1, 4);
         let cfg = RunConfig::functional(sys, grid, 256, 32)
@@ -792,8 +787,6 @@ mod tests {
         use crate::factor::{factor, FactorConfig, Fidelity};
         use crate::ir::refine;
         use mxp_msgsim::BcastAlgo;
-        let mut spec = WorldSpec::cluster(1, 4, testbed(1, 4).net);
-        spec.locs = grid.locs();
         let sys2 = testbed(1, 4);
         let fcfg = FactorConfig {
             n: 256,
@@ -804,11 +797,11 @@ mod tests {
             seed: 4242,
             prec: crate::msg::TrailingPrecision::Fp16,
         };
-        let ai_x = spec.run::<PanelMsg, _, _>(|c| {
-            let mut ctx = RankCtx::new(c, &grid);
-            let f = factor(&mut ctx, &sys2, &fcfg, 1.0);
-            refine(&mut ctx, &sys2, &fcfg, f.local.as_ref().unwrap(), 1.0).x
-        });
+        let ai_x = run_with_backend(&cfg, |ctx| {
+            let f = factor(ctx, &sys2, &fcfg, 1.0);
+            refine(ctx, &sys2, &fcfg, f.local.as_ref().unwrap(), 1.0).x
+        })
+        .unwrap();
         for (i, (a, h)) in ai_x[0].iter().zip(&hpl[0].x).enumerate() {
             assert!(
                 (a - h).abs() < 1e-7 * h.abs().max(1.0),

@@ -321,15 +321,15 @@ mod tests {
     use super::*;
     use crate::factor::{factor, FactorConfig, Fidelity};
     use crate::grid::ProcessGrid;
+    use crate::solve::{run_with_backend, RunConfig};
     use crate::systems::testbed;
-    use mxp_msgsim::WorldSpec;
 
     fn solve_end_to_end(grid: ProcessGrid, n: usize, b: usize) -> Vec<IrOutcome> {
         let q = grid.gcds_per_node();
         let sys = testbed(grid.size() / q, q);
-        let mut spec = WorldSpec::cluster(grid.size() / q, q, sys.net);
-        spec.locs = grid.locs();
-        spec.tuning = sys.tuning;
+        let rcfg = RunConfig::functional(sys.clone(), grid, n, b)
+            .seed(7)
+            .build_or_panic();
         let cfg = FactorConfig {
             n,
             b,
@@ -339,11 +339,11 @@ mod tests {
             seed: 7,
             prec: crate::msg::TrailingPrecision::Fp16,
         };
-        spec.run::<crate::msg::PanelMsg, _, _>(|c| {
-            let mut ctx = RankCtx::new(c, &grid);
-            let out = factor(&mut ctx, &sys, &cfg, 1.0);
-            refine(&mut ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
+        run_with_backend(&rcfg, |ctx| {
+            let out = factor(ctx, &sys, &cfg, 1.0);
+            refine(ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
         })
+        .unwrap()
     }
 
     fn true_residual(n: usize, seed: u64, x: &[f64]) -> f64 {

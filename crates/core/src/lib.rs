@@ -22,6 +22,16 @@
 //!   Summit/Frontier-scale projections (Figs. 4, 8, 9, 11). An integration
 //!   test pins it against the emergent driver at small scale.
 //!
+//! Orthogonally, the emergent fidelities run on either of two runtime
+//! *backends* behind the [`CommBackend`] API, selected with
+//! [`RunConfigBuilder::backend`](solve::RunConfigBuilder::backend):
+//! [`Backend::Functional`] hosts each rank on an OS thread (real payloads,
+//! up to O(10³) ranks), while [`Backend::EventTimed`] schedules ranks as
+//! fiber continuations under a discrete-event simulator — one process
+//! hosts full Summit/Frontier rank counts (75,264 ranks) with
+//! bit-identical simulated clocks. Drivers are backend-agnostic: the same
+//! [`RankCtx`] code runs unmodified on both.
+//!
 //! ```
 //! use hplai_core::{run, testbed, ProcessGrid, RunConfig};
 //!
@@ -70,11 +80,12 @@ pub use metrics::{gflops_per_gcd, hplai_flops, parallel_efficiency};
 pub use msg::{PanelData, PanelMsg, TrailingPrecision};
 pub use report::PerfReport;
 pub use runtime::{
-    CommEvent, CommOp, CommScope, CommStats, CommTotals, CommTrace, PanelBcast, RankCtx,
-    TagAllocator, TagError,
+    Backend, BackendError, CommBackend, CommEvent, CommOp, CommScope, CommStats, CommTotals,
+    CommTrace, PanelBcast, RankCtx, TagAllocator, TagError,
 };
 pub use solve::{
-    adjust_n, run, run_sequence, try_adjust_n, ConfigError, RunConfig, RunConfigBuilder, RunOutcome,
+    adjust_n, run, run_sequence, run_with_backend, try_adjust_n, ConfigError, RunConfig,
+    RunConfigBuilder, RunOutcome,
 };
 pub use supervisor::{RecoveryPolicy, RunEvent, SupervisedOutcome, Supervisor};
 pub use systems::{frontier, summit, testbed, SystemSpec};

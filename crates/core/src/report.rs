@@ -5,12 +5,13 @@
 //! sweep binaries, and the supervisor all serialize the same shape.
 
 use crate::metrics::{eflops, gflops_per_gcd};
+use crate::runtime::Backend;
 use serde::Serialize;
 
 /// Headline performance numbers of one benchmark run — the quantities the
 /// paper reports for every configuration (runtime split plus the two
 /// throughput units of Table III).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, Serialize)]
 pub struct PerfReport {
     /// End-to-end simulated runtime (slowest rank), seconds.
     pub runtime: f64,
@@ -30,6 +31,38 @@ pub struct PerfReport {
     pub comm_bytes: u64,
     /// Communication-wait seconds of the slowest rank.
     pub comm_wait: f64,
+    /// Which runtime backend hosted the ranks. Defaults to
+    /// [`Backend::Functional`]; reports written before this field existed
+    /// deserialize-compatibly because readers fall back to the default on
+    /// a missing key.
+    pub backend: Backend,
+    /// How many ranks the run hosted (0 in reports synthesized outside
+    /// the runtime, e.g. pure model evaluations).
+    pub simulated_ranks: usize,
+    /// Host wall-clock seconds spent per simulated second — the event
+    /// backend's headline economy metric ("simulate Frontier in one
+    /// process"). 0.0 when unmeasured.
+    pub wall_vs_virtual_time: f64,
+}
+
+/// Equality covers the *simulated* quantities only: `wall_vs_virtual_time`
+/// measures host wall-clock, which varies run to run even when the
+/// simulation is bit-identical, so determinism checks comparing reports
+/// (the supervisor event log, the thread-determinism suite) must not see
+/// it.
+impl PartialEq for PerfReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.runtime == other.runtime
+            && self.factor_time == other.factor_time
+            && self.ir_time == other.ir_time
+            && self.gflops_per_gcd == other.gflops_per_gcd
+            && self.eflops == other.eflops
+            && self.overlap_hidden == other.overlap_hidden
+            && self.comm_bytes == other.comm_bytes
+            && self.comm_wait == other.comm_wait
+            && self.backend == other.backend
+            && self.simulated_ranks == other.simulated_ranks
+    }
 }
 
 impl PerfReport {
@@ -45,6 +78,9 @@ impl PerfReport {
             overlap_hidden: 0.0,
             comm_bytes: 0,
             comm_wait: 0.0,
+            backend: Backend::Functional,
+            simulated_ranks: 0,
+            wall_vs_virtual_time: 0.0,
         }
     }
 
@@ -62,6 +98,24 @@ impl PerfReport {
         self
     }
 
+    /// Records which backend hosted the run, at what rank count, and the
+    /// wall-seconds-per-virtual-second cost of simulating it.
+    pub fn with_backend(mut self, backend: Backend, ranks: usize, wall_vs_virtual: f64) -> Self {
+        self.backend = backend;
+        self.simulated_ranks = ranks;
+        self.wall_vs_virtual_time = wall_vs_virtual;
+        self
+    }
+
+    /// The same report with the host-timing column zeroed. Deterministic
+    /// consumers — the supervision event log, golden snapshots — carry
+    /// only simulated quantities; `wall_vs_virtual_time` is host
+    /// wall-clock and would make their bytes unreproducible.
+    pub fn without_host_timing(mut self) -> Self {
+        self.wall_vs_virtual_time = 0.0;
+        self
+    }
+
     /// The same run scaled by a runtime multiplier (warm-up / thermal
     /// sequences): times scale up, throughputs scale down.
     pub fn scaled(&self, n: usize, p_total: usize, mult: f64) -> Self {
@@ -75,6 +129,16 @@ impl PerfReport {
         .with_overlap(self.overlap_hidden * mult)
         // Stretching the clock stretches stalls but moves no extra data.
         .with_comm(self.comm_bytes, self.comm_wait * mult)
+        // Same host effort spread over a stretched virtual clock.
+        .with_backend(
+            self.backend,
+            self.simulated_ranks,
+            if mult > 0.0 {
+                self.wall_vs_virtual_time / mult
+            } else {
+                0.0
+            },
+        )
     }
 
     /// Single-line human summary.

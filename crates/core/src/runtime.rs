@@ -31,7 +31,142 @@
 
 use crate::grid::ProcessGrid;
 use crate::msg::{PanelData, PanelMsg};
-use mxp_msgsim::{BcastAlgo, BcastRequest, Comm, Group};
+use mxp_msgsim::{BcastAlgo, BcastRequest, Comm, Group, WorldSpec};
+
+/// A strategy for executing one closure per rank over a [`WorldSpec`] —
+/// the seam between drivers (algorithms over [`RankCtx`]) and the
+/// machinery that hosts the ranks. Two implementations ship: the
+/// *functional* thread-per-rank transport and the *event-timed*
+/// fiber-per-rank discrete-event scheduler; both produce bit-identical
+/// simulated clocks, so a driver never branches on which one it runs
+/// under.
+///
+/// The recipe for a new backend: implement `execute` so every rank's
+/// closure runs against a [`mxp_msgsim::Comm`] endpoint honouring the
+/// send/receive matching discipline (per-(src, tag) FIFO streams), and
+/// results come back in rank order with rank panics re-thrown.
+pub trait CommBackend {
+    /// Stable lower-case label, recorded in
+    /// [`PerfReport`](crate::report::PerfReport) and serialized JSON.
+    fn label(&self) -> &'static str;
+
+    /// Largest world this backend can reasonably host; exceeding it makes
+    /// [`Backend::check_scale`] return a typed error instead of letting
+    /// the run die on resource exhaustion.
+    fn max_ranks(&self) -> usize;
+
+    /// Executes the per-rank closure over the spec, returning results in
+    /// rank order. Panics in any rank propagate, like an MPI abort.
+    fn execute<T, F>(&self, spec: &WorldSpec, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm<PanelMsg>) -> T + Sync;
+}
+
+/// The shipped [`CommBackend`] implementations, selectable on
+/// [`RunConfig::backend`](crate::solve::RunConfigBuilder::backend).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Thread-per-rank with real payloads — the verification substrate.
+    /// Bounded by OS threads, so it caps out around O(10³) ranks.
+    #[default]
+    Functional,
+    /// Fiber-per-rank under a discrete-event scheduler with virtual
+    /// payload timing: one process holds full Summit/Frontier extents
+    /// (~75k ranks). Clocks are bit-identical to [`Backend::Functional`].
+    EventTimed,
+}
+
+impl CommBackend for Backend {
+    fn label(&self) -> &'static str {
+        match self {
+            Backend::Functional => "functional",
+            Backend::EventTimed => "event-timed",
+        }
+    }
+
+    fn max_ranks(&self) -> usize {
+        match self {
+            // Thread-per-rank: stay well under default pid/VM limits.
+            Backend::Functional => 8192,
+            // Fiber-per-rank: full Frontier plus headroom.
+            Backend::EventTimed => 1 << 20,
+        }
+    }
+
+    fn execute<T, F>(&self, spec: &WorldSpec, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Comm<PanelMsg>) -> T + Sync,
+    {
+        match self {
+            Backend::Functional => spec.run(f),
+            Backend::EventTimed => spec.run_event(f),
+        }
+    }
+}
+
+impl Backend {
+    /// Typed scale guard: `Err` when `ranks` exceeds what this backend can
+    /// host, instead of an OOM or thread-spawn abort mid-run.
+    pub fn check_scale(&self, ranks: usize) -> Result<(), BackendError> {
+        if ranks > self.max_ranks() {
+            return Err(BackendError::TooManyRanks {
+                backend: *self,
+                ranks,
+                limit: self.max_ranks(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl serde::Serialize for Backend {
+    fn serialize_json(&self, out: &mut String) {
+        serde::write_json_string(self.label(), out);
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A launch error from [`crate::solve::run_with_backend`]: the requested
+/// backend cannot host the configured run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// The world is larger than the backend can hold — e.g. a
+    /// Frontier-extent grid on the thread-per-rank backend. Switch to
+    /// [`Backend::EventTimed`] (or shrink the grid).
+    TooManyRanks {
+        /// The backend that refused.
+        backend: Backend,
+        /// Ranks the configuration asks for.
+        ranks: usize,
+        /// The backend's limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BackendError::TooManyRanks {
+                backend,
+                ranks,
+                limit,
+            } => write!(
+                f,
+                "{ranks} ranks exceed the {backend} backend's limit of {limit} \
+                 (use Backend::EventTimed for full-machine extents)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
 
 /// Size of the group-color space ([`Group::new`] requires `color <
 /// 0x4000`).
@@ -451,6 +586,7 @@ pub struct RankCtx {
     col: Option<Group>,
     world: Option<Group>,
     trace: CommTrace,
+    tracing: bool,
 }
 
 impl RankCtx {
@@ -477,6 +613,7 @@ impl RankCtx {
             col: None,
             world: None,
             trace: CommTrace::default(),
+            tracing: true,
         }
     }
 
@@ -548,6 +685,15 @@ impl RankCtx {
     /// Takes the communication trace, leaving an empty one behind.
     pub fn take_trace(&mut self) -> CommTrace {
         std::mem::take(&mut self.trace)
+    }
+
+    /// Enables or disables [`CommEvent`] recording. Aggregate counters
+    /// (`bytes_sent`, `wait_total`, `hidden_total`) accumulate either way;
+    /// only the per-event list stops growing. Full-machine event-backend
+    /// runs keep tracing on for a handful of ranks and off elsewhere, or
+    /// a 75k-rank run would hold tens of gigabytes of event lists.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
     }
 
     // ---- scope plumbing -------------------------------------------------
@@ -624,15 +770,17 @@ impl RankCtx {
             waited,
             hidden,
         };
-        self.trace.push(CommEvent {
-            op,
-            scope: Some(scope),
-            ts,
-            busy,
-            waited,
-            hidden,
-            bytes,
-        });
+        if self.tracing {
+            self.trace.push(CommEvent {
+                op,
+                scope: Some(scope),
+                ts,
+                busy,
+                waited,
+                hidden,
+                bytes,
+            });
+        }
         (out, stats)
     }
 
@@ -814,30 +962,34 @@ impl RankCtx {
         let w0 = self.comm.wait_total();
         self.comm.send(dst, tag, PanelMsg::VecF64(data), bytes);
         let waited = self.comm.wait_total() - w0;
-        self.trace.push(CommEvent {
-            op: CommOp::Send,
-            scope: None,
-            ts,
-            busy: (self.comm.now() - ts) - waited,
-            waited,
-            hidden: 0.0,
-            bytes,
-        });
+        if self.tracing {
+            self.trace.push(CommEvent {
+                op: CommOp::Send,
+                scope: None,
+                ts,
+                busy: (self.comm.now() - ts) - waited,
+                waited,
+                hidden: 0.0,
+                bytes,
+            });
+        }
     }
 
     /// Receives an `f64` vector from world rank `src` on `tag`.
     pub fn recv_f64(&mut self, src: usize, tag: u32) -> Vec<f64> {
         let ts = self.comm.now();
         let (msg, info) = self.comm.recv(src, tag);
-        self.trace.push(CommEvent {
-            op: CommOp::Recv,
-            scope: None,
-            ts,
-            busy: (self.comm.now() - ts) - info.waited,
-            waited: info.waited,
-            hidden: info.hidden,
-            bytes: info.bytes,
-        });
+        if self.tracing {
+            self.trace.push(CommEvent {
+                op: CommOp::Recv,
+                scope: None,
+                ts,
+                busy: (self.comm.now() - ts) - info.waited,
+                waited: info.waited,
+                hidden: info.hidden,
+                bytes: info.bytes,
+            });
+        }
         msg.into_vec64()
     }
 

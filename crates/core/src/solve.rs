@@ -10,9 +10,9 @@ use crate::factor::{factor, FactorConfig, Fidelity, IterRecord};
 use crate::fault::FaultPlan;
 use crate::grid::ProcessGrid;
 use crate::ir::{ir_time_model, refine};
-use crate::msg::{PanelMsg, TrailingPrecision};
+use crate::msg::TrailingPrecision;
 use crate::report::PerfReport;
-use crate::runtime::RankCtx;
+use crate::runtime::{Backend, BackendError, CommBackend, RankCtx};
 use crate::systems::SystemSpec;
 use mxp_gpusim::GcdFleet;
 use mxp_msgsim::{BcastAlgo, WorldSpec};
@@ -35,6 +35,11 @@ pub struct RunConfig {
     pub lookahead: bool,
     /// Functional (verify) vs timing (scale) execution.
     pub fidelity: Fidelity,
+    /// Which distributed runtime hosts the ranks (threads vs the
+    /// discrete-event fiber scheduler). Orthogonal to `fidelity`: both
+    /// backends run either fidelity with bit-identical clocks; the event
+    /// backend is the only one that reaches full-machine rank counts.
+    pub backend: Backend,
     /// Matrix seed.
     pub seed: u64,
     /// Optional per-GCD speed variability (§VI-B).
@@ -160,6 +165,12 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Selects the runtime backend hosting the ranks.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
     /// Validates the configuration, returning a typed error instead of a
     /// mid-run panic.
     pub fn build(self) -> Result<RunConfig, ConfigError> {
@@ -222,6 +233,7 @@ impl RunConfig {
                 algo: BcastAlgo::Lib,
                 lookahead: true,
                 fidelity: Fidelity::Functional,
+                backend: Backend::Functional,
                 seed: 2022,
                 fleet: None,
                 prec: TrailingPrecision::Fp16,
@@ -242,6 +254,49 @@ impl RunConfig {
     pub fn to_builder(&self) -> RunConfigBuilder {
         RunConfigBuilder { cfg: self.clone() }
     }
+
+    /// The msgsim world this configuration describes: placement, network
+    /// tuning and injected link faults. Backend-agnostic — the same spec
+    /// is handed to whichever [`CommBackend`] the config selects.
+    pub fn world_spec(&self) -> WorldSpec {
+        let grid = &self.grid;
+        assert_eq!(
+            grid.size() % grid.gcds_per_node(),
+            0,
+            "grid must fill whole nodes"
+        );
+        let nodes = grid.size() / grid.gcds_per_node();
+        let mut spec = WorldSpec::cluster(nodes, grid.gcds_per_node(), self.sys.net);
+        spec.locs = grid.locs();
+        spec.tuning = self.sys.tuning;
+        spec.faults = self.faults.link.clone();
+        spec
+    }
+}
+
+/// Runs `f` once per rank of `cfg`'s grid on the configured backend,
+/// handing each rank a fully wired [`RankCtx`].
+///
+/// This is the single entry point through which every driver reaches the
+/// runtime — [`run`] itself, the figure harnesses, and the scale bins all
+/// go through here, so none of them names a backend-specific constructor
+/// or carries backend-conditional code. Returns the per-rank results in
+/// rank order, or a typed [`BackendError`] when the grid exceeds what the
+/// selected backend can host (the functional backend spawns an OS thread
+/// per rank; the event backend schedules fibers and reaches full-machine
+/// rank counts).
+pub fn run_with_backend<T, F>(cfg: &RunConfig, f: F) -> Result<Vec<T>, BackendError>
+where
+    T: Send,
+    F: Fn(&mut RankCtx) -> T + Sync,
+{
+    let grid = cfg.grid;
+    cfg.backend.check_scale(grid.size())?;
+    let spec = cfg.world_spec();
+    Ok(cfg.backend.execute(&spec, |comm| {
+        let mut ctx = RankCtx::new(comm, &grid);
+        f(&mut ctx)
+    }))
 }
 
 /// Aggregated result of a run.
@@ -283,17 +338,6 @@ struct RankResult {
 /// Executes a full benchmark run and aggregates the outcome.
 pub fn run(cfg: &RunConfig) -> RunOutcome {
     let grid = cfg.grid;
-    assert_eq!(
-        grid.size() % grid.gcds_per_node(),
-        0,
-        "grid must fill whole nodes"
-    );
-    let nodes = grid.size() / grid.gcds_per_node();
-    let mut spec = WorldSpec::cluster(nodes, grid.gcds_per_node(), cfg.sys.net);
-    spec.locs = grid.locs();
-    spec.tuning = cfg.sys.tuning;
-    spec.faults = cfg.faults.link.clone();
-
     let fcfg = FactorConfig {
         n: cfg.n,
         b: cfg.b,
@@ -305,8 +349,8 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     };
     let n_b = cfg.n / cfg.b;
 
-    let results: Vec<RankResult> = spec.run::<PanelMsg, _, _>(|comm| {
-        let mut ctx = RankCtx::new(comm, &grid);
+    let started = std::time::Instant::now();
+    let results: Vec<RankResult> = run_with_backend(cfg, |ctx| {
         let base = cfg
             .fleet
             .as_ref()
@@ -316,11 +360,11 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         // IR runs after the factorization: charge it at the end-of-run
         // effective speed.
         let ir_speed = speed.at(n_b);
-        let out = factor(&mut ctx, &cfg.sys, &fcfg, speed);
+        let out = factor(ctx, &cfg.sys, &fcfg, speed);
         let mut result = match cfg.fidelity {
             Fidelity::Functional => {
                 let local = out.local.as_ref().expect("functional run keeps factors");
-                let ir = refine(&mut ctx, &cfg.sys, &fcfg, local, ir_speed);
+                let ir = refine(ctx, &cfg.sys, &fcfg, local, ir_speed);
                 RankResult {
                     total: out.elapsed + ir.elapsed,
                     factor: out.elapsed,
@@ -354,7 +398,9 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         result.comm_bytes = ctx.bytes_sent();
         result.comm_wait = ctx.wait_total();
         result
-    });
+    })
+    .unwrap_or_else(|e| panic!("run: {e}"));
+    let wall = started.elapsed().as_secs_f64();
 
     let runtime = results.iter().map(|r| r.total).fold(0.0, f64::max);
     let factor_time = results.iter().map(|r| r.factor).fold(0.0, f64::max);
@@ -371,7 +417,12 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     RunOutcome {
         perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time)
             .with_overlap(hidden)
-            .with_comm(comm_bytes, comm_wait),
+            .with_comm(comm_bytes, comm_wait)
+            .with_backend(
+                cfg.backend,
+                grid.size(),
+                if runtime > 0.0 { wall / runtime } else { 0.0 },
+            ),
         converged,
         scaled_residual: results[0].scaled,
         ir_iters: results[0].ir_iters,
@@ -489,6 +540,58 @@ mod tests {
         let t_with = run(&with).perf.runtime;
         let t_without = run(&without).perf.runtime;
         assert!(t_with < t_without, "lookahead {t_with} vs none {t_without}");
+    }
+
+    #[test]
+    fn event_backend_reproduces_the_functional_run_bitwise() {
+        // Tentpole invariant: the same driver, byte-identical results on
+        // both backends — fidelity functional (real payloads on fibers).
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let base = RunConfig::functional(testbed(1, 4), grid, 64, 8);
+        let threads = run(&base.clone().build().unwrap());
+        let fibers = run(&base.backend(Backend::EventTimed).build().unwrap());
+        assert_eq!(
+            threads.perf.runtime.to_bits(),
+            fibers.perf.runtime.to_bits()
+        );
+        assert_eq!(
+            threads.perf.comm_wait.to_bits(),
+            fibers.perf.comm_wait.to_bits()
+        );
+        assert_eq!(threads.perf.comm_bytes, fibers.perf.comm_bytes);
+        assert_eq!(threads.scaled_residual, fibers.scaled_residual);
+        assert_eq!(threads.records, fibers.records);
+        assert_eq!(threads.perf.backend, Backend::Functional);
+        assert_eq!(fibers.perf.backend, Backend::EventTimed);
+        assert_eq!(fibers.perf.simulated_ranks, 4);
+        assert!(fibers.perf.wall_vs_virtual_time > 0.0);
+    }
+
+    #[test]
+    fn functional_backend_rejects_full_machine_grids() {
+        // 16,384 ranks would mean 16,384 OS threads: the functional
+        // backend refuses with a typed error steering to EventTimed.
+        let grid = ProcessGrid::col_major(128, 128, 8);
+        let cfg = RunConfig::timing(testbed(2048, 8), grid, 8192, 8)
+            .build()
+            .unwrap();
+        let err = run_with_backend(&cfg, |ctx| ctx.rank()).unwrap_err();
+        match err {
+            BackendError::TooManyRanks { ranks, limit, .. } => {
+                assert_eq!(ranks, 16384);
+                assert!(limit < 16384);
+            }
+        }
+        assert!(err.to_string().contains("EventTimed"));
+        // The event backend hosts the same grid in-process.
+        let cfg = cfg
+            .to_builder()
+            .backend(Backend::EventTimed)
+            .build()
+            .unwrap();
+        let ranks = run_with_backend(&cfg, |ctx| ctx.rank()).unwrap();
+        assert_eq!(ranks.len(), 16384);
+        assert!(ranks.iter().enumerate().all(|(i, &r)| i == r));
     }
 
     #[test]

@@ -349,7 +349,7 @@ impl Supervisor {
                 total_cost += out.perf.runtime;
                 events.push(RunEvent::RunCompleted {
                     attempt,
-                    perf: out.perf,
+                    perf: out.perf.without_host_timing(),
                     converged: out.converged,
                 });
                 return SupervisedOutcome {
@@ -378,7 +378,7 @@ impl Supervisor {
                     // No intervention: report the degraded run as final.
                     events.push(RunEvent::RunCompleted {
                         attempt,
-                        perf: out.perf,
+                        perf: out.perf.without_host_timing(),
                         converged: out.converged,
                     });
                     return SupervisedOutcome {
@@ -398,7 +398,7 @@ impl Supervisor {
                     });
                     events.push(RunEvent::RunCompleted {
                         attempt,
-                        perf: out.perf,
+                        perf: out.perf.without_host_timing(),
                         converged: out.converged,
                     });
                     return SupervisedOutcome {

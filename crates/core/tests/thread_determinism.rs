@@ -11,17 +11,17 @@
 use hplai_core::factor::{factor, FactorConfig, Fidelity};
 use hplai_core::grid::ProcessGrid;
 use hplai_core::ir::{refine, IrOutcome};
-use hplai_core::msg::{PanelMsg, TrailingPrecision};
-use hplai_core::runtime::RankCtx;
+use hplai_core::msg::TrailingPrecision;
 use hplai_core::systems::testbed;
-use mxp_msgsim::WorldSpec;
+use hplai_core::{run_with_backend, RunConfig};
 
 fn solve(grid: ProcessGrid, n: usize, b: usize) -> Vec<IrOutcome> {
     let q = grid.gcds_per_node();
     let sys = testbed(grid.size() / q, q);
-    let mut spec = WorldSpec::cluster(grid.size() / q, q, sys.net);
-    spec.locs = grid.locs();
-    spec.tuning = sys.tuning;
+    let rcfg = RunConfig::functional(sys.clone(), grid, n, b)
+        .seed(7)
+        .build()
+        .unwrap();
     let cfg = FactorConfig {
         n,
         b,
@@ -31,11 +31,11 @@ fn solve(grid: ProcessGrid, n: usize, b: usize) -> Vec<IrOutcome> {
         seed: 7,
         prec: TrailingPrecision::Fp16,
     };
-    spec.run::<PanelMsg, _, _>(|c| {
-        let mut ctx = RankCtx::new(c, &grid);
-        let out = factor(&mut ctx, &sys, &cfg, 1.0);
-        refine(&mut ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
+    run_with_backend(&rcfg, |ctx| {
+        let out = factor(ctx, &sys, &cfg, 1.0);
+        refine(ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0)
     })
+    .unwrap()
 }
 
 #[test]

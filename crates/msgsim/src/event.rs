@@ -1,0 +1,187 @@
+//! The event-driven backend: every rank is a fiber scheduled by a
+//! single-threaded discrete-event loop.
+//!
+//! The thread backend gives each rank an OS thread and a channel; this
+//! backend gives each rank a [`Fiber`] and a mailbox slot in one shared
+//! [`EventWorld`]. A rank runs until it needs a message that has not been
+//! delivered yet, records what it is waiting for, and yields; the sender
+//! that later delivers the matching envelope puts the receiver back on the
+//! run queue. Because simulated clocks are pure functions of the
+//! send/receive matching — and matching is made schedule-independent by
+//! the per-(src, tag) sequence numbers on every envelope — this
+//! run-until-block scheduler produces *bit-identical* clocks to the thread
+//! backend while holding ~75k ranks in one process.
+//!
+//! On targets without a fiber implementation the entry point transparently
+//! falls back to the thread backend (identical results, thread-bound
+//! scale).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::fiber::{fiber_yield, Fiber, Resume};
+use crate::world::{Comm, Envelope, WorldSpec};
+
+/// What a blocked rank is waiting for: the `seq`-th message of the
+/// `(src, tag)` stream.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Want {
+    pub(crate) src: usize,
+    pub(crate) tag: u32,
+    pub(crate) seq: u64,
+}
+
+/// Shared state of one event-backend run: per-rank mailboxes, the blocked
+/// table, and the run queue. Single-threaded by construction (`Rc` +
+/// `RefCell`); every borrow is transient, so rank code and the scheduler
+/// never hold overlapping borrows across a context switch.
+pub(crate) struct EventWorld<M> {
+    inner: RefCell<EventInner<M>>,
+}
+
+struct EventInner<M> {
+    /// Envelopes delivered but not yet claimed by the receiving rank.
+    mailbox: Vec<Vec<Envelope<M>>>,
+    /// `Some(want)` while a rank's fiber is suspended in a receive.
+    blocked: Vec<Option<Want>>,
+    /// Ranks ready to run, in wake order.
+    runq: VecDeque<usize>,
+    /// Ranks whose closure has returned.
+    finished: Vec<bool>,
+}
+
+impl<M> EventWorld<M> {
+    fn new(ranks: usize) -> Self {
+        EventWorld {
+            inner: RefCell::new(EventInner {
+                mailbox: (0..ranks).map(|_| Vec::new()).collect(),
+                blocked: vec![None; ranks],
+                runq: VecDeque::with_capacity(ranks),
+                finished: vec![false; ranks],
+            }),
+        }
+    }
+
+    /// Delivers an envelope into `dst`'s mailbox, waking the rank if it is
+    /// suspended waiting for exactly this message.
+    pub(crate) fn deliver(&self, dst: usize, env: Envelope<M>) {
+        let mut inner = self.inner.borrow_mut();
+        let wake = matches!(
+            inner.blocked[dst],
+            Some(w) if w.src == env.src && w.tag == env.tag && w.seq == env.seq
+        );
+        inner.mailbox[dst].push(env);
+        if wake {
+            inner.blocked[dst] = None;
+            inner.runq.push_back(dst);
+        }
+    }
+
+    /// Takes every envelope currently in `rank`'s mailbox.
+    pub(crate) fn take_mailbox(&self, rank: usize) -> Vec<Envelope<M>> {
+        std::mem::take(&mut self.inner.borrow_mut().mailbox[rank])
+    }
+
+    /// Suspends the calling rank's fiber until [`deliver`](Self::deliver)
+    /// sees the wanted message. The caller re-checks its pending buffer on
+    /// return (the envelope is in the mailbox, not handed over directly).
+    pub(crate) fn block_until(&self, rank: usize, want: Want) {
+        self.inner.borrow_mut().blocked[rank] = Some(want);
+        fiber_yield();
+    }
+}
+
+/// Picks the per-fiber stack size: debug builds carry much fatter frames.
+/// Stacks are reserved, not committed — the OS backs only touched pages —
+/// so generosity here costs address space, not memory.
+fn fiber_stack_size() -> usize {
+    if cfg!(debug_assertions) {
+        1 << 20 // 1 MiB
+    } else {
+        256 << 10 // 256 KiB
+    }
+}
+
+/// Runs one closure per rank, all as fibers of the calling thread, under
+/// the discrete-event scheduler. Returns results in rank order; a rank
+/// panic is re-thrown (like the thread backend's join), and a
+/// communication deadlock panics with a blocked-rank diagnosis instead of
+/// hanging.
+pub(crate) fn run_event<M, T, F>(spec: &WorldSpec, f: F) -> Vec<T>
+where
+    M: Send + 'static,
+    T: Send,
+    F: Fn(Comm<M>) -> T + Sync,
+{
+    if !crate::fiber::supported() {
+        // No fiber implementation on this target: same clocks, OS-thread
+        // scale, via the functional transport.
+        return spec.run(f);
+    }
+    let p = spec.ranks();
+    let world: Rc<EventWorld<M>> = Rc::new(EventWorld::new(p));
+    let results: Rc<RefCell<Vec<Option<T>>>> =
+        Rc::new(RefCell::new((0..p).map(|_| None).collect()));
+    let spec = Arc::new(spec.clone());
+    let stack = fiber_stack_size();
+    let mut fibers: Vec<Fiber> = (0..p)
+        .map(|rank| {
+            let world = Rc::clone(&world);
+            let results = Rc::clone(&results);
+            let spec = Arc::clone(&spec);
+            let f = &f;
+            // Safety: every fiber is driven to completion (or abandoned
+            // only on the resume_unwind path) before `f`, `world`, and
+            // `results` go out of scope below.
+            unsafe {
+                Fiber::new(stack, move || {
+                    let comm = Comm::event(rank, spec, world);
+                    let out = f(comm);
+                    results.borrow_mut()[rank] = Some(out);
+                })
+            }
+        })
+        .collect();
+    world.inner.borrow_mut().runq.extend(0..p);
+    loop {
+        let next = world.inner.borrow_mut().runq.pop_front();
+        let Some(r) = next else { break };
+        match fibers[r].resume() {
+            Resume::Finished => world.inner.borrow_mut().finished[r] = true,
+            Resume::Yielded => {}
+            Resume::Panicked(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    {
+        let inner = world.inner.borrow();
+        let stuck: Vec<usize> = (0..p).filter(|&r| !inner.finished[r]).collect();
+        if !stuck.is_empty() {
+            let detail: Vec<String> = stuck
+                .iter()
+                .take(8)
+                .map(|&r| match inner.blocked[r] {
+                    Some(w) => format!(
+                        "rank {r} waiting for (src {}, tag {:#x}, seq {})",
+                        w.src, w.tag, w.seq
+                    ),
+                    None => format!("rank {r} suspended outside a receive"),
+                })
+                .collect();
+            panic!(
+                "event backend deadlock: {} of {p} ranks never finished; {}",
+                stuck.len(),
+                detail.join("; ")
+            );
+        }
+    }
+    drop(fibers);
+    let results = Rc::try_unwrap(results)
+        .unwrap_or_else(|_| unreachable!("fibers finished but still share the result buffer"))
+        .into_inner();
+    results
+        .into_iter()
+        .map(|v| v.expect("finished rank left no result"))
+        .collect()
+}

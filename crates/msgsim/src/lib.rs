@@ -1,9 +1,12 @@
 //! # mxp-msgsim — an MPI-like runtime with simulated time
 //!
-//! Stands in for Spectrum MPI (Summit) and Cray MPICH (Frontier). Ranks run
-//! as OS threads and exchange **real messages** over channels, while every
-//! rank carries a **simulated clock** advanced by a LogGP-style cost model
-//! fed from `mxp-netsim`:
+//! Stands in for Spectrum MPI (Summit) and Cray MPICH (Frontier). Ranks
+//! exchange **real messages** over one of two interchangeable hosts —
+//! OS threads ([`WorldSpec::run`]) or fiber continuations under a
+//! discrete-event scheduler ([`WorldSpec::run_event`], which hosts full
+//! Summit/Frontier rank counts in one process) — while every rank carries
+//! a **simulated clock** advanced by a LogGP-style cost model fed from
+//! `mxp-netsim`:
 //!
 //! * `send` charges the sender an overhead plus per-byte injection time and
 //!   stamps the message with its arrival time (`sender clock + latency`);
@@ -13,7 +16,8 @@
 //!   `mxp-gpusim`).
 //!
 //! Because arrival times are pure functions of sender state, the simulated
-//! clocks are **deterministic** regardless of OS scheduling, and
+//! clocks are **deterministic** regardless of host scheduling — the thread
+//! and event hosts produce bit-identical clocks and solutions — and
 //! communication/computation overlap (the paper's look-ahead, §IV-B)
 //! *emerges*: a receiver that computes before it receives simply finds the
 //! panel already arrived.
@@ -47,7 +51,9 @@
 #![deny(missing_docs)]
 
 pub mod collectives;
+mod event;
 pub mod fault;
+pub mod fiber;
 mod group;
 pub mod request;
 mod world;

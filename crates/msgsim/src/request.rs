@@ -46,14 +46,19 @@ impl SendRequest {
 }
 
 /// Handle for a posted non-blocking receive for `(src, tag)`. Matching
-/// preserves the per-(source, tag) FIFO order of the blocking path: the
-/// wait consumes the earliest-sent matching message.
+/// follows MPI's non-overtaking rule: the `i`-th receive posted for a
+/// `(src, tag)` stream pairs with the `i`-th message sent on it, no matter
+/// what order the waits later run in. (Matching the earliest *buffered*
+/// message instead — the scheme this replaced — silently broke per-stream
+/// FIFO completion clocks whenever requests were waited out of order.)
 #[derive(Clone, Copy, Debug)]
 pub struct RecvRequest {
     /// Source rank to match.
     pub(crate) src: usize,
     /// Tag to match.
     pub(crate) tag: u32,
+    /// Position in the `(src, tag)` stream this request pairs with.
+    pub(crate) seq: u64,
     /// Simulated time the receive was posted.
     pub(crate) posted_at: f64,
 }
@@ -67,6 +72,12 @@ impl RecvRequest {
     /// Tag this request matches.
     pub fn tag(&self) -> u32 {
         self.tag
+    }
+
+    /// Position in the `(src, tag)` message stream this request pairs
+    /// with (0-based post order).
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Simulated time the receive was posted.

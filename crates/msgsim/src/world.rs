@@ -2,9 +2,12 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mxp_netsim::{GcdLoc, NetworkConfig};
+use std::collections::HashMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::collectives::CollectiveTuning;
+use crate::event::{EventWorld, Want};
 use crate::fault::{fault_effect, LinkFault};
 use crate::request::{RecvRequest, SendRequest};
 
@@ -83,20 +86,8 @@ impl WorldSpec {
                 let spec = Arc::clone(&spec);
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let comm = Comm {
-                        rank,
-                        spec,
-                        senders,
-                        inbox: rx,
-                        pending: Vec::new(),
-                        clock: 0.0,
-                        nic_free: 0.0,
-                        wait_total: 0.0,
-                        hidden_total: 0.0,
-                        last_arrive: 0.0,
-                        bytes_sent: 0,
-                        default_sharers: 1,
-                    };
+                    let comm =
+                        Comm::with_endpoint(rank, spec, Endpoint::Thread { senders, inbox: rx });
                     f(comm)
                 }));
             }
@@ -109,14 +100,39 @@ impl WorldSpec {
         });
         out.into_iter().map(|v| v.unwrap()).collect()
     }
+
+    /// Runs one closure per rank as coroutine-style continuations of the
+    /// *calling* thread, scheduled by the discrete-event backend. Clocks,
+    /// payloads, and panic propagation behave exactly as under
+    /// [`run`](Self::run) — the matching discipline makes the simulated
+    /// timeline schedule-independent — but ranks cost a small stack each
+    /// instead of an OS thread, so one process can hold full-machine
+    /// extents (~75k ranks).
+    ///
+    /// Additionally panics (instead of hanging) on communication deadlock,
+    /// naming the blocked ranks. On targets without a fiber implementation
+    /// this falls back to [`run`](Self::run).
+    pub fn run_event<M, T, F>(&self, f: F) -> Vec<T>
+    where
+        M: Send + 'static,
+        T: Send,
+        F: Fn(Comm<M>) -> T + Sync,
+    {
+        crate::event::run_event(self, f)
+    }
 }
 
-struct Envelope<M> {
-    src: usize,
-    tag: u32,
-    arrive: f64,
-    bytes: u64,
-    msg: M,
+pub(crate) struct Envelope<M> {
+    pub(crate) src: usize,
+    pub(crate) tag: u32,
+    /// Position in the per-(src, dst, tag) message stream, assigned by the
+    /// sender. Receives match on it so that out-of-order waits still pair
+    /// the `i`-th posted receive with the `i`-th sent message (MPI's
+    /// non-overtaking rule).
+    pub(crate) seq: u64,
+    pub(crate) arrive: f64,
+    pub(crate) bytes: u64,
+    pub(crate) msg: M,
 }
 
 /// Bookkeeping returned by a receive.
@@ -135,13 +151,31 @@ pub struct RecvInfo {
     pub hidden: f64,
 }
 
+/// The transport behind a [`Comm`]: crossbeam channels between rank
+/// threads (functional backend) or a shared mailbox world driven by the
+/// discrete-event scheduler (event backend). The clock model above this
+/// seam is transport-agnostic, which is what keeps the two backends
+/// bit-identical.
+pub(crate) enum Endpoint<M> {
+    /// Thread-per-rank transport.
+    Thread {
+        senders: Arc<Vec<Sender<Envelope<M>>>>,
+        inbox: Receiver<Envelope<M>>,
+    },
+    /// Fiber-per-rank transport; single-threaded by construction.
+    Event(Rc<EventWorld<M>>),
+}
+
 /// One rank's endpoint: point-to-point messaging plus the simulated clock.
 pub struct Comm<M> {
     rank: usize,
     spec: Arc<WorldSpec>,
-    senders: Arc<Vec<Sender<Envelope<M>>>>,
-    inbox: Receiver<Envelope<M>>,
+    endpoint: Endpoint<M>,
     pending: Vec<Envelope<M>>,
+    /// Next sequence number per outgoing `(dst, tag)` stream.
+    send_seq: HashMap<(usize, u32), u64>,
+    /// Next sequence number per posted-receive `(src, tag)` stream.
+    recv_seq: HashMap<(usize, u32), u64>,
     clock: f64,
     /// Time the NIC finishes serializing the last posted (non-blocking)
     /// injection — back-to-back `isend`s queue here instead of magically
@@ -155,6 +189,96 @@ pub struct Comm<M> {
 }
 
 impl<M: Send + 'static> Comm<M> {
+    fn with_endpoint(rank: usize, spec: Arc<WorldSpec>, endpoint: Endpoint<M>) -> Self {
+        Comm {
+            rank,
+            spec,
+            endpoint,
+            pending: Vec::new(),
+            send_seq: HashMap::new(),
+            recv_seq: HashMap::new(),
+            clock: 0.0,
+            nic_free: 0.0,
+            wait_total: 0.0,
+            hidden_total: 0.0,
+            last_arrive: 0.0,
+            bytes_sent: 0,
+            default_sharers: 1,
+        }
+    }
+
+    /// Builds the event-backend endpoint for `rank` (called from the
+    /// scheduler's per-rank fiber).
+    pub(crate) fn event(rank: usize, spec: Arc<WorldSpec>, world: Rc<EventWorld<M>>) -> Self {
+        Comm::with_endpoint(rank, spec, Endpoint::Event(world))
+    }
+
+    /// Stamps the next stream sequence number and hands the envelope to
+    /// the transport.
+    fn post(&mut self, dst: usize, tag: u32, arrive: f64, bytes: u64, msg: M) {
+        let seq = self.send_seq.entry((dst, tag)).or_insert(0);
+        let env = Envelope {
+            src: self.rank,
+            tag,
+            seq: *seq,
+            arrive,
+            bytes,
+            msg,
+        };
+        *seq += 1;
+        match &self.endpoint {
+            Endpoint::Thread { senders, .. } => {
+                senders[dst].send(env).expect("destination rank hung up")
+            }
+            Endpoint::Event(world) => world.deliver(dst, env),
+        }
+    }
+
+    /// Removes and returns the `(src, tag, seq)` envelope, blocking (on
+    /// the transport's terms) until it has been sent.
+    fn obtain(&mut self, src: usize, tag: u32, seq: u64) -> Envelope<M> {
+        let matches = |e: &Envelope<M>| e.src == src && e.tag == tag && e.seq == seq;
+        if let Some(pos) = self.pending.iter().position(matches) {
+            return self.pending.remove(pos);
+        }
+        let rank = self.rank;
+        let Comm {
+            endpoint, pending, ..
+        } = self;
+        match endpoint {
+            Endpoint::Thread { inbox, .. } => loop {
+                let env = inbox.recv().expect("world torn down mid-recv");
+                if matches(&env) {
+                    return env;
+                }
+                pending.push(env);
+            },
+            Endpoint::Event(world) => loop {
+                pending.extend(world.take_mailbox(rank));
+                if let Some(pos) = pending.iter().position(matches) {
+                    return pending.remove(pos);
+                }
+                world.block_until(rank, Want { src, tag, seq });
+            },
+        }
+    }
+
+    /// Moves every envelope the transport has already produced into the
+    /// local pending buffer, without blocking.
+    fn drain_available(&mut self) {
+        let rank = self.rank;
+        let Comm {
+            endpoint, pending, ..
+        } = self;
+        match endpoint {
+            Endpoint::Thread { inbox, .. } => {
+                while let Ok(env) = inbox.try_recv() {
+                    pending.push(env);
+                }
+            }
+            Endpoint::Event(world) => pending.extend(world.take_mailbox(rank)),
+        }
+    }
     /// This rank's index.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -239,16 +363,8 @@ impl<M: Send + 'static> Comm<M> {
         self.clock += self.spec.send_overhead + bytes as f64 * cost.sec_per_byte * bw_div;
         self.nic_free = self.nic_free.max(self.clock);
         self.bytes_sent += bytes;
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            arrive: self.clock + cost.latency + extra_lat,
-            bytes,
-            msg,
-        };
-        self.senders[dst]
-            .send(env)
-            .expect("destination rank hung up");
+        let arrive = self.clock + cost.latency + extra_lat;
+        self.post(dst, tag, arrive, bytes, msg);
     }
 
     /// Sends with the communicator's default sharers hint.
@@ -278,16 +394,8 @@ impl<M: Send + 'static> Comm<M> {
         let start = self.clock.max(self.nic_free);
         self.nic_free = start + bytes as f64 * cost.sec_per_byte * bw_div;
         self.bytes_sent += bytes;
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            arrive: self.nic_free + cost.latency + extra_lat,
-            bytes,
-            msg,
-        };
-        self.senders[dst]
-            .send(env)
-            .expect("destination rank hung up");
+        let arrive = self.nic_free + cost.latency + extra_lat;
+        self.post(dst, tag, arrive, bytes, msg);
         SendRequest {
             posted_at,
             complete_at: self.nic_free,
@@ -327,50 +435,44 @@ impl<M: Send + 'static> Comm<M> {
     /// Posts a non-blocking receive for `(src, tag)`. Free at post time;
     /// completion is charged by [`wait_recv`](Self::wait_recv) at
     /// `max(post_time, arrival_time)`.
+    ///
+    /// Requests posted for the same `(src, tag)` match the sender's
+    /// message stream *in post order*, regardless of the order their waits
+    /// later run in — the `i`-th post always pairs with the `i`-th send,
+    /// so out-of-order waits cannot steal an earlier message or produce
+    /// non-FIFO completion clocks.
     pub fn irecv(&mut self, src: usize, tag: u32) -> RecvRequest {
-        RecvRequest {
+        let seq = self.recv_seq.entry((src, tag)).or_insert(0);
+        let req = RecvRequest {
             src,
             tag,
+            seq: *seq,
             posted_at: self.clock,
-        }
+        };
+        *seq += 1;
+        req
     }
 
-    /// `true` once a message matching the posted receive has arrived by the
-    /// current simulated time. Never advances the clock or consumes the
-    /// message. Advisory: a `false` can race a sender thread that has not
-    /// executed yet in real time — deterministic control flow must come
-    /// from `wait_recv`, not from polling.
+    /// `true` once the message matching the posted receive has arrived by
+    /// the current simulated time. Never advances the clock or consumes
+    /// the message. Advisory: a `false` can race a sender thread that has
+    /// not executed yet in real time — deterministic control flow must
+    /// come from `wait_recv`, not from polling.
     pub fn test_recv(&mut self, req: &RecvRequest) -> bool {
-        while let Ok(env) = self.inbox.try_recv() {
-            self.pending.push(env);
-        }
-        self.pending
-            .iter()
-            .any(|e| e.src == req.src && e.tag == req.tag && e.arrive <= self.clock)
+        self.drain_available();
+        self.pending.iter().any(|e| {
+            e.src == req.src && e.tag == req.tag && e.seq == req.seq && e.arrive <= self.clock
+        })
     }
 
     /// Completes a posted receive: blocks (in simulated time, only until
-    /// the arrival timestamp) for the earliest-sent matching message. The
-    /// flight time covered by local work since the post is reported as
+    /// the arrival timestamp) for its stream-matched message. The flight
+    /// time covered by local work since the post is reported as
     /// [`RecvInfo::hidden`].
     pub fn wait_recv(&mut self, req: RecvRequest) -> (M, RecvInfo) {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == req.src && e.tag == req.tag)
-        {
-            let env = self.pending.remove(pos);
-            let info = self.accept_posted(env.arrive, env.bytes, req.posted_at);
-            return (env.msg, info);
-        }
-        loop {
-            let env = self.inbox.recv().expect("world torn down mid-recv");
-            if env.src == req.src && env.tag == req.tag {
-                let info = self.accept_posted(env.arrive, env.bytes, req.posted_at);
-                return (env.msg, info);
-            }
-            self.pending.push(env);
-        }
+        let env = self.obtain(req.src, req.tag, req.seq);
+        let info = self.accept_posted(env.arrive, env.bytes, req.posted_at);
+        (env.msg, info)
     }
 
     /// Completes every posted receive, in post order, returning the
@@ -405,40 +507,18 @@ impl<M: Send + 'static> Comm<M> {
         self.clock += busy * bw_div;
         self.nic_free = self.nic_free.max(self.clock);
         self.bytes_sent += bytes;
-        let env = Envelope {
-            src: self.rank,
-            tag,
-            arrive: self.clock + cost.latency + extra_delay + extra_lat,
-            bytes,
-            msg,
-        };
-        self.senders[dst]
-            .send(env)
-            .expect("destination rank hung up");
+        let arrive = self.clock + cost.latency + extra_delay + extra_lat;
+        self.post(dst, tag, arrive, bytes, msg);
     }
 
     /// Receives the next message from `src` with tag `tag`, blocking until
     /// it is available. Messages from the same source with the same tag are
-    /// delivered in send order.
+    /// delivered in send order. Equivalent to an immediately-waited
+    /// [`irecv`](Self::irecv) (the post-and-wait collapse leaves no window
+    /// for overlap, so `hidden` is always 0).
     pub fn recv(&mut self, src: usize, tag: u32) -> (M, RecvInfo) {
-        // Check messages that arrived earlier but didn't match then.
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|e| e.src == src && e.tag == tag)
-        {
-            let env = self.pending.remove(pos);
-            let info = self.accept(env.arrive, env.bytes);
-            return (env.msg, info);
-        }
-        loop {
-            let env = self.inbox.recv().expect("world torn down mid-recv");
-            if env.src == src && env.tag == tag {
-                let info = self.accept(env.arrive, env.bytes);
-                return (env.msg, info);
-            }
-            self.pending.push(env);
-        }
+        let req = self.irecv(src, tag);
+        self.wait_recv(req)
     }
 
     fn accept(&mut self, arrive: f64, bytes: u64) -> RecvInfo {
@@ -766,6 +846,99 @@ mod tests {
                 assert!(late.arrived_at >= 2.5, "late at {}", late.arrived_at);
             }
         });
+    }
+
+    #[test]
+    fn event_backend_matches_thread_backend_clocks() {
+        // The same job on both backends must produce bit-identical clocks
+        // and counters: the event scheduler only changes who runs when,
+        // never what the simulated timeline looks like.
+        let w = spec(4, 2);
+        let job = |mut c: Comm<Vec<f64>>| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.charge(1e-3 * c.rank() as f64);
+            let req = c.isend(next, 1, vec![c.rank() as f64], 1 << 20);
+            let (v, info) = c.recv(prev, 1);
+            c.wait_send(req);
+            (v, info.waited, c.now().to_bits(), c.wait_total().to_bits())
+        };
+        let threads = w.run(job);
+        let events = w.run_event(job);
+        assert_eq!(threads, events);
+    }
+
+    #[test]
+    fn event_backend_runs_out_of_order_waits() {
+        let w = spec(2, 1);
+        let logs = w.run_event::<u32, _, _>(|mut c| {
+            if c.rank() == 0 {
+                for i in 0..4 {
+                    c.charge(0.01);
+                    c.send(1, 9, i, 1 << 16);
+                }
+                Vec::new()
+            } else {
+                let reqs: Vec<_> = (0..4).map(|_| c.irecv(0, 9)).collect();
+                // Wait in reverse post order: stream matching must still
+                // pair request i with message i.
+                let mut got = vec![(0u32, 0.0f64); 4];
+                for (i, req) in reqs.into_iter().enumerate().rev() {
+                    let (v, info) = c.wait_recv(req);
+                    got[i] = (v, info.arrived_at);
+                }
+                got
+            }
+        });
+        let arrivals: Vec<f64> = logs[1].iter().map(|&(_, a)| a).collect();
+        for (i, &(v, _)) in logs[1].iter().enumerate() {
+            assert_eq!(v, i as u32, "request {i} stole message {v}");
+        }
+        // FIFO clocks: per-(src, tag) arrivals are monotone in post order.
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1], "arrivals regressed: {arrivals:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn event_backend_diagnoses_deadlock() {
+        // Both ranks wait for a message nobody sends: the thread backend
+        // would hang here; the event backend must name the blocked ranks.
+        let w = spec(2, 1);
+        w.run_event::<(), _, _>(|mut c| {
+            let peer = 1 - c.rank();
+            c.recv(peer, 77);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rank died")]
+    fn event_backend_propagates_rank_panics() {
+        let w = spec(2, 1);
+        w.run_event::<(), _, _>(|c| {
+            if c.rank() == 1 {
+                panic!("rank died");
+            }
+        });
+    }
+
+    #[test]
+    fn event_backend_scales_past_thread_limits() {
+        // A ring at a rank count that is uncomfortable thread-per-rank but
+        // trivial for fibers; clocks must still be deterministic.
+        let w = spec(2048, 8);
+        let job = |mut c: Comm<()>| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            c.send(next, 1, (), 4096);
+            c.recv(prev, 1);
+            c.now().to_bits()
+        };
+        let a = w.run_event(job);
+        let b = w.run_event(job);
+        assert_eq!(a.len(), 16384);
+        assert_eq!(a, b);
     }
 
     #[test]

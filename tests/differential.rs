@@ -9,7 +9,7 @@
 //! runtime and the look-ahead model must get right.
 
 use hplai_core::critical::{critical_time, CriticalConfig};
-use hplai_core::{run, testbed, ProcessGrid, RunConfig};
+use hplai_core::{run, testbed, Backend, ProcessGrid, RunConfig};
 use mxp_msgsim::BcastAlgo;
 
 const TOLERANCE: f64 = 0.15;
@@ -28,12 +28,18 @@ fn swept_grids() -> Vec<ProcessGrid> {
 /// Runs one (grid, algo, lookahead) cell both ways and returns
 /// (model, emergent) factorization seconds.
 fn cell(grid: ProcessGrid, algo: BcastAlgo, lookahead: bool) -> (f64, f64) {
+    cell_on(grid, algo, lookahead, Backend::Functional)
+}
+
+/// Same cell with the emergent side hosted on an explicit backend.
+fn cell_on(grid: ProcessGrid, algo: BcastAlgo, lookahead: bool, backend: Backend) -> (f64, f64) {
     let (n, b) = (16384, 512);
     let nodes = grid.size() / grid.gcds_per_node();
     let sys = testbed(nodes, grid.gcds_per_node());
     let cfg = RunConfig::timing(sys.clone(), grid, n, b)
         .algo(algo)
         .lookahead(lookahead)
+        .backend(backend)
         .build()
         .expect("valid differential config");
     let emergent = run(&cfg).perf.factor_time;
@@ -72,6 +78,35 @@ fn model_matches_sim_across_the_full_matrix() {
         TOLERANCE * 100.0,
         failures.join("\n"),
         worst.1
+    );
+}
+
+#[test]
+fn model_matches_the_event_backend_sim_too() {
+    // The ±15% gate extends to the event-driven backend at the grids both
+    // backends can host. The two backends are bit-identical (pinned by
+    // tests/event_backend.rs), so this leg guards the *gate plumbing* —
+    // that `run` on Backend::EventTimed reports the same factor_time the
+    // model is compared against — on a slice of the matrix.
+    let mut failures = Vec::new();
+    for grid in swept_grids() {
+        for algo in [BcastAlgo::Lib, BcastAlgo::Ring2M] {
+            let (model, emergent) = cell_on(grid, algo, true, Backend::EventTimed);
+            let ratio = model / emergent;
+            if (ratio - 1.0).abs() > TOLERANCE {
+                failures.push(format!(
+                    "{}x{} {algo:?} event-timed: model {model:.4} emergent {emergent:.4} \
+                     ratio {ratio:.3}",
+                    grid.p_r, grid.p_c
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "event-backend cells outside ±{:.0}%:\n{}",
+        TOLERANCE * 100.0,
+        failures.join("\n")
     );
 }
 

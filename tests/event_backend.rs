@@ -1,0 +1,209 @@
+//! Cross-backend differential suite: the thread-per-rank functional
+//! backend and the fiber-per-rank event-driven backend must be
+//! observationally identical from the driver's point of view — same
+//! traced communication-event sequence (operation, scope, bytes), same
+//! simulated clocks, same solutions — across grid shapes and fidelities.
+//! The event backend's schedule is a deterministic run-until-block order,
+//! not an OS thread interleaving, so the agreement is required to be
+//! bitwise, which is well inside the suite's nominal float tolerance.
+//!
+//! The `#[ignore]`d test at the bottom is the full-extent acceptance run:
+//! all 75,264 Frontier ranks (9408 nodes × 8 GCDs) hosted as fibers in
+//! this process, snapshotted against a golden report. CI's `event-scale`
+//! job runs it in release mode; locally:
+//! `cargo test --release -p hplai-core --test event_backend -- --ignored`.
+
+use hplai_core::factor::{factor, FactorConfig, Fidelity};
+use hplai_core::ir::ir_time_model;
+use hplai_core::{
+    run, run_with_backend, testbed, Backend, CommScope, PerfReport, ProcessGrid, RunConfig,
+};
+use mxp_msgsim::BcastAlgo;
+
+/// One traced comm event, reduced to the comparable fields: op label,
+/// scope, payload bytes, and the clock columns as bits.
+type EventSig = (&'static str, Option<CommScope>, u64, u64, u64);
+
+/// Runs a timing-fidelity factorization on the given backend and returns
+/// (per-rank final clocks as bits, per-rank event signatures).
+fn timing_signature(
+    grid: ProcessGrid,
+    algo: BcastAlgo,
+    backend: Backend,
+) -> (Vec<u64>, Vec<Vec<EventSig>>) {
+    let (n, b) = (8192, 512);
+    let nodes = grid.size() / grid.gcds_per_node();
+    let sys = testbed(nodes, grid.gcds_per_node());
+    let cfg = RunConfig::timing(sys.clone(), grid, n, b)
+        .algo(algo)
+        .backend(backend)
+        .build()
+        .expect("valid differential config");
+    let fcfg = FactorConfig {
+        n,
+        b,
+        algo,
+        lookahead: true,
+        fidelity: Fidelity::Timing,
+        seed: cfg.seed,
+        prec: cfg.prec,
+    };
+    let outs = run_with_backend(&cfg, |ctx| {
+        let out = factor(ctx, &sys, &fcfg, 1.0);
+        let events = ctx
+            .take_trace()
+            .events()
+            .iter()
+            .map(|e| {
+                (
+                    e.op.label(),
+                    e.scope,
+                    e.bytes,
+                    e.ts.to_bits(),
+                    e.waited.to_bits(),
+                )
+            })
+            .collect::<Vec<_>>();
+        (out.elapsed.to_bits(), events)
+    })
+    .expect("differential grids fit both backends");
+    outs.into_iter().unzip()
+}
+
+#[test]
+fn backends_trace_identical_comm_sequences() {
+    let grids = [
+        ProcessGrid::node_local(2, 2, 2, 2),
+        ProcessGrid::node_local(4, 2, 2, 2),
+        ProcessGrid::node_local(2, 4, 2, 2),
+        ProcessGrid::node_local(4, 4, 2, 2),
+    ];
+    for grid in grids {
+        for algo in [BcastAlgo::Lib, BcastAlgo::Ring2M] {
+            let (t_clocks, t_events) = timing_signature(grid, algo, Backend::Functional);
+            let (e_clocks, e_events) = timing_signature(grid, algo, Backend::EventTimed);
+            assert_eq!(
+                t_clocks, e_clocks,
+                "{}x{} {algo:?}: final clocks diverged across backends",
+                grid.p_r, grid.p_c
+            );
+            for (rank, (te, ee)) in t_events.iter().zip(&e_events).enumerate() {
+                assert_eq!(
+                    te, ee,
+                    "{}x{} {algo:?} rank {rank}: comm event sequence diverged",
+                    grid.p_r, grid.p_c
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn backends_agree_on_the_functional_solution() {
+    // Real payloads on fibers: the solve itself (math, pivoting-free
+    // mixed-precision path, IR) must come out bit-identical.
+    let grid = ProcessGrid::node_local(2, 2, 2, 2);
+    let base = RunConfig::functional(testbed(1, 4), grid, 128, 16);
+    let threads = run(&base.clone().build().unwrap());
+    let fibers = run(&base.backend(Backend::EventTimed).build().unwrap());
+    assert_eq!(threads.converged, fibers.converged);
+    assert_eq!(
+        threads.scaled_residual.unwrap().to_bits(),
+        fibers.scaled_residual.unwrap().to_bits()
+    );
+    assert_eq!(threads.ir_iters, fibers.ir_iters);
+    assert_eq!(threads.records, fibers.records);
+    assert_eq!(
+        threads.perf.runtime.to_bits(),
+        fibers.perf.runtime.to_bits()
+    );
+}
+
+#[test]
+fn run_reports_backend_provenance() {
+    let grid = ProcessGrid::node_local(2, 2, 2, 2);
+    let cfg = RunConfig::timing(testbed(1, 4), grid, 2048, 256)
+        .backend(Backend::EventTimed)
+        .build()
+        .unwrap();
+    let out = run(&cfg);
+    assert_eq!(out.perf.backend, Backend::EventTimed);
+    assert_eq!(out.perf.simulated_ranks, 4);
+    assert!(
+        out.perf.wall_vs_virtual_time > 0.0,
+        "hosted runs must report their host cost"
+    );
+}
+
+/// Compares `actual` against the checked-in snapshot, or rewrites it when
+/// `GOLDEN_REGEN` is set (same contract as `golden_trace.rs`).
+fn assert_golden(actual: &str, name: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name);
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("rewrite {path:?}: {e}"));
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing tests/golden/{name} ({e}); GOLDEN_REGEN=1 generates it")
+    });
+    assert_eq!(
+        actual, golden,
+        "output diverged from tests/golden/{name} \
+         (GOLDEN_REGEN=1 regenerates the snapshot if the change is intended)"
+    );
+}
+
+/// The full Frontier extent — the fig8 9408-node × 8-GCD point — on the
+/// event backend, pinned against a golden performance report. One process,
+/// 75,264 rank fibers, 672 factorization iterations at the paper's
+/// B = 3072. The wall-clock column is zeroed before snapshotting (host
+/// timing is not deterministic); everything else is.
+#[test]
+#[ignore = "full-machine extent: run in release via CI's event-scale job"]
+fn full_frontier_extent_matches_golden_report() {
+    let sys = hplai_core::frontier();
+    let grid = ProcessGrid::node_local(224, 336, 2, 4);
+    assert_eq!(grid.size(), 75_264);
+    let b = sys.paper_b;
+    let n = hplai_core::adjust_n(1, &grid, b); // minimum N tiling the grid
+    let cfg = RunConfig::timing(sys.clone(), grid, n, b)
+        .backend(Backend::EventTimed)
+        .build()
+        .unwrap();
+    let fcfg = FactorConfig {
+        n,
+        b,
+        algo: cfg.algo,
+        lookahead: true,
+        fidelity: Fidelity::Timing,
+        seed: cfg.seed,
+        prec: cfg.prec,
+    };
+    let outs = run_with_backend(&cfg, |ctx| {
+        ctx.set_tracing(false); // 75k rank traces would dominate memory
+        let out = factor(ctx, &sys, &fcfg, 1.0);
+        let ir = ir_time_model(&sys, n, ctx.grid().size(), 3);
+        ctx.charge(ir);
+        (
+            out.elapsed + ir,
+            out.elapsed,
+            ir,
+            ctx.bytes_sent(),
+            ctx.wait_total(),
+        )
+    })
+    .expect("event backend hosts the full machine");
+    assert_eq!(outs.len(), 75_264);
+    let runtime = outs.iter().map(|r| r.0).fold(0.0, f64::max);
+    let factor_time = outs.iter().map(|r| r.1).fold(0.0, f64::max);
+    let ir_time = outs.iter().map(|r| r.2).fold(0.0, f64::max);
+    let bytes = outs.iter().map(|r| r.3).sum::<u64>();
+    let wait = outs.iter().map(|r| r.4).fold(0.0, f64::max);
+    let perf = PerfReport::new(n, grid.size(), runtime, factor_time, ir_time)
+        .with_comm(bytes, wait)
+        .with_backend(Backend::EventTimed, grid.size(), 0.0);
+    let json = serde_json::to_string_pretty(&perf).expect("serialize") + "\n";
+    assert_golden(&json, "event_fig8_9408x8.json");
+}

@@ -12,12 +12,12 @@
 use hplai_core::factor::{factor, FactorConfig, Fidelity};
 use hplai_core::hpl_dist::hpl_dist_solve;
 use hplai_core::ir::refine;
-use hplai_core::msg::{PanelMsg, TrailingPrecision};
+use hplai_core::msg::TrailingPrecision;
 use hplai_core::supervisor::Supervisor;
 use hplai_core::trace::{chrome_trace, comm_chrome_trace, event_log_jsonl};
-use hplai_core::{run, testbed, ProcessGrid, RankCtx, RunConfig};
+use hplai_core::{run, run_with_backend, testbed, ProcessGrid, RunConfig};
 use mxp_lcg::MatrixKind;
-use mxp_msgsim::{BcastAlgo, WorldSpec};
+use mxp_msgsim::BcastAlgo;
 
 const GOLDEN_TRACE: &str = include_str!("golden/chrome_trace_2x2.json");
 const GOLDEN_EVENTS: &str = include_str!("golden/event_log_2x2.jsonl");
@@ -67,14 +67,12 @@ fn event_log_matches_golden_snapshot() {
 fn hpl_comm_trace_matches_golden_snapshot() {
     let grid = ProcessGrid::col_major(2, 2, 4);
     let sys = testbed(1, 4);
-    let mut spec = WorldSpec::cluster(1, 4, sys.net);
-    spec.locs = grid.locs();
-    spec.tuning = sys.tuning;
-    let traces = spec.run::<PanelMsg, _, _>(|c| {
-        let mut ctx = RankCtx::new(c, &grid);
-        hpl_dist_solve(&mut ctx, &sys, 32, 8, 4242, MatrixKind::Uniform, 1.0);
+    let cfg = RunConfig::functional(sys.clone(), grid, 32, 8).build_or_panic();
+    let traces = run_with_backend(&cfg, |ctx| {
+        hpl_dist_solve(ctx, &sys, 32, 8, 4242, MatrixKind::Uniform, 1.0);
         ctx.take_trace()
-    });
+    })
+    .unwrap();
     let json = comm_chrome_trace(traces[0].events(), 0);
     // The pivoted-LU path must show both collective lanes.
     assert!(json.contains(r#""name":"allreduce""#) && json.contains(r#""name":"bcast""#));
@@ -85,9 +83,9 @@ fn hpl_comm_trace_matches_golden_snapshot() {
 fn ir_comm_trace_matches_golden_snapshot() {
     let grid = ProcessGrid::col_major(2, 2, 4);
     let sys = testbed(1, 4);
-    let mut spec = WorldSpec::cluster(1, 4, sys.net);
-    spec.locs = grid.locs();
-    spec.tuning = sys.tuning;
+    let rcfg = RunConfig::functional(sys.clone(), grid, 64, 8)
+        .seed(4242)
+        .build_or_panic();
     let cfg = FactorConfig {
         n: 64,
         b: 8,
@@ -97,15 +95,15 @@ fn ir_comm_trace_matches_golden_snapshot() {
         seed: 4242,
         prec: TrailingPrecision::Fp16,
     };
-    let traces = spec.run::<PanelMsg, _, _>(|c| {
-        let mut ctx = RankCtx::new(c, &grid);
-        let out = factor(&mut ctx, &sys, &cfg, 1.0);
+    let traces = run_with_backend(&rcfg, |ctx| {
+        let out = factor(ctx, &sys, &cfg, 1.0);
         // Keep only the refinement phase's events in the snapshot.
         let _ = ctx.take_trace();
-        let ir = refine(&mut ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0);
+        let ir = refine(ctx, &sys, &cfg, out.local.as_ref().unwrap(), 1.0);
         assert!(ir.converged);
         ctx.take_trace()
-    });
+    })
+    .unwrap();
     let json = comm_chrome_trace(traces[0].events(), 0);
     // Refinement is residual allreduces plus the fan-in solve's traffic.
     assert!(json.contains(r#""name":"allreduce""#) && json.contains(r#""cat":"world""#));
