@@ -1,0 +1,160 @@
+//! `service_bench` — throughput of the multi-solve service.
+//!
+//! Queues thousands of small functional solves — a mixed batch cycling
+//! over seeds, broadcast algorithms, precisions and both runtime
+//! backends — and drains them through [`SolveService`]'s bounded worker
+//! pool. Reports solves per second and per-solve latency percentiles to
+//! `BENCH_service.json` at the repository root.
+//!
+//! ```text
+//! service_bench [--jobs N] [--workers W] [--floor SOLVES_PER_SEC]
+//! ```
+//!
+//! Defaults: 1000 jobs, 4 workers. The seed cycle (32 distinct matrices)
+//! exercises the content-addressed matrix cache: most jobs reuse a
+//! generated buffer instead of regenerating it. `--floor S` exits
+//! non-zero below `S` solves per second — the CI guard against a
+//! scheduling or caching regression.
+
+use hplai_core::{
+    testbed, Backend, CacheStats, LatencyStats, PerfReport, ProcessGrid, RunConfig, ServiceConfig,
+    SolveService, TrailingPrecision,
+};
+use mxp_bench::{results_dir, Table};
+use mxp_msgsim::BcastAlgo;
+use serde::Serialize;
+
+/// `BENCH_service.json` schema.
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    /// Schema tag for downstream tooling.
+    schema: String,
+    /// Jobs drained.
+    jobs: usize,
+    /// Worker threads.
+    workers: usize,
+    /// Distinct generated matrices in the batch (the seed cycle).
+    distinct_matrices: usize,
+    /// Host wall-clock seconds for the batch.
+    wall_secs: f64,
+    /// Throughput headline: solves per wall-clock second.
+    solves_per_sec: f64,
+    /// Per-solve service-time percentiles.
+    latency: LatencyStats,
+    /// Matrix-cache counters over the drain.
+    cache: CacheStats,
+    /// Fleet-wide aggregate over every job's simulated run.
+    aggregate: PerfReport,
+}
+
+fn repo_root() -> std::path::PathBuf {
+    results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .to_path_buf()
+}
+
+/// The mixed batch: small functional solves over a cycle of seeds,
+/// algorithms, precisions and backends — the "thousands of queued small
+/// solves" service workload.
+fn batch(jobs: usize, seeds: usize) -> Vec<RunConfig> {
+    let grid = ProcessGrid::col_major(2, 2, 4);
+    let algos = [BcastAlgo::Lib, BcastAlgo::Ring2M];
+    let precs = [TrailingPrecision::Fp16, TrailingPrecision::Bf16];
+    let backends = [Backend::Functional, Backend::EventTimed];
+    (0..jobs)
+        .map(|i| {
+            RunConfig::functional(testbed(1, 4), grid, 64, 8)
+                .seed((i % seeds) as u64 + 1)
+                .algo(algos[i % algos.len()])
+                .prec(precs[(i / 2) % precs.len()])
+                .backend(backends[(i / 4) % backends.len()])
+                .build()
+                .expect("the bench configuration is valid")
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .map(|i| args[i + 1].parse::<f64>().expect("numeric flag value"))
+    };
+    let jobs = flag("--jobs").map(|v| v as usize).unwrap_or(1000);
+    let workers = flag("--workers").map(|v| v as usize).unwrap_or(4);
+    let floor = flag("--floor");
+    let seeds = 32usize.min(jobs.max(1));
+
+    eprintln!("service_bench: {jobs} jobs ({seeds} distinct matrices), {workers} workers");
+    let mut svc = SolveService::new(ServiceConfig {
+        workers,
+        ..Default::default()
+    });
+    svc.submit_all(batch(jobs, seeds));
+    let drained = svc.drain();
+    assert!(
+        drained.jobs.iter().all(|j| j.outcome.outcome.converged),
+        "every bench solve converges"
+    );
+
+    let report = Report {
+        schema: "service-bench-v1".into(),
+        jobs,
+        workers: drained.workers,
+        distinct_matrices: seeds,
+        wall_secs: drained.wall_secs,
+        solves_per_sec: drained.solves_per_sec,
+        latency: drained.latency,
+        cache: drained.cache,
+        aggregate: drained.aggregate,
+    };
+
+    let mut t = Table::new(
+        "Multi-solve service throughput",
+        "BENCH_service",
+        &[
+            "jobs",
+            "workers",
+            "wall s",
+            "solves/s",
+            "p50 ms",
+            "p90 ms",
+            "p99 ms",
+            "max ms",
+            "cache hit%",
+        ],
+    );
+    t.row(&[
+        &report.jobs,
+        &report.workers,
+        &format!("{:.2}", report.wall_secs),
+        &format!("{:.1}", report.solves_per_sec),
+        &format!("{:.2}", report.latency.p50_ms),
+        &format!("{:.2}", report.latency.p90_ms),
+        &format!("{:.2}", report.latency.p99_ms),
+        &format!("{:.2}", report.latency.max_ms),
+        &format!("{:.1}", 100.0 * report.cache.hit_rate()),
+    ]);
+    println!("{}", t.render());
+
+    let path = repo_root().join("BENCH_service.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_service.json");
+    eprintln!("wrote {}", path.display());
+
+    if let Some(floor) = floor {
+        if report.solves_per_sec < floor {
+            eprintln!(
+                "FLOOR VIOLATION: {:.1} solves/s < required {floor}",
+                report.solves_per_sec
+            );
+            std::process::exit(1);
+        }
+        eprintln!("floor ok: {:.1} solves/s >= {floor}", report.solves_per_sec);
+    }
+}

@@ -1,0 +1,167 @@
+//! `hplai-serve` — the multi-solve service front-end.
+//!
+//! Reads a batch file (JSON document or JSONL; see
+//! [`hplai_core::parse_batch`] for the grammar), queues every expanded
+//! job on a [`SolveService`], drains the queue concurrently, and prints
+//! the per-job table plus the aggregate summary.
+//!
+//! ```text
+//! hplai-serve --batch sweep.json [--workers N] [--cache-mb M]
+//!             [--log-dir DIR] [--out FILE] [--floor SOLVES_PER_SEC]
+//! ```
+//!
+//! Command-line `--workers`/`--cache-mb` override the batch file's
+//! `service` section. `--log-dir` writes one job-id-tagged JSONL event
+//! log per job (`jobNNNNNN.events.jsonl`). `--out` writes the
+//! `service-v1` summary JSON. `--floor S` exits non-zero if throughput
+//! falls below `S` solves per second.
+
+use hplai_core::{parse_batch, ServiceConfig, SolveService};
+use std::process::exit;
+
+struct Args {
+    batch: Option<String>,
+    workers: Option<usize>,
+    cache_mb: Option<usize>,
+    log_dir: Option<String>,
+    out: Option<String>,
+    floor: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hplai-serve --batch FILE [--workers N] [--cache-mb M]\n\
+         \x20                 [--log-dir DIR] [--out FILE] [--floor SOLVES_PER_SEC]\n\
+         batch file: JSON document {{\"service\": ..., \"defaults\": ..., \"jobs\": [...]}}\n\
+         \x20           or JSONL (one job object per line); array values sweep, `repeat` unrolls"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        batch: None,
+        workers: None,
+        cache_mb: None,
+        log_dir: None,
+        out: None,
+        floor: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |argv: &[String], i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--batch" => args.batch = Some(value(&argv, &mut i)),
+            "--workers" => {
+                args.workers = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--cache-mb" => {
+                args.cache_mb = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--log-dir" => args.log_dir = Some(value(&argv, &mut i)),
+            "--out" => args.out = Some(value(&argv, &mut i)),
+            "--floor" => {
+                args.floor = Some(value(&argv, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(batch_path) = &args.batch else {
+        usage()
+    };
+    let text = std::fs::read_to_string(batch_path).unwrap_or_else(|e| {
+        eprintln!("hplai-serve: cannot read {batch_path}: {e}");
+        exit(2);
+    });
+    let batch = parse_batch(&text).unwrap_or_else(|e| {
+        eprintln!("hplai-serve: {batch_path}: {e}");
+        exit(2);
+    });
+
+    // CLI overrides beat the batch file's `service` section.
+    let mut cfg = ServiceConfig::default();
+    if let Some(w) = args.workers.or(batch.workers) {
+        cfg.workers = w.max(1);
+    }
+    if let Some(mb) = args.cache_mb.or(batch.cache_mb) {
+        cfg.cache_bytes = mb << 20;
+    }
+    cfg.log_dir = args.log_dir.as_ref().map(Into::into);
+
+    let n_jobs = batch.jobs.len();
+    eprintln!(
+        "hplai-serve: {n_jobs} jobs from {batch_path}, {} workers, {} MiB cache",
+        cfg.workers,
+        cfg.cache_bytes >> 20
+    );
+    let mut svc = SolveService::new(cfg);
+    svc.submit_all(batch.jobs);
+    let report = svc.drain();
+
+    println!("job     ranks  backend     attempts  converged  ir  runtime_s  latency_ms");
+    for j in &report.jobs {
+        let o = &j.outcome;
+        println!(
+            "{:<7} {:<6} {:<11} {:<9} {:<10} {:<3} {:<10.4} {:.3}",
+            j.id,
+            o.outcome.perf.simulated_ranks,
+            format!("{:?}", o.outcome.perf.backend),
+            o.attempts,
+            o.outcome.converged,
+            o.outcome.ir_iters,
+            o.outcome.perf.runtime,
+            j.latency_secs * 1e3,
+        );
+    }
+    let s = report.summary();
+    println!(
+        "\n{} jobs in {:.2} s on {} workers: {:.1} solves/s \
+         (p50 {:.2} ms, p99 {:.2} ms), cache {} hits / {} misses, {} converged",
+        s.jobs,
+        s.wall_secs,
+        s.workers,
+        s.solves_per_sec,
+        s.latency.p50_ms,
+        s.latency.p99_ms,
+        s.cache.hits,
+        s.cache.misses,
+        s.converged,
+    );
+
+    if let Some(out) = &args.out {
+        let json = serde_json::to_string_pretty(&s).expect("summary serializes");
+        std::fs::write(out, json).unwrap_or_else(|e| {
+            eprintln!("hplai-serve: cannot write {out}: {e}");
+            exit(2);
+        });
+        eprintln!("wrote {out}");
+    }
+    if s.converged != s.jobs {
+        eprintln!(
+            "hplai-serve: {} of {} jobs did not converge",
+            s.jobs - s.converged,
+            s.jobs
+        );
+        exit(1);
+    }
+    if let Some(floor) = args.floor {
+        if s.solves_per_sec < floor {
+            eprintln!(
+                "FLOOR VIOLATION: {:.1} solves/s < required {floor}",
+                s.solves_per_sec
+            );
+            exit(1);
+        }
+        eprintln!("floor ok: {:.1} solves/s >= {floor}", s.solves_per_sec);
+    }
+}

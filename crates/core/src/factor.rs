@@ -18,6 +18,7 @@
 //! (virtual payloads); kernel times always come from the device model, so
 //! functional runs produce the same simulated clocks the timing runs do.
 
+use crate::cache::{MatrixCache, MatrixKey};
 use crate::grid::ProcessGrid;
 use crate::local::LocalMatrix;
 use crate::msg::{PanelData, TrailingPrecision};
@@ -164,6 +165,40 @@ struct Panels {
     n_loc: usize,
 }
 
+/// Materializes this rank's local share for a functional run: served from
+/// the cache when one is attached and the key is resident (a memcpy),
+/// generated from the LCG streams otherwise. Cache fills run the identical
+/// generation code, so the two paths are bitwise-indistinguishable.
+fn materialize(
+    grid: &ProcessGrid,
+    coord: (usize, usize),
+    cfg: &FactorConfig,
+    gen: &MatrixGen,
+    cache: Option<&MatrixCache>,
+) -> LocalMatrix {
+    let fresh = || {
+        let mut m = LocalMatrix::new(grid, coord, cfg.n, cfg.b);
+        m.fill_from(gen);
+        m
+    };
+    match cache {
+        Some(cache) => {
+            let key = MatrixKey {
+                seed: cfg.seed,
+                n: cfg.n,
+                b: cfg.b,
+                p_r: grid.p_r,
+                p_c: grid.p_c,
+                coord,
+                kind: MatrixKind::DiagDominant,
+            };
+            let data = cache.get_or_fill(key, || fresh().data);
+            LocalMatrix::from_data(grid, coord, cfg.n, cfg.b, data.as_ref().clone())
+        }
+        None => fresh(),
+    }
+}
+
 /// Runs the distributed factorization on this rank. `speed` is the GCD's
 /// speed state — a plain `f64` fleet multiplier (1.0 = nominal; times are
 /// divided by it) or a full [`GcdSpeed`] whose injected faults make the
@@ -174,6 +209,21 @@ pub fn factor(
     sys: &SystemSpec,
     cfg: &FactorConfig,
     speed: impl Into<GcdSpeed>,
+) -> FactorOutput {
+    factor_cached(ctx, sys, cfg, speed, None)
+}
+
+/// [`factor`] with an optional generated-matrix cache: a functional run
+/// whose [`MatrixKey`] is resident skips the LCG fill and memcpys the
+/// cached buffer instead — byte-identical by the cache's purity contract,
+/// so simulated clocks and results are unchanged. Timing-fidelity runs
+/// never materialize and ignore the cache.
+pub fn factor_cached(
+    ctx: &mut RankCtx,
+    sys: &SystemSpec,
+    cfg: &FactorConfig,
+    speed: impl Into<GcdSpeed>,
+    cache: Option<&MatrixCache>,
 ) -> FactorOutput {
     let speed: GcdSpeed = speed.into();
     let grid = *ctx.grid();
@@ -188,11 +238,7 @@ pub fn factor(
     // Setup: materialize (functional) and ship the local matrix to the
     // device, then synchronize — benchmark time starts after this barrier.
     let mut local = match cfg.fidelity {
-        Fidelity::Functional => {
-            let mut m = LocalMatrix::new(&grid, (my_r, my_c), cfg.n, b);
-            m.fill_from(&gen);
-            Some(m)
-        }
+        Fidelity::Functional => Some(materialize(&grid, (my_r, my_c), cfg, &gen, cache)),
         Fidelity::Timing => None,
     };
     let n_loc_r = cfg.n / grid.p_r;

@@ -53,6 +53,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod critical;
 pub mod factor;
 pub mod fault;
@@ -67,11 +68,13 @@ pub mod progress;
 pub mod report;
 pub mod runtime;
 pub mod scan;
+pub mod service;
 pub mod solve;
 pub mod supervisor;
 pub mod systems;
 pub mod trace;
 
+pub use cache::{CacheStats, MatrixCache, MatrixKey};
 pub use factor::{FactorConfig, Fidelity, IterRecord};
 pub use fault::FaultPlan;
 pub use grid::{ProcessGrid, RankOrder};
@@ -82,6 +85,10 @@ pub use report::PerfReport;
 pub use runtime::{
     Backend, BackendError, CommBackend, CommEvent, CommOp, CommScope, CommStats, CommTotals,
     CommTrace, PanelBcast, RankCtx, TagAllocator, TagError,
+};
+pub use service::{
+    job_log_filename, parse_batch, BatchError, BatchFile, JobRecord, LatencyStats, ServiceConfig,
+    ServiceReport, ServiceSummary, SolveService,
 };
 pub use solve::{
     adjust_n, run, run_sequence, run_with_backend, try_adjust_n, ConfigError, RunConfig,

@@ -37,6 +37,42 @@ impl<T: Copy + Default> LocalMat<T> {
     /// `(my_r, my_c)`. `n` must tile evenly: `n = n_b·b` with `n_b`
     /// divisible by both grid dimensions (the paper sizes `N` accordingly).
     pub fn new(grid: &ProcessGrid, coord: (usize, usize), n: usize, b: usize) -> Self {
+        let (n_loc_r, n_loc_c) = Self::local_extent(grid, n, b);
+        Self::assemble(
+            grid,
+            coord,
+            b,
+            vec![T::default(); n_loc_r * n_loc_c],
+            n_loc_r,
+        )
+    }
+
+    /// Wraps an already-materialized column-major buffer (e.g. one served
+    /// by [`crate::cache::MatrixCache`]) as this rank's local matrix,
+    /// without touching its bytes. The buffer must have been produced by
+    /// an identically-parameterized fill: same `n`, `b`, grid shape and
+    /// coordinate — the cache key guarantees exactly this. Panics if the
+    /// length does not match the local extent (the cheap layout check;
+    /// content purity is the caller's contract).
+    pub fn from_data(
+        grid: &ProcessGrid,
+        coord: (usize, usize),
+        n: usize,
+        b: usize,
+        data: Vec<T>,
+    ) -> Self {
+        let (n_loc_r, n_loc_c) = Self::local_extent(grid, n, b);
+        assert_eq!(
+            data.len(),
+            n_loc_r * n_loc_c,
+            "buffer length does not match the {n_loc_r}x{n_loc_c} local extent"
+        );
+        Self::assemble(grid, coord, b, data, n_loc_r)
+    }
+
+    /// Validates the tiling and returns this distribution's local extent
+    /// `(N_Lr, N_Lc)` (identical on every rank of an even tiling).
+    fn local_extent(grid: &ProcessGrid, n: usize, b: usize) -> (usize, usize) {
         assert!(n.is_multiple_of(b), "N {n} not a multiple of B {b}");
         let n_b = n / b;
         assert!(
@@ -45,10 +81,19 @@ impl<T: Copy + Default> LocalMat<T> {
             grid.p_r,
             grid.p_c
         );
-        let n_loc_r = n / grid.p_r;
-        let n_loc_c = n / grid.p_c;
+        (n / grid.p_r, n / grid.p_c)
+    }
+
+    fn assemble(
+        grid: &ProcessGrid,
+        coord: (usize, usize),
+        b: usize,
+        data: Vec<T>,
+        n_loc_r: usize,
+    ) -> Self {
+        let n_loc_c = data.len() / n_loc_r;
         LocalMat {
-            data: vec![T::default(); n_loc_r * n_loc_c],
+            data,
             n_loc_r,
             n_loc_c,
             b,

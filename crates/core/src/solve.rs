@@ -6,7 +6,8 @@
 //! [`RunConfigBuilder::build`] checks the grid/size invariants and returns
 //! a typed [`ConfigError`] instead of panicking mid-run.
 
-use crate::factor::{factor, FactorConfig, Fidelity, IterRecord};
+use crate::cache::MatrixCache;
+use crate::factor::{factor_cached, FactorConfig, Fidelity, IterRecord};
 use crate::fault::FaultPlan;
 use crate::grid::ProcessGrid;
 use crate::ir::{ir_time_model, refine};
@@ -16,6 +17,7 @@ use crate::runtime::{Backend, BackendError, CommBackend, RankCtx};
 use crate::systems::SystemSpec;
 use mxp_gpusim::GcdFleet;
 use mxp_msgsim::{BcastAlgo, WorldSpec};
+use std::sync::Arc;
 
 /// Configuration of one full benchmark run. Construct through
 /// [`RunConfig::functional`] or [`RunConfig::timing`].
@@ -48,6 +50,10 @@ pub struct RunConfig {
     pub prec: TrailingPrecision,
     /// Injected device/link faults (empty = healthy machine).
     pub faults: FaultPlan,
+    /// Shared generated-matrix cache (the service attaches one so queued
+    /// jobs differing only in algorithm/precision/backend reuse the same
+    /// generated input). `None` — the default — generates per run.
+    pub cache: Option<Arc<MatrixCache>>,
 }
 
 /// A configuration error detected by [`RunConfigBuilder::build`].
@@ -171,6 +177,14 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Attaches a shared generated-matrix cache (see
+    /// [`crate::cache::MatrixCache`]). Purely an execution-cost hint:
+    /// results are bitwise-identical with or without it.
+    pub fn cache(mut self, cache: Arc<MatrixCache>) -> Self {
+        self.cfg.cache = Some(cache);
+        self
+    }
+
     /// Validates the configuration, returning a typed error instead of a
     /// mid-run panic.
     pub fn build(self) -> Result<RunConfig, ConfigError> {
@@ -238,6 +252,7 @@ impl RunConfig {
                 fleet: None,
                 prec: TrailingPrecision::Fp16,
                 faults: FaultPlan::new(),
+                cache: None,
             },
         }
     }
@@ -311,6 +326,10 @@ pub struct RunOutcome {
     pub scaled_residual: Option<f64>,
     /// IR sweeps used.
     pub ir_iters: usize,
+    /// The refined solution vector (functional mode only; IR replicates
+    /// it on every rank, so this is rank 0's copy). Deterministic: tests
+    /// compare it bitwise across thread counts and backends.
+    pub solution: Option<Vec<f64>>,
     /// Per-iteration breakdown of every rank (rank-major) — the input of
     /// progress monitoring and fault supervision.
     pub records: Vec<Vec<IterRecord>>,
@@ -330,6 +349,7 @@ struct RankResult {
     converged: bool,
     scaled: Option<f64>,
     ir_iters: usize,
+    x: Option<Vec<f64>>,
     records: Vec<IterRecord>,
     comm_bytes: u64,
     comm_wait: f64,
@@ -350,7 +370,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     let n_b = cfg.n / cfg.b;
 
     let started = std::time::Instant::now();
-    let results: Vec<RankResult> = run_with_backend(cfg, |ctx| {
+    let mut results: Vec<RankResult> = run_with_backend(cfg, |ctx| {
         let base = cfg
             .fleet
             .as_ref()
@@ -360,7 +380,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         // IR runs after the factorization: charge it at the end-of-run
         // effective speed.
         let ir_speed = speed.at(n_b);
-        let out = factor(ctx, &cfg.sys, &fcfg, speed);
+        let out = factor_cached(ctx, &cfg.sys, &fcfg, speed, cfg.cache.as_deref());
         let mut result = match cfg.fidelity {
             Fidelity::Functional => {
                 let local = out.local.as_ref().expect("functional run keeps factors");
@@ -372,6 +392,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                     converged: ir.converged,
                     scaled: Some(ir.scaled_residual),
                     ir_iters: ir.iters,
+                    x: Some(ir.x),
                     records: out.records,
                     comm_bytes: 0,
                     comm_wait: 0.0,
@@ -389,6 +410,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                     converged: true,
                     scaled: None,
                     ir_iters: 3,
+                    x: None,
                     records: out.records,
                     comm_bytes: 0,
                     comm_wait: 0.0,
@@ -426,6 +448,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         converged,
         scaled_residual: results[0].scaled,
         ir_iters: results[0].ir_iters,
+        solution: results[0].x.take(),
         records: results.into_iter().map(|r| r.records).collect(),
     }
 }

@@ -177,6 +177,23 @@ pub fn event_log_jsonl(events: &[RunEvent]) -> String {
     out
 }
 
+/// [`event_log_jsonl`] with a `"job"` member spliced in front of every
+/// event object, so the logs of many supervised jobs can share one
+/// directory (or be concatenated into one stream) without losing which
+/// run each line belongs to. The job id is the first member of every
+/// line, making `grep '"job":7'` a per-job filter.
+pub fn tagged_event_log_jsonl(job: u64, events: &[RunEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let mut line = String::new();
+        e.serialize_json(&mut line);
+        debug_assert!(line.starts_with('{'), "events serialize as JSON objects");
+        let _ = write!(out, "{{\"job\":{job},{}", &line[1..]);
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders a compact per-phase summary table (plain text).
 pub fn summary(records: &[IterRecord]) -> String {
     let t = PhaseTotals::from_records(records);

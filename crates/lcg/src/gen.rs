@@ -22,7 +22,10 @@ const MIN_PAR_ENTRIES: usize = 1 << 14;
 const RHS_CHUNK: usize = 4096;
 
 /// How the diagonal of the generated matrix is constructed.
-#[derive(Clone, Copy, Debug, PartialEq)]
+///
+/// `Eq`/`Hash` because the kind participates in content-addressed cache
+/// keys (generated matrices are pure functions of `(seed, n, kind)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MatrixKind {
     /// The HPL-AI input class: off-diagonal entries uniform in `[-0.5, 0.5)`
     /// and diagonal `A(i,i) = n/2 + 1`, which makes `A` strictly diagonally
