@@ -20,8 +20,8 @@
 //! `gen_fill_f64` in Gelem/s (guards the jump-ahead fill path).
 
 use mxp_blas::{
-    cast_f32_to_low, gemm, gemm_mixed, getrf_nopiv, trans_cast_f32_to_low, trsm, Diag, Side, Trans,
-    Uplo,
+    cast_f32_to_low, gemm, gemm_mixed, getrf_nopiv, kernel_info_f32, kernel_info_f64,
+    trans_cast_f32_to_low, trsm, Diag, Side, Trans, Uplo,
 };
 use mxp_precision::{B16, F16};
 use serde::Serialize;
@@ -41,17 +41,33 @@ struct Entry {
     secs: f64,
     /// Achieved GFLOP/s (or Gelem/s for cast kernels).
     gflops: f64,
+    /// Micro-kernel the measurement dispatched to (`avx512_f32_32x8`, …);
+    /// `"-"` for kernels outside the GEMM dispatch layer (LCG gen).
+    dispatch: String,
 }
 
 /// The whole trajectory datum.
 #[derive(Clone, Debug, Serialize)]
 struct Report {
-    /// Schema tag for downstream tooling.
+    /// Schema tag for downstream tooling (v2 added per-entry `dispatch`
+    /// and report-level SIMD/tuning provenance).
     schema: String,
     /// True when run with `--quick` (CI smoke sizes).
     quick: bool,
     /// Thread counts swept.
     threads: Vec<usize>,
+    /// SIMD ISA level the GEMM engine dispatched to on this host.
+    simd_isa: String,
+    /// Resolved f32 micro-kernel variant name.
+    kernel_f32: String,
+    /// Resolved f64 micro-kernel variant name.
+    kernel_f64: String,
+    /// Where the blocking parameters came from: `"swept"`, `"file"`, or
+    /// `"default"`.
+    tune_source: String,
+    /// The tuning file consulted or written (empty when persistence is
+    /// disabled via `HPLAI_TUNE_FILE=none`).
+    tune_file: String,
     /// Kernel measurements.
     entries: Vec<Entry>,
     /// End-to-end functional `hplai` solve wall-clock seconds (0 when
@@ -126,6 +142,7 @@ fn bench_gemm_shapes(
             threads,
             secs,
             gflops: flops / secs / 1e9,
+            dispatch: kernel_info_f32().kernel.into(),
         });
 
         // f64
@@ -155,6 +172,7 @@ fn bench_gemm_shapes(
             threads,
             secs,
             gflops: flops / secs / 1e9,
+            dispatch: kernel_info_f64().kernel.into(),
         });
 
         // mixed fp16 / bf16
@@ -183,6 +201,7 @@ fn bench_gemm_shapes(
             threads,
             secs,
             gflops: flops / secs / 1e9,
+            dispatch: kernel_info_f32().kernel.into(),
         });
 
         let ab: Vec<B16> = a32.iter().map(|&v| B16::from_f32(v)).collect();
@@ -210,6 +229,7 @@ fn bench_gemm_shapes(
             threads,
             secs,
             gflops: flops / secs / 1e9,
+            dispatch: kernel_info_f32().kernel.into(),
         });
     }
 }
@@ -244,6 +264,7 @@ fn bench_trsm(entries: &mut Vec<Entry>, threads: usize, kdim: usize, n: usize, r
         threads,
         secs,
         gflops: flops / secs / 1e9,
+        dispatch: kernel_info_f32().kernel.into(),
     });
 }
 
@@ -264,6 +285,7 @@ fn bench_getrf(entries: &mut Vec<Entry>, threads: usize, n: usize, reps: usize) 
         threads,
         secs,
         gflops: flops / secs / 1e9,
+        dispatch: kernel_info_f32().kernel.into(),
     });
 }
 
@@ -278,6 +300,7 @@ fn bench_casts(entries: &mut Vec<Entry>, threads: usize, m: usize, n: usize, rep
         threads,
         secs,
         gflops: elems / secs / 1e9, // Gelem/s
+        dispatch: format!("convert:{}", mxp_blas::kernel::active_isa().name()),
     });
     let secs = best_of(reps, || {
         trans_cast_f32_to_low(m, n, black_box(&src), m, &mut dst)
@@ -288,6 +311,7 @@ fn bench_casts(entries: &mut Vec<Entry>, threads: usize, m: usize, n: usize, rep
         threads,
         secs,
         gflops: elems / secs / 1e9,
+        dispatch: format!("convert:{}", mxp_blas::kernel::active_isa().name()),
     });
 }
 
@@ -306,6 +330,7 @@ fn bench_gen(entries: &mut Vec<Entry>, threads: usize, n: usize, cols: usize, re
         threads,
         secs,
         gflops: elems / secs / 1e9, // Gelem/s
+        dispatch: "-".into(),
     });
 
     let mut tile32 = vec![0.0f32; n * cols];
@@ -318,6 +343,7 @@ fn bench_gen(entries: &mut Vec<Entry>, threads: usize, n: usize, cols: usize, re
         threads,
         secs,
         gflops: elems / secs / 1e9,
+        dispatch: "-".into(),
     });
 }
 
@@ -367,6 +393,7 @@ fn bench_ir(entries: &mut Vec<Entry>, threads: usize, n: usize, b: usize, reps: 
         threads,
         secs: best,
         gflops: 2.0 * (n as f64) * (n as f64) / best / 1e9,
+        dispatch: "-".into(),
     });
 }
 
@@ -456,10 +483,21 @@ fn main() {
         bench_hplai(hplai_n, hplai_b)
     };
 
+    let info32 = kernel_info_f32();
+    let info64 = kernel_info_f64();
     let report = Report {
-        schema: "kernel-bench-v1".into(),
+        schema: "kernel-bench-v2".into(),
         quick,
         threads: threads.clone(),
+        simd_isa: info32.isa.name().into(),
+        kernel_f32: info32.kernel.into(),
+        kernel_f64: info64.kernel.into(),
+        tune_source: info32.source.name().into(),
+        tune_file: info32
+            .tune_file
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_default(),
         entries,
         hplai_functional_secs: hplai_secs,
         hplai_n: if no_e2e { 0 } else { hplai_n },

@@ -21,23 +21,19 @@ pub fn cast_f32_to_low<L: LowPrec>(m: usize, n: usize, src: &[f32], lda: usize, 
     if m == 0 || n == 0 {
         return;
     }
+    // Each column is one contiguous bulk narrow — SIMD-accelerated for
+    // F16/B16 (see `mxp_precision::simd`), bitwise identical to the scalar
+    // `from_f32` loop.
     if m * n > 1 << 16 {
         dst[..m * n]
             .par_chunks_mut(m)
             .enumerate()
             .for_each(|(j, out)| {
-                let col = &src[j * lda..j * lda + m];
-                for (o, &v) in out.iter_mut().zip(col) {
-                    *o = L::from_f32(v);
-                }
+                L::narrow_slice(&src[j * lda..j * lda + m], out);
             });
     } else {
         for j in 0..n {
-            let col = &src[j * lda..j * lda + m];
-            let out = &mut dst[j * m..(j + 1) * m];
-            for (o, &v) in out.iter_mut().zip(col) {
-                *o = L::from_f32(v);
-            }
+            L::narrow_slice(&src[j * lda..j * lda + m], &mut dst[j * m..(j + 1) * m]);
         }
     }
 }
@@ -86,12 +82,11 @@ pub fn trans_cast_f32_to_low<L: LowPrec>(
                         scratch[i * TILE + j] = v;
                     }
                 }
-                // Store: contiguous `jb`-long runs down each dst column.
+                // Store: contiguous `jb`-long runs down each dst column,
+                // cast out of the scratch row with the bulk SIMD narrow.
                 for i in 0..ibw {
                     let out = &mut band[(ib + i) * n + j0..][..jb];
-                    for (o, &v) in out.iter_mut().zip(&scratch[i * TILE..]) {
-                        *o = L::from_f32(v);
-                    }
+                    L::narrow_slice(&scratch[i * TILE..i * TILE + jb], out);
                 }
             }
         }
@@ -110,9 +105,7 @@ pub fn trans_cast_f32_to_low<L: LowPrec>(
 /// tests and by receivers that need an f32 view of a panel).
 pub fn widen_low_to_f32<L: LowPrec>(src: &[L], dst: &mut [f32]) {
     assert!(dst.len() >= src.len());
-    for (o, s) in dst.iter_mut().zip(src) {
-        *o = s.to_f32();
-    }
+    L::widen_slice(src, &mut dst[..src.len()]);
 }
 
 #[cfg(test)]

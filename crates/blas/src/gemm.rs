@@ -4,31 +4,37 @@
 //! `A₂₂ ← A₂₂ − L₂₁·U₁₂` reads FP16 panels and accumulates in FP32, which is
 //! what `cublasSgemmEx` / `rocblas_gemm_ex` execute on tensor cores. Both
 //! entry points share one packed, register-blocked, rayon-parallel engine;
-//! the reduced format is widened during packing so the inner kernel always
-//! runs on the accumulator type.
+//! the reduced format is widened during packing — in bulk, through the SIMD
+//! converters of `mxp_precision::simd` — so the inner kernel always runs on
+//! the accumulator type.
 //!
-//! # Engine structure (DESIGN.md §9)
+//! # Engine structure (DESIGN.md §9, §14)
 //!
-//! The engine is BLIS-shaped. For each `KC`-deep slab of the `k` dimension:
+//! The engine is BLIS-shaped, parameterized by the [`KernelParams`] the
+//! autotuner in `tune.rs` resolves (register tile `mr × nr`, L2 block `mc`,
+//! pinned k-slab `kc`) and by the dispatched micro-kernel (`kernel.rs` —
+//! AVX2/AVX-512/NEON/portable). For each `kc`-deep slab of the `k`
+//! dimension:
 //!
 //! 1. **Pack A once.** The whole `op(A)[:, l0..l0+kc]` slab is packed into
-//!    `MR`-row micro-panels (zero-padded at the ragged edge), in parallel,
-//!    and then shared **read-only** by every task — the old engine re-packed
-//!    the A panel inside each rayon column chunk.
-//! 2. **Pack B once**, into `NR`-column micro-panels with `α` folded in, so
+//!    `mr`-row micro-panels (zero-padded at the ragged edge), in parallel,
+//!    and then shared **read-only** by every task. Contiguous source runs
+//!    are converted in bulk (`copy_from_slice` / `LowPrec::widen_slice`).
+//! 2. **Pack B once**, into `nr`-column micro-panels with `α` folded in, so
 //!    the micro-kernel is a pure FMA sweep.
 //! 3. **2D macro step.** C is cut into a `ti × tj` task grid chosen by
 //!    [`gemm_task_grid`] from the flop count and
-//!    `rayon::current_num_threads()` — both wide (`n ≫ m`) and tall-skinny
-//!    (`m ≫ n`) shapes decompose, where the old engine could only split
-//!    columns. Each task owns a disjoint C tile and runs the macro-kernel:
-//!    `MC`-row blocks kept hot in L2, `NR`-wide B micro-panels hot in L1,
-//!    an `MR×NR` register-tile micro-kernel innermost.
+//!    `rayon::current_num_threads()`. Each task owns a disjoint C tile and
+//!    runs the macro-kernel: `mc`-row blocks kept hot in L2, `nr`-wide B
+//!    micro-panels hot in L1, the dispatched `mr × nr` register-tile
+//!    micro-kernel innermost.
 //!
-//! β is folded into the first `KC` slab's store (overwrite for β = 0, plain
+//! β is folded into the first `kc` slab's store (overwrite for β = 0, plain
 //! add for β = 1), so no separate pass over C happens unless `k == 0` or
 //! `α = 0` reduce the call to a pure scaling.
 
+use crate::kernel::{KernelVariant, MicroFn, MAX_MR, MAX_NR};
+use crate::tune::{self, KernelParams, MAX_KC};
 use mxp_precision::{LowPrec, Real};
 use rayon::prelude::*;
 
@@ -41,36 +47,22 @@ pub enum Trans {
     Yes,
 }
 
-/// Micro-kernel register tile height: C is updated `MR` rows at a time. 16
-/// f32 lanes are one AVX-512 vector (two AVX2), 16 f64 lanes two (four), so
-/// the `MR`-long FMA body vectorizes cleanly for both accumulator types.
-const MR: usize = 16;
-/// Micro-kernel register tile width: `NR` accumulator columns of `MR` lanes
-/// live in registers across the whole `kc` sweep (MR·NR = 64 accumulators).
-const NR: usize = 4;
-/// L2 cache block: each macro-kernel pass streams an `MC × KC` packed A
-/// block against B micro-panels (MC·KC f32 = 128 KiB).
-const MC: usize = 128;
-/// k-dimension slab depth: one A+B packing pass covers `KC` of `k`.
-const KC: usize = 256;
-/// Nominal per-task column-block width used in the task-grain derivation
-/// (the old engine's fixed rayon chunk width).
-const NC: usize = 128;
-
 /// How many flops a parallel task must do per element it packs or touches.
 ///
-/// A task that owns an `MC × NC` C tile touches `MC·KC` packed A elements,
-/// `KC·NC` packed B elements and `MC·NC` C elements per slab, and performs
-/// `2·MC·NC·KC` flops on them. Spawn/packing traffic is amortized once a
+/// A task that owns an `mc × nc` C tile touches `mc·kc` packed A elements,
+/// `kc·nc` packed B elements and `mc·nc` C elements per slab, and performs
+/// `2·mc·nc·kc` flops on them. Spawn/packing traffic is amortized once a
 /// task does at least `PACK_AMORTIZE` flops per touched element; below
 /// that, parallel dispatch loses to a serial sweep.
-const PACK_AMORTIZE: usize = 16;
+/// [`KernelParams::min_flops_per_task`] derives the floor from the resolved
+/// blockings.
+pub(crate) const PACK_AMORTIZE: usize = 16;
 
-/// Minimum flops a parallel task must amortize: `PACK_AMORTIZE` flops per
-/// element of the `MC·KC + KC·NC + MC·NC` working set a nominal task
-/// touches per slab (≈ 1.3 M flops — the magic `2e6` this replaces, now
-/// derived from the pack cost it guards against).
-pub(crate) const MIN_FLOPS_PER_TASK: f64 = (PACK_AMORTIZE * (MC * KC + KC * NC + MC * NC)) as f64;
+/// The per-task flop floor for element type `R`'s resolved blocking
+/// parameters — shared by the TRSM/GEMV task-count derivations.
+pub(crate) fn min_flops_per_task<R: Real>() -> f64 {
+    tune::with_resolved::<R, _>(|rk| rk.params.min_flops_per_task())
+}
 
 /// Full-precision GEMM: `C ← α·op(A)·op(B) + β·C`.
 ///
@@ -102,23 +94,28 @@ pub fn gemm<R: Real>(
     c: &mut [R],
     ldc: usize,
 ) {
-    gemm_impl(
-        transa,
-        transb,
-        m,
-        n,
-        k,
-        alpha,
-        a,
-        lda,
-        |x| x,
-        b,
-        ldb,
-        |x| x,
-        beta,
-        c,
-        ldc,
-    );
+    tune::with_resolved::<R, _>(|rk| {
+        gemm_impl(
+            rk.micro,
+            rk.params,
+            false,
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            |s: &[R], d: &mut [R]| d.copy_from_slice(s),
+            b,
+            ldb,
+            |s: &[R], d: &mut [R]| d.copy_from_slice(s),
+            beta,
+            c,
+            ldc,
+        )
+    });
 }
 
 /// Mixed-precision GEMM: `C ← α·op(A)·op(B) + β·C` with `A`, `B` stored in a
@@ -126,8 +123,10 @@ pub fn gemm<R: Real>(
 ///
 /// Matches the tensor-core contract of `cublasSgemmEx(CUDA_R_16F, …,
 /// CUDA_R_32F)`: each reduced input is widened exactly to f32 during
-/// packing, products and sums are full f32 operations — the result is
-/// bit-identical to [`gemm`] on pre-widened operands.
+/// packing — through the bulk SIMD converters, which are bitwise identical
+/// to the scalar `to_f32` loop — and products and sums are full f32
+/// operations, so the result is bit-identical to [`gemm`] on pre-widened
+/// operands.
 #[allow(clippy::too_many_arguments)]
 pub fn gemm_mixed<L: LowPrec>(
     transa: Trans,
@@ -144,7 +143,66 @@ pub fn gemm_mixed<L: LowPrec>(
     c: &mut [f32],
     ldc: usize,
 ) {
+    tune::with_resolved::<f32, _>(|rk| {
+        gemm_impl(
+            rk.micro,
+            rk.params,
+            false,
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            |s: &[L], d: &mut [f32]| L::widen_slice(s, d),
+            b,
+            ldb,
+            |s: &[L], d: &mut [f32]| L::widen_slice(s, d),
+            beta,
+            c,
+            ldc,
+        )
+    });
+}
+
+/// Runs the packed engine with an explicit kernel variant and parameter
+/// set, bypassing the process-wide resolution — the hook the autotuner's
+/// sweep and the SIMD differential suite drive. `serial` forces the whole
+/// call onto the calling thread (no rayon dispatch).
+///
+/// Not part of the stable API.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_variant<R: Real>(
+    variant: &KernelVariant<R>,
+    params: &KernelParams,
+    serial: bool,
+    transa: Trans,
+    transb: Trans,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: R,
+    a: &[R],
+    lda: usize,
+    b: &[R],
+    ldb: usize,
+    beta: R,
+    c: &mut [R],
+    ldc: usize,
+) {
+    assert_eq!(
+        (params.mr, params.nr),
+        (variant.mr, variant.nr),
+        "params tile shape does not match variant {}",
+        variant.name
+    );
     gemm_impl(
+        variant.micro(),
+        *params,
+        serial,
         transa,
         transb,
         m,
@@ -153,10 +211,10 @@ pub fn gemm_mixed<L: LowPrec>(
         alpha,
         a,
         lda,
-        |x: L| x.to_f32(),
+        |s: &[R], d: &mut [R]| d.copy_from_slice(s),
         b,
         ldb,
-        |x: L| x.to_f32(),
+        |s: &[R], d: &mut [R]| d.copy_from_slice(s),
         beta,
         c,
         ldc,
@@ -164,22 +222,30 @@ pub fn gemm_mixed<L: LowPrec>(
 }
 
 /// The `(row_tasks, col_tasks)` grid the engine will decompose an
-/// `m × n × k` GEMM into, given the current rayon pool width.
+/// `m × n × k` GEMM into, given the current rayon pool width and the
+/// resolved f32 blocking parameters.
 ///
-/// The task count is `min(threads, flops / MIN_FLOPS_PER_TASK)`, capped by
-/// the number of `MR`-row / `NR`-column micro-panels, and factored so task
+/// The task count is `min(threads, flops / min_flops_per_task)`, capped by
+/// the number of `mr`-row / `nr`-column micro-panels, and factored so task
 /// tiles stay as square as possible — a tall-skinny product (`m ≫ n`)
 /// splits along rows, a wide one along columns. `(1, 1)` means the call
 /// runs serially.
 pub fn gemm_task_grid(m: usize, n: usize, k: usize) -> (usize, usize) {
+    let params = tune::with_resolved::<f32, _>(|rk| rk.params);
+    task_grid(m, n, k, &params)
+}
+
+/// [`gemm_task_grid`] for an explicit parameter set (what the engine itself
+/// uses, with `R`'s resolved params).
+fn task_grid(m: usize, n: usize, k: usize, p: &KernelParams) -> (usize, usize) {
     if m == 0 || n == 0 || k == 0 {
         return (1, 1);
     }
     let flops = 2.0 * m as f64 * n as f64 * k as f64;
-    let by_flops = (flops / MIN_FLOPS_PER_TASK).floor() as usize;
+    let by_flops = (flops / p.min_flops_per_task()).floor() as usize;
     let tasks = rayon::current_num_threads().min(by_flops).max(1);
-    let mi = m.div_ceil(MR);
-    let nj = n.div_ceil(NR);
+    let mi = m.div_ceil(p.mr);
+    let nj = n.div_ceil(p.nr);
     let mut best = (1usize, 1usize);
     let mut best_score = (0usize, f64::INFINITY);
     for ti in 1..=tasks {
@@ -233,7 +299,10 @@ enum Store<R> {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn gemm_impl<S, R, FA, FB>(
+fn gemm_impl<S, R, WA, WB>(
+    micro: MicroFn<R>,
+    params: KernelParams,
+    force_serial: bool,
     transa: Trans,
     transb: Trans,
     m: usize,
@@ -242,19 +311,24 @@ fn gemm_impl<S, R, FA, FB>(
     alpha: R,
     a: &[S],
     lda: usize,
-    fa: FA,
+    wa: WA,
     b: &[S],
     ldb: usize,
-    fb: FB,
+    wb: WB,
     beta: R,
     c: &mut [R],
     ldc: usize,
 ) where
     S: Copy + Sync,
     R: Real,
-    FA: Fn(S) -> R + Sync,
-    FB: Fn(S) -> R + Sync,
+    WA: Fn(&[S], &mut [R]) + Sync,
+    WB: Fn(&[S], &mut [R]) + Sync,
 {
+    let (mr, nr) = (params.mr, params.nr);
+    assert!(
+        mr <= MAX_MR && nr <= MAX_NR && params.kc >= 1 && params.kc <= MAX_KC,
+        "kernel params out of engine bounds: {params:?}"
+    );
     check_operand("A", transa, m, k, lda, a.len());
     check_operand("B", transb, k, n, ldb, b.len());
     assert!(ldc >= m.max(1), "ldc {ldc} < m {m}");
@@ -292,79 +366,118 @@ fn gemm_impl<S, R, FA, FB>(
     // thread-local scratch arena (the pack loops below fully overwrite
     // every element — including the padding lanes — so the unspecified
     // contents of `take` are safe) and reused across k-slabs *and* across
-    // GEMM calls: a blocked factorization's trailing updates stop paying
-    // two allocations per block step.
-    let mp = m.div_ceil(MR) * MR;
-    let np = n.div_ceil(NR) * NR;
-    let mut apack = crate::scratch::take::<R>(mp * KC.min(k));
-    let mut bpack = crate::scratch::take::<R>(np * KC.min(k));
+    // GEMM calls. The arena base is 64-byte aligned and every SIMD
+    // variant's `mr` keeps panel rows on 64-byte boundaries, which is what
+    // licenses the aligned A-loads inside the dispatched micro-kernel.
+    let mp = m.div_ceil(mr) * mr;
+    let np = n.div_ceil(nr) * nr;
+    let kcap = params.kc.min(k);
+    let mut apack = crate::scratch::take::<R>(mp * kcap);
+    let mut bpack = crate::scratch::take::<R>(np * kcap);
 
-    let (ti, tj) = gemm_task_grid(m, n, k);
+    let (ti, tj) = if force_serial {
+        (1, 1)
+    } else {
+        task_grid(m, n, k, &params)
+    };
     let parallel = ti * tj > 1;
 
     let mut l0 = 0;
     while l0 < k {
-        let kc = KC.min(k - l0);
+        let kc = params.kc.min(k - l0);
 
-        // 1. Pack op(A)[:, l0..l0+kc] into MR-row micro-panels, once,
-        //    shared read-only by every task below.
+        // 1. Pack op(A)[:, l0..l0+kc] into mr-row micro-panels, once,
+        //    shared read-only by every task below. Both orientations
+        //    convert contiguous source runs in bulk: columns of A for
+        //    Trans::No, rows (k-runs) for Trans::Yes via a stack staging
+        //    buffer.
         let pack_a_panel = |p: usize, panel: &mut [R]| {
-            let i0 = p * MR;
-            let rows = MR.min(m - i0);
-            for l in 0..kc {
-                let dst = &mut panel[l * MR..l * MR + MR];
-                match transa {
-                    Trans::No => {
-                        let src = &a[(l0 + l) * lda + i0..(l0 + l) * lda + i0 + rows];
-                        for (d, &s) in dst.iter_mut().zip(src) {
-                            *d = fa(s);
-                        }
-                    }
-                    Trans::Yes => {
-                        for (i, d) in dst.iter_mut().enumerate().take(rows) {
-                            *d = fa(a[(i0 + i) * lda + l0 + l]);
+            let i0 = p * mr;
+            let rows = mr.min(m - i0);
+            match transa {
+                Trans::No => {
+                    for l in 0..kc {
+                        let dst = &mut panel[l * mr..(l + 1) * mr];
+                        let start = (l0 + l) * lda + i0;
+                        wa(&a[start..start + rows], &mut dst[..rows]);
+                        for d in &mut dst[rows..] {
+                            *d = R::ZERO;
                         }
                     }
                 }
-                for d in &mut dst[rows..] {
-                    *d = R::ZERO;
+                Trans::Yes => {
+                    let mut tmp = [R::ZERO; MAX_KC];
+                    for i in 0..rows {
+                        let start = (i0 + i) * lda + l0;
+                        wa(&a[start..start + kc], &mut tmp[..kc]);
+                        for (l, &v) in tmp[..kc].iter().enumerate() {
+                            panel[l * mr + i] = v;
+                        }
+                    }
+                    for l in 0..kc {
+                        for d in &mut panel[l * mr + rows..(l + 1) * mr] {
+                            *d = R::ZERO;
+                        }
+                    }
                 }
             }
         };
-        // 2. Pack op(B)[l0..l0+kc, :] into NR-column micro-panels with α
-        //    folded in, so the micro-kernel is a pure FMA.
+        // 2. Pack op(B)[l0..l0+kc, :] into nr-column micro-panels with α
+        //    folded in, so the micro-kernel is a pure FMA. Contiguous
+        //    source runs (B columns for Trans::No via a stack staging
+        //    buffer, B rows for Trans::Yes directly) convert in bulk; α is
+        //    folded afterwards — the same widen-then-multiply order per
+        //    element as the old scalar pack, so results are unchanged.
         let pack_b_panel = |q: usize, panel: &mut [R]| {
-            let j0 = q * NR;
-            let cols = NR.min(n - j0);
-            for l in 0..kc {
-                let dst = &mut panel[l * NR..l * NR + NR];
-                for (j, d) in dst.iter_mut().enumerate() {
-                    *d = if j < cols {
-                        let v = match transb {
-                            Trans::No => fb(b[(j0 + j) * ldb + l0 + l]),
-                            Trans::Yes => fb(b[(l0 + l) * ldb + j0 + j]),
-                        };
-                        v * alpha
-                    } else {
-                        R::ZERO
-                    };
+            let j0 = q * nr;
+            let cols = nr.min(n - j0);
+            match transb {
+                Trans::No => {
+                    let mut tmp = [R::ZERO; MAX_KC];
+                    for j in 0..cols {
+                        let start = (j0 + j) * ldb + l0;
+                        wb(&b[start..start + kc], &mut tmp[..kc]);
+                        for (l, &v) in tmp[..kc].iter().enumerate() {
+                            panel[l * nr + j] = v * alpha;
+                        }
+                    }
+                    if cols < nr {
+                        for l in 0..kc {
+                            for d in &mut panel[l * nr + cols..(l + 1) * nr] {
+                                *d = R::ZERO;
+                            }
+                        }
+                    }
+                }
+                Trans::Yes => {
+                    for l in 0..kc {
+                        let dst = &mut panel[l * nr..(l + 1) * nr];
+                        let start = (l0 + l) * ldb + j0;
+                        wb(&b[start..start + cols], &mut dst[..cols]);
+                        for d in &mut dst[..cols] {
+                            *d *= alpha;
+                        }
+                        for d in &mut dst[cols..] {
+                            *d = R::ZERO;
+                        }
+                    }
                 }
             }
         };
         if parallel {
             apack[..mp * kc]
-                .par_chunks_mut(MR * kc)
+                .par_chunks_mut(mr * kc)
                 .enumerate()
                 .for_each(|(p, panel)| pack_a_panel(p, panel));
             bpack[..np * kc]
-                .par_chunks_mut(NR * kc)
+                .par_chunks_mut(nr * kc)
                 .enumerate()
                 .for_each(|(q, panel)| pack_b_panel(q, panel));
         } else {
-            for (p, panel) in apack[..mp * kc].chunks_mut(MR * kc).enumerate() {
+            for (p, panel) in apack[..mp * kc].chunks_mut(mr * kc).enumerate() {
                 pack_a_panel(p, panel);
             }
-            for (q, panel) in bpack[..np * kc].chunks_mut(NR * kc).enumerate() {
+            for (q, panel) in bpack[..np * kc].chunks_mut(nr * kc).enumerate() {
                 pack_b_panel(q, panel);
             }
         }
@@ -389,9 +502,11 @@ fn gemm_impl<S, R, FA, FB>(
         let macro_task = |t: usize| {
             let (tr, tc) = (t / tj, t % tj);
             // Whole micro-panels per task, remainders spread to the front.
-            let (r0, r1) = split_range(m.div_ceil(MR), ti, tr);
-            let (q0, q1) = split_range(n.div_ceil(NR), tj, tc);
-            macro_kernel(kc, apack, bpack, cptr, ldc, m, n, r0, r1, q0, q1, store);
+            let (r0, r1) = split_range(m.div_ceil(mr), ti, tr);
+            let (q0, q1) = split_range(n.div_ceil(nr), tj, tc);
+            macro_kernel(
+                micro, &params, kc, apack, bpack, cptr, ldc, m, n, r0, r1, q0, q1, store,
+            );
         };
         if parallel {
             (0..ti * tj).into_par_iter().for_each(macro_task);
@@ -413,16 +528,19 @@ fn split_range(total: usize, parts: usize, idx: usize) -> (usize, usize) {
     (start, start + len)
 }
 
-/// Macro-kernel over one task's tile: rows `r0..r1` (in `MR` panels) ×
-/// columns `q0..q1` (in `NR` panels) of C, against the shared packed slabs.
-/// `MC`-row blocks of packed A stay hot in L2 while all of the task's B
-/// micro-panels stream through L1.
+/// Macro-kernel over one task's tile: rows `r0..r1` (in `mr` panels) ×
+/// columns `q0..q1` (in `nr` panels) of C, against the shared packed slabs.
+/// `mc`-row blocks of packed A stay hot in L2 while all of the task's B
+/// micro-panels stream through L1; the dispatched micro-kernel computes
+/// each register tile into a stack-resident accumulator.
 ///
 /// C is addressed through a raw base pointer because concurrent tasks hold
 /// tiles of the same allocation; the task grid guarantees the panel ranges
 /// — and therefore every element written — are disjoint across tasks.
 #[allow(clippy::too_many_arguments)]
 fn macro_kernel<R: Real>(
+    micro: MicroFn<R>,
+    params: &KernelParams,
     kc: usize,
     apack: &[R],
     bpack: &[R],
@@ -436,48 +554,40 @@ fn macro_kernel<R: Real>(
     q1: usize,
     store: Store<R>,
 ) {
-    const MC_PANELS: usize = MC / MR;
+    let (mr, nr) = (params.mr, params.nr);
+    let mc_panels = (params.mc / mr).max(1);
+    let mut acc = [R::ZERO; MAX_MR * MAX_NR];
+    let acc = &mut acc[..mr * nr];
     let mut rb = r0;
     while rb < r1 {
-        let rb_end = (rb + MC_PANELS).min(r1);
+        let rb_end = (rb + mc_panels).min(r1);
         for q in q0..q1 {
-            let j0 = q * NR;
-            let nr_eff = NR.min(n - j0);
-            let bp = &bpack[q * NR * kc..(q + 1) * NR * kc];
+            let j0 = q * nr;
+            let nr_eff = nr.min(n - j0);
+            let bp = &bpack[q * nr * kc..(q + 1) * nr * kc];
             for p in rb..rb_end {
-                let i0 = p * MR;
-                let mr_eff = MR.min(m - i0);
-                let ap = &apack[p * MR * kc..(p + 1) * MR * kc];
-                let mut acc = [[R::ZERO; MR]; NR];
-                micro_kernel(kc, ap, bp, &mut acc);
+                let i0 = p * mr;
+                let mr_eff = mr.min(m - i0);
+                let ap = &apack[p * mr * kc..(p + 1) * mr * kc];
+                // SAFETY: ap holds kc×mr elements, bp kc×nr, acc mr×nr.
+                // ap sits at offset p·mr·kc into the 64-byte-aligned arena
+                // slab; every SIMD variant keeps mr·size_of::<R>() a
+                // multiple of 64, so the kernel's aligned A-loads are
+                // legal. The variant's ISA was verified at dispatch.
+                unsafe { micro(kc, ap.as_ptr(), bp.as_ptr(), acc.as_mut_ptr()) };
                 // SAFETY: (i0, j0) lies inside this task's disjoint panel
                 // range and `c` outlives the scoped worker threads.
-                unsafe { store_tile(&acc, c, ldc, i0, j0, mr_eff, nr_eff, store) };
+                unsafe { store_tile(acc, mr, c, ldc, i0, j0, mr_eff, nr_eff, store) };
             }
         }
         rb = rb_end;
     }
 }
 
-/// The register-tile micro-kernel: a rank-`kc` update of an `MR × NR`
-/// accumulator block held in a fixed-size local array. The `MR`-long FMA
-/// body over contiguous packed slices is what the autovectorizer turns
-/// into vector FMAs.
-#[inline(always)]
-fn micro_kernel<R: Real>(kc: usize, ap: &[R], bp: &[R], acc: &mut [[R; MR]; NR]) {
-    for (arow, brow) in ap.chunks_exact(MR).take(kc).zip(bp.chunks_exact(NR)) {
-        for (j, accj) in acc.iter_mut().enumerate() {
-            let bv = brow[j];
-            for i in 0..MR {
-                accj[i] = arow[i].mul_add(bv, accj[i]);
-            }
-        }
-    }
-}
-
-/// Commits an accumulator tile to C, applying the slab's β mode. Ragged
-/// edges (`mr_eff < MR`, `nr_eff < NR`) store only the valid sub-tile; the
-/// zero-padded pack rows/columns guarantee the padded lanes hold zero.
+/// Commits an accumulator tile (column-major, stride `mr`) to C, applying
+/// the slab's β mode. Ragged edges (`mr_eff < mr`, `nr_eff < nr`) store
+/// only the valid sub-tile; the zero-padded pack rows/columns guarantee the
+/// padded lanes hold zero.
 ///
 /// # Safety
 ///
@@ -487,7 +597,8 @@ fn micro_kernel<R: Real>(kc: usize, ap: &[R], bp: &[R], acc: &mut [[R; MR]; NR])
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 unsafe fn store_tile<R: Real>(
-    acc: &[[R; MR]; NR],
+    acc: &[R],
+    mr: usize,
     c: SendPtr<R>,
     ldc: usize,
     i0: usize,
@@ -496,21 +607,22 @@ unsafe fn store_tile<R: Real>(
     nr_eff: usize,
     store: Store<R>,
 ) {
-    for (j, accj) in acc.iter().enumerate().take(nr_eff) {
+    for j in 0..nr_eff {
+        let col = &acc[j * mr..j * mr + mr_eff];
         let colp = c.0.add((j0 + j) * ldc + i0);
         match store {
             Store::Overwrite => {
-                for (i, &v) in accj.iter().enumerate().take(mr_eff) {
+                for (i, &v) in col.iter().enumerate() {
                     *colp.add(i) = v;
                 }
             }
             Store::Add => {
-                for (i, &v) in accj.iter().enumerate().take(mr_eff) {
+                for (i, &v) in col.iter().enumerate() {
                     *colp.add(i) += v;
                 }
             }
             Store::Scale(beta) => {
-                for (i, &v) in accj.iter().enumerate().take(mr_eff) {
+                for (i, &v) in col.iter().enumerate() {
                     *colp.add(i) = *colp.add(i) * beta + v;
                 }
             }
@@ -775,7 +887,8 @@ mod tests {
     #[test]
     fn mixed_f16_matches_widened_f32_gemm() {
         // gemm_mixed on f16 data must equal gemm::<f32> on the pre-widened
-        // data bit for bit (same kernel, same order).
+        // data bit for bit (same kernel, same order, and the SIMD
+        // convert-on-pack is bitwise identical to scalar to_f32).
         let (m, n, k) = (37, 29, 41);
         let src = rand_mat(m, k, 5);
         let a16: Vec<F16> = src.as_slice().iter().map(|&x| F16::from_f64(x)).collect();
@@ -913,6 +1026,61 @@ mod tests {
         let grid = gemm_task_grid(32, 32, 32);
         std::env::remove_var("RAYON_NUM_THREADS");
         assert_eq!(grid, (1, 1), "tiny GEMM must not pay parallel dispatch");
+    }
+
+    #[test]
+    fn dispatched_engine_matches_portable_variant() {
+        // Engine-level spot check of the bitwise invariant (the exhaustive
+        // sweep lives in tests/simd_differential.rs): the resolved kernel
+        // must agree bit-for-bit with the forced portable engine.
+        let (m, n, k) = (151, 77, 300);
+        let a = rand_mat(m, k, 61);
+        let b = rand_mat(k, n, 62);
+        let a32: Vec<f32> = a.as_slice().iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = b.as_slice().iter().map(|&x| x as f32).collect();
+        let mut c_dispatched = vec![0.25f32; m * n];
+        let mut c_portable = c_dispatched.clone();
+        gemm(
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.5f32,
+            &a32,
+            m,
+            &b32,
+            k,
+            0.5,
+            &mut c_dispatched,
+            m,
+        );
+        let portable = crate::kernel::variants_f32()
+            .iter()
+            .find(|v| v.isa == crate::kernel::Isa::Portable)
+            .unwrap();
+        let params = KernelParams::nominal(portable.mr, portable.nr);
+        gemm_with_variant(
+            portable,
+            &params,
+            true,
+            Trans::No,
+            Trans::No,
+            m,
+            n,
+            k,
+            1.5f32,
+            &a32,
+            m,
+            &b32,
+            k,
+            0.5,
+            &mut c_portable,
+            m,
+        );
+        let da: Vec<u32> = c_dispatched.iter().map(|x| x.to_bits()).collect();
+        let db: Vec<u32> = c_portable.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(da, db, "dispatched engine diverged from portable");
     }
 
     #[test]

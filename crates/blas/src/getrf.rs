@@ -43,18 +43,22 @@ impl core::fmt::Display for GetrfError {
 
 impl std::error::Error for GetrfError {}
 
-/// Panel width of the blocked factorization.
+/// Panel width of the blocked factorization, read from the resolved kernel
+/// parameters (`nb`, pinned at [`crate::tune::NB_PINNED`] = 32 — it is
+/// bit-affecting, so the tuner never sweeps it).
 ///
-/// Re-swept after the recursive panel factor landed (the
+/// The pinned value was swept when the recursive panel factor landed (the
 /// `nb_sweep_report` test below regenerates this table): single-thread f32
 /// at n = 768, best of 3, GFLOP/s — NB=8 → 17.7, 16 → 26.3, 24 → 27.0,
 /// **32 → 28.0**, 48 → 24.5, 64 → 22.0, 96 → 23.6, 128 → 22.4. The
 /// recursive panel lifts the wide-panel end (NB=96 was unusable with the
 /// scalar rank-1 panel) but the optimum stays at 32: the trailing GEMM's
-/// `KC`-slab packing amortizes best when the panel feeds it rank-32
+/// `kc`-slab packing amortizes best when the panel feeds it rank-32
 /// updates, and wider panels just move flops into the lower-rate in-panel
 /// GEMMs.
-const NB: usize = 32;
+fn panel_width<R: Real>() -> usize {
+    crate::tune::with_resolved::<R, _>(|rk| rk.params.nb)
+}
 
 /// Base-case width of the recursive panel factorization: below this the
 /// fused scalar elimination runs. 8 keeps the base case within one
@@ -76,11 +80,12 @@ const PANEL_BASE: usize = 8;
 /// assert_eq!(a, [4.0, 1.5, 3.0, -1.5]);
 /// ```
 pub fn getrf_nopiv<R: Real>(n: usize, a: &mut [R], lda: usize) -> Result<(), GetrfError> {
-    getrf_nopiv_nb(n, a, lda, NB)
+    getrf_nopiv_nb(n, a, lda, panel_width::<R>())
 }
 
 /// [`getrf_nopiv`] with an explicit panel width — the hook `kernel_bench`
-/// style sweeps use to retune [`NB`]; not part of the stable API.
+/// style sweeps use to retune the pinned panel width; not part of the
+/// stable API.
 #[doc(hidden)]
 pub fn getrf_nopiv_nb<R: Real>(
     n: usize,
@@ -449,7 +454,7 @@ mod tests {
         getrf_nopiv(n, lu2.as_mut_slice(), n).unwrap();
         let (acq1, miss1) = crate::scratch::stats();
         assert!(
-            acq1 - acq0 >= 2 * (n / NB),
+            acq1 - acq0 >= 2 * (n / crate::tune::NB_PINNED),
             "expected at least one U12 + GEMM pack acquisition per block step, saw {}",
             acq1 - acq0
         );

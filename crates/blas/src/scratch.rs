@@ -10,6 +10,15 @@
 //! type, role-peak-size) alive and hands it back out on the next
 //! acquisition, so steady-state block steps allocate nothing.
 //!
+//! # Alignment
+//!
+//! Every buffer is allocated at **64-byte alignment** (one cache line, one
+//! AVX-512 vector). The SIMD micro-kernels (DESIGN.md §14) rely on this:
+//! packed A micro-panels are read with *aligned* vector loads, which fault
+//! on a misaligned address — a plain `Vec<T>` only guarantees the element
+//! type's alignment. The `pointer_alignment_across_acquire_release` test
+//! pins the guarantee across acquire/release/reuse cycles.
+//!
 //! # Ownership model
 //!
 //! * Buffers live in a **thread-local** pool: no locks, no sharing, and a
@@ -17,7 +26,7 @@
 //!   dispatch on that worker (the vendored rayon pool keeps workers — and
 //!   therefore their arenas — alive across calls).
 //! * [`take`] pops the **largest** pooled buffer of the element type
-//!   (resizing it to the request), so one buffer serves a shrinking
+//!   (re-fitting it to the request), so one buffer serves a shrinking
 //!   sequence of requests — exactly the shape of a right-looking
 //!   factorization whose trailing matrix shrinks every step — instead of
 //!   ping-ponging between per-size buffers.
@@ -36,14 +45,89 @@
 use core::any::{Any, TypeId};
 use core::cell::{Cell, RefCell};
 use core::ops::{Deref, DerefMut};
+use core::ptr::NonNull;
+use std::alloc::{alloc, dealloc, Layout};
 use std::collections::HashMap;
 
 /// Maximum buffers retained per element type per thread.
 const MAX_POOLED: usize = 8;
 
+/// Alignment (bytes) of every arena allocation: one cache line, and the
+/// strictest requirement of any SIMD load the micro-kernels issue.
+pub const ARENA_ALIGN: usize = 64;
+
+/// A heap buffer of `cap` elements at [`ARENA_ALIGN`]-byte alignment.
+///
+/// Invariant: all `cap` elements are initialized (default-filled once at
+/// allocation; only `Copy` writes afterwards), so any `len <= cap` window
+/// is safe to expose as a slice — re-fitting a pooled buffer to a new
+/// request is just a length store.
+struct AlignedBuf<T> {
+    ptr: NonNull<T>,
+    cap: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default> AlignedBuf<T> {
+    /// Allocates `cap` default-initialized elements at 64-byte alignment.
+    fn alloc(cap: usize) -> Self {
+        if cap == 0 || core::mem::size_of::<T>() == 0 {
+            return AlignedBuf {
+                ptr: NonNull::dangling(),
+                cap,
+                len: 0,
+            };
+        }
+        let layout = Self::layout(cap);
+        // SAFETY: layout has non-zero size (cap > 0, sized T).
+        let raw = unsafe { alloc(layout) } as *mut T;
+        let ptr = NonNull::new(raw).unwrap_or_else(|| std::alloc::handle_alloc_error(layout));
+        // Default-fill so every element is initialized before a slice of
+        // any length is ever formed over the buffer.
+        for i in 0..cap {
+            // SAFETY: i < cap, within the fresh allocation.
+            unsafe { ptr.as_ptr().add(i).write(T::default()) };
+        }
+        AlignedBuf { ptr, cap, len: 0 }
+    }
+
+    fn layout(cap: usize) -> Layout {
+        let bytes = cap
+            .checked_mul(core::mem::size_of::<T>())
+            .expect("scratch request overflows");
+        Layout::from_size_align(bytes, ARENA_ALIGN.max(core::mem::align_of::<T>()))
+            .expect("scratch layout")
+    }
+}
+
+impl<T> AlignedBuf<T> {
+    fn as_slice(&self) -> &[T] {
+        // SAFETY: len <= cap elements are initialized (struct invariant).
+        unsafe { core::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: len <= cap elements are initialized (struct invariant).
+        unsafe { core::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+}
+
+impl<T> Drop for AlignedBuf<T> {
+    fn drop(&mut self) {
+        if self.cap > 0 && core::mem::size_of::<T>() > 0 {
+            let bytes = self.cap * core::mem::size_of::<T>();
+            let layout =
+                Layout::from_size_align(bytes, ARENA_ALIGN.max(core::mem::align_of::<T>()))
+                    .expect("scratch layout");
+            // SAFETY: ptr was allocated in `alloc` with this exact layout.
+            unsafe { dealloc(self.ptr.as_ptr() as *mut u8, layout) };
+        }
+    }
+}
+
 thread_local! {
-    /// Pooled buffers, keyed by element type. Values are `Vec<Vec<T>>`
-    /// behind `dyn Any`.
+    /// Pooled buffers, keyed by element type. Values are
+    /// `Vec<AlignedBuf<T>>` behind `dyn Any`.
     static POOL: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
     /// Total acquisitions on this thread.
     static ACQUIRES: Cell<usize> = const { Cell::new(0) };
@@ -60,37 +144,40 @@ pub fn stats() -> (usize, usize) {
     (ACQUIRES.with(Cell::get), MISSES.with(Cell::get))
 }
 
-/// An exclusively owned scratch buffer of `len` elements, returned to the
-/// thread-local pool on drop.
+/// An exclusively owned scratch buffer of `len` elements at 64-byte
+/// alignment, returned to the thread-local pool on drop.
 pub struct ScratchGuard<T: 'static> {
-    buf: Vec<T>,
+    buf: Option<AlignedBuf<T>>,
 }
 
-impl<T> Deref for ScratchGuard<T> {
+impl<T: 'static> Deref for ScratchGuard<T> {
     type Target = [T];
     #[inline]
     fn deref(&self) -> &[T] {
-        &self.buf
+        self.buf.as_ref().expect("guard holds buffer").as_slice()
     }
 }
 
-impl<T> DerefMut for ScratchGuard<T> {
+impl<T: 'static> DerefMut for ScratchGuard<T> {
     #[inline]
     fn deref_mut(&mut self) -> &mut [T] {
-        &mut self.buf
+        self.buf
+            .as_mut()
+            .expect("guard holds buffer")
+            .as_mut_slice()
     }
 }
 
 impl<T: 'static> Drop for ScratchGuard<T> {
     fn drop(&mut self) {
-        let buf = core::mem::take(&mut self.buf);
+        let buf = self.buf.take().expect("guard holds buffer");
         POOL.with(|pool| {
             let mut pool = pool.borrow_mut();
             let entry = pool
                 .entry(TypeId::of::<T>())
-                .or_insert_with(|| Box::new(Vec::<Vec<T>>::new()));
+                .or_insert_with(|| Box::new(Vec::<AlignedBuf<T>>::new()));
             let bufs = entry
-                .downcast_mut::<Vec<Vec<T>>>()
+                .downcast_mut::<Vec<AlignedBuf<T>>>()
                 .expect("pool entry type");
             if bufs.len() < MAX_POOLED {
                 bufs.push(buf);
@@ -101,50 +188,46 @@ impl<T: 'static> Drop for ScratchGuard<T> {
 
 /// Acquires a scratch buffer of exactly `len` elements with **unspecified
 /// contents** (stale data on reuse, `T::default()` on first touch). The
-/// caller must fully overwrite the buffer before reading it.
+/// base pointer is 64-byte aligned. The caller must fully overwrite the
+/// buffer before reading it.
 pub fn take<T: Copy + Default + 'static>(len: usize) -> ScratchGuard<T> {
     ACQUIRES.with(|c| c.set(c.get() + 1));
-    let mut buf: Vec<T> = POOL
-        .with(|pool| {
-            let mut pool = pool.borrow_mut();
-            let bufs = pool
-                .get_mut(&TypeId::of::<T>())?
-                .downcast_mut::<Vec<Vec<T>>>()
-                .expect("pool entry type");
-            // Pop the largest buffer so the request resizes (and any later,
-            // smaller request re-fits) without reallocating.
-            let best = bufs
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, b)| b.capacity())
-                .map(|(i, _)| i)?;
-            Some(bufs.swap_remove(best))
-        })
-        .unwrap_or_else(|| {
+    let pooled: Option<AlignedBuf<T>> = POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        let bufs = pool
+            .get_mut(&TypeId::of::<T>())?
+            .downcast_mut::<Vec<AlignedBuf<T>>>()
+            .expect("pool entry type");
+        // Pop the largest buffer so the request re-fits (and any later,
+        // smaller request re-fits too) without reallocating.
+        let best = bufs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.cap)
+            .map(|(i, _)| i)?;
+        Some(bufs.swap_remove(best))
+    });
+    let mut buf = match pooled {
+        Some(buf) if buf.cap >= len => buf,
+        Some(_small) => {
+            // Growing is still a heap round-trip: count it, drop the old
+            // buffer and allocate fresh at the new capacity.
             MISSES.with(|c| c.set(c.get() + 1));
-            Vec::new()
-        });
-    if buf.capacity() < len {
-        // Growing an existing buffer is still a heap round-trip: count it.
-        if buf.capacity() > 0 {
-            MISSES.with(|c| c.set(c.get() + 1));
+            AlignedBuf::alloc(len)
         }
-        buf.reserve_exact(len - buf.len());
-    }
-    // Cheap length fix-up: only elements beyond the previous length are
-    // default-filled; the reused prefix keeps stale contents.
-    if buf.len() < len {
-        buf.resize(len, T::default());
-    } else {
-        buf.truncate(len);
-    }
-    ScratchGuard { buf }
+        None => {
+            MISSES.with(|c| c.set(c.get() + 1));
+            AlignedBuf::alloc(len)
+        }
+    };
+    buf.len = len;
+    ScratchGuard { buf: Some(buf) }
 }
 
 /// Like [`take`] but with every element cleared to `T::default()`.
 pub fn take_zeroed<T: Copy + Default + 'static>(len: usize) -> ScratchGuard<T> {
     let mut g = take::<T>(len);
-    g.buf.fill(T::default());
+    g.fill(T::default());
     g
 }
 
@@ -211,5 +294,31 @@ mod tests {
         drop(take::<i64>(1024));
         let (_, m3) = stats();
         assert_eq!(m3 - m2, 0);
+    }
+
+    #[test]
+    fn pointer_alignment_across_acquire_release() {
+        // The SIMD micro-kernels issue aligned loads on packed panels, so
+        // every acquisition — fresh, reused, re-fitted smaller, grown, and
+        // with several guards live at once — must hand out a 64-byte
+        // aligned base pointer.
+        fn assert_aligned<T>(s: &[T], what: &str) {
+            let addr = s.as_ptr() as usize;
+            assert_eq!(addr % ARENA_ALIGN, 0, "{what}: base {addr:#x} misaligned");
+        }
+        for cycle in 0..4 {
+            for &len in &[1usize, 7, 16, 63, 64, 65, 1000, 4096] {
+                let g = take::<f32>(len);
+                assert_aligned(&g, &format!("f32 len {len} cycle {cycle}"));
+                let h = take::<f64>(len);
+                assert_aligned(&h, &format!("f64 len {len} cycle {cycle}"));
+                // Hold a second live buffer of the same type, too.
+                let g2 = take::<f32>(len / 2 + 1);
+                assert_aligned(&g2, &format!("f32 second guard len {len}"));
+            }
+        }
+        // A zeroed acquisition goes through the same allocator.
+        let z = take_zeroed::<f32>(513);
+        assert_aligned(&z, "take_zeroed");
     }
 }

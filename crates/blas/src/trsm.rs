@@ -7,7 +7,7 @@
 //! combinations are implemented so the kernel matches the full
 //! `cublasStrsm`/`rocblas_strsm` contract.
 
-use crate::gemm::{gemm, SendPtr, Trans, MIN_FLOPS_PER_TASK};
+use crate::gemm::{gemm, SendPtr, Trans};
 use crate::scratch;
 use mxp_precision::Real;
 use rayon::prelude::*;
@@ -39,9 +39,14 @@ pub enum Diag {
     Unit,
 }
 
-/// Blocking size for the recursive split; below this the unblocked kernel
-/// runs. 64 keeps the triangular tile plus a B panel in L1/L2.
-const TRSM_BLOCK: usize = 64;
+/// The recursion cutoff (`tb`: below it the unblocked kernel runs) comes
+/// from the resolved kernel parameters — pinned at
+/// [`crate::tune::TB_PINNED`] = 64, which keeps the triangular tile plus a
+/// B panel in L1/L2. It is bit-affecting (the blocked substitution order
+/// changes with it), so the tuner never sweeps it.
+fn trsm_cutoff<R: Real>() -> usize {
+    crate::tune::with_resolved::<R, _>(|rk| rk.params.tb)
+}
 
 /// Solves a triangular system in place: `B ← α · op(A)⁻¹ · B` (Left) or
 /// `B ← α · B · op(A)⁻¹` (Right). `A` is `k × k` where `k = m` for Left and
@@ -103,7 +108,8 @@ pub fn trsm<R: Real>(
     // splits into blocks solved by independent rayon tasks; each block is a
     // full triangular solve against the shared read-only A, so the
     // GEMM-rich recursion below runs concurrently per block.
-    let tasks = trsm_task_count(side, m, n);
+    let tb = trsm_cutoff::<R>();
+    let tasks = trsm_task_count::<R>(side, m, n);
     match side {
         Side::Left if tasks > 1 => {
             let cols = n.div_ceil(tasks);
@@ -112,7 +118,7 @@ pub fn trsm<R: Real>(
                 .enumerate()
                 .for_each(|(idx, chunk)| {
                     let jn = cols.min(n - idx * cols);
-                    trsm_rec(side, uplo, diag, m, jn, a, lda, chunk, ldb);
+                    trsm_rec(side, uplo, diag, m, jn, a, lda, chunk, ldb, tb);
                 });
         }
         Side::Right if tasks > 1 => {
@@ -137,7 +143,7 @@ pub fn trsm<R: Real>(
                         }
                     }
                 }
-                trsm_rec(side, uplo, diag, rows, n, a, lda, &mut tight, rows);
+                trsm_rec(side, uplo, diag, rows, n, a, lda, &mut tight, rows, tb);
                 unsafe {
                     for j in 0..n {
                         for i in 0..rows {
@@ -147,14 +153,14 @@ pub fn trsm<R: Real>(
                 }
             });
         }
-        _ => trsm_rec(side, uplo, diag, m, n, a, lda, b, ldb),
+        _ => trsm_rec(side, uplo, diag, m, n, a, lda, b, ldb, tb),
     }
 }
 
 /// Number of independent solve tasks worth dispatching: bounded by the
 /// rayon pool, the per-task flop floor shared with the GEMM engine, and
 /// the count of independent columns (Left) or rows (Right).
-fn trsm_task_count(side: Side, m: usize, n: usize) -> usize {
+fn trsm_task_count<R: Real>(side: Side, m: usize, n: usize) -> usize {
     // A triangular solve does ~k² flops per independent vector (k = m for
     // Left, k = n for Right).
     let (k, indep) = match side {
@@ -162,7 +168,7 @@ fn trsm_task_count(side: Side, m: usize, n: usize) -> usize {
         Side::Right => (n as f64, m),
     };
     let flops = k * k * indep as f64;
-    let by_flops = (flops / MIN_FLOPS_PER_TASK).floor() as usize;
+    let by_flops = (flops / crate::gemm::min_flops_per_task::<R>()).floor() as usize;
     rayon::current_num_threads().min(by_flops).min(indep).max(1)
 }
 
@@ -178,12 +184,13 @@ fn trsm_rec<R: Real>(
     lda: usize,
     b: &mut [R],
     ldb: usize,
+    tb: usize,
 ) {
     let k = match side {
         Side::Left => m,
         Side::Right => n,
     };
-    if k <= TRSM_BLOCK {
+    if k <= tb {
         trsm_unblocked(side, uplo, diag, m, n, a, lda, b, ldb);
         return;
     }
@@ -195,7 +202,7 @@ fn trsm_rec<R: Real>(
         (Side::Left, Uplo::Lower) => {
             // [L11 0; L21 L22] X = B  =>  X1 = L11^-1 B1;
             // B2 -= L21 X1; X2 = L22^-1 B2.
-            trsm_rec(side, uplo, diag, k1, n, a, lda, b, ldb);
+            trsm_rec(side, uplo, diag, k1, n, a, lda, b, ldb, tb);
             // Row blocks of B interleave in memory, so the solved X1 is
             // packed into a tight scratch buffer before the rank-k1 update
             // of the lower rows (keeps the GEMM operands non-aliasing).
@@ -217,7 +224,18 @@ fn trsm_rec<R: Real>(
                 b2,
                 ldb,
             );
-            trsm_rec(side, uplo, diag, k2, n, &a[k1 * lda + k1..], lda, b2, ldb);
+            trsm_rec(
+                side,
+                uplo,
+                diag,
+                k2,
+                n,
+                &a[k1 * lda + k1..],
+                lda,
+                b2,
+                ldb,
+                tb,
+            );
         }
         (Side::Left, Uplo::Upper) => {
             // [U11 U12; 0 U22] X = B  =>  X2 = U22^-1 B2;
@@ -232,6 +250,7 @@ fn trsm_rec<R: Real>(
                 lda,
                 &mut b[k1..],
                 ldb,
+                tb,
             );
             let x2 = pack_rows(b, k1, k2, n, ldb);
             let a12 = &a[k1 * lda..];
@@ -250,12 +269,12 @@ fn trsm_rec<R: Real>(
                 b,
                 ldb,
             );
-            trsm_rec(side, uplo, diag, k1, n, a, lda, b, ldb);
+            trsm_rec(side, uplo, diag, k1, n, a, lda, b, ldb, tb);
         }
         (Side::Right, Uplo::Upper) => {
             // X [U11 U12; 0 U22] = B  =>  X1 = B1 U11^-1;
             // B2 -= X1 U12; X2 = B2 U22^-1.
-            trsm_rec(side, uplo, diag, m, k1, a, lda, b, ldb);
+            trsm_rec(side, uplo, diag, m, k1, a, lda, b, ldb, tb);
             let a12 = &a[k1 * lda..];
             let (b1, b2) = split_cols(b, k1, ldb);
             gemm(
@@ -273,13 +292,35 @@ fn trsm_rec<R: Real>(
                 b2,
                 ldb,
             );
-            trsm_rec(side, uplo, diag, m, k2, &a[k1 * lda + k1..], lda, b2, ldb);
+            trsm_rec(
+                side,
+                uplo,
+                diag,
+                m,
+                k2,
+                &a[k1 * lda + k1..],
+                lda,
+                b2,
+                ldb,
+                tb,
+            );
         }
         (Side::Right, Uplo::Lower) => {
             // X [L11 0; L21 L22] = B  =>  X2 = B2 L22^-1;
             // B1 -= X2 L21; X1 = B1 L11^-1.
             let (b1, b2) = split_cols(b, k1, ldb);
-            trsm_rec(side, uplo, diag, m, k2, &a[k1 * lda + k1..], lda, b2, ldb);
+            trsm_rec(
+                side,
+                uplo,
+                diag,
+                m,
+                k2,
+                &a[k1 * lda + k1..],
+                lda,
+                b2,
+                ldb,
+                tb,
+            );
             let a21 = &a[k1..];
             gemm(
                 Trans::No,
@@ -296,7 +337,7 @@ fn trsm_rec<R: Real>(
                 b1,
                 ldb,
             );
-            trsm_rec(side, uplo, diag, m, k1, a, lda, b1, ldb);
+            trsm_rec(side, uplo, diag, m, k1, a, lda, b1, ldb, tb);
         }
     }
 }
@@ -548,7 +589,7 @@ mod tests {
 
     #[test]
     fn all_eight_variants_blocked() {
-        // k > TRSM_BLOCK exercises the recursive splitting + GEMM updates.
+        // k > the recursion cutoff exercises the recursive splitting + GEMM updates.
         for &side in &[Side::Left, Side::Right] {
             for &uplo in &[Uplo::Lower, Uplo::Upper] {
                 for &diag in &[Diag::NonUnit, Diag::Unit] {
@@ -705,7 +746,7 @@ mod tests {
             let mut par = b.clone();
             std::env::set_var("RAYON_NUM_THREADS", "4");
             assert!(
-                super::trsm_task_count(side, m, n) > 1,
+                super::trsm_task_count::<f64>(side, m, n) > 1,
                 "shape {m}x{n} must cross the task floor"
             );
             trsm(

@@ -43,13 +43,18 @@ pub struct PerfReport {
     /// backend's headline economy metric ("simulate Frontier in one
     /// process"). 0.0 when unmeasured.
     pub wall_vs_virtual_time: f64,
+    /// SIMD ISA level the BLAS micro-kernels dispatched to on this host
+    /// (`"avx512"`, `"avx2"`, `"neon"`, `"portable"`) — provenance for
+    /// cross-host comparison of measured numbers. Empty when unrecorded or
+    /// stripped for deterministic snapshots (see [`Self::without_host_timing`]).
+    pub simd_isa: &'static str,
 }
 
 /// Equality covers the *simulated* quantities only: `wall_vs_virtual_time`
-/// measures host wall-clock, which varies run to run even when the
-/// simulation is bit-identical, so determinism checks comparing reports
-/// (the supervisor event log, the thread-determinism suite) must not see
-/// it.
+/// measures host wall-clock and `simd_isa` names the host's dispatch level,
+/// both of which vary by machine even when the simulation is bit-identical,
+/// so determinism checks comparing reports (the supervisor event log, the
+/// thread-determinism suite) must not see them.
 impl PartialEq for PerfReport {
     fn eq(&self, other: &Self) -> bool {
         self.runtime == other.runtime
@@ -81,7 +86,15 @@ impl PerfReport {
             backend: Backend::Functional,
             simulated_ranks: 0,
             wall_vs_virtual_time: 0.0,
+            simd_isa: "",
         }
+    }
+
+    /// Records the SIMD dispatch level (kernel-ISA provenance) of the host
+    /// that produced the measured numbers.
+    pub fn with_simd_isa(mut self, isa: &'static str) -> Self {
+        self.simd_isa = isa;
+        self
     }
 
     /// Attaches the measured communication/computation overlap.
@@ -107,12 +120,14 @@ impl PerfReport {
         self
     }
 
-    /// The same report with the host-timing column zeroed. Deterministic
-    /// consumers — the supervision event log, golden snapshots — carry
-    /// only simulated quantities; `wall_vs_virtual_time` is host
-    /// wall-clock and would make their bytes unreproducible.
+    /// The same report with the host-dependent columns cleared.
+    /// Deterministic consumers — the supervision event log, golden
+    /// snapshots — carry only simulated quantities; `wall_vs_virtual_time`
+    /// is host wall-clock and `simd_isa` is host hardware, and either would
+    /// make their bytes unreproducible across machines.
     pub fn without_host_timing(mut self) -> Self {
         self.wall_vs_virtual_time = 0.0;
+        self.simd_isa = "";
         self
     }
 
@@ -139,6 +154,8 @@ impl PerfReport {
                 0.0
             },
         )
+        // Same host, same kernels — provenance carries over.
+        .with_simd_isa(self.simd_isa)
     }
 
     /// Single-line human summary.
@@ -180,6 +197,20 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v["runtime"], 1.0);
         assert!(v["gflops_per_gcd"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn simd_isa_is_provenance_only() {
+        let r = PerfReport::new(1024, 4, 1.0, 0.8, 0.2).with_simd_isa("avx512");
+        // Serialized for humans and tools...
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"simd_isa\":\"avx512\""));
+        // ...carried through scaling...
+        assert_eq!(r.scaled(1024, 4, 2.0).simd_isa, "avx512");
+        // ...stripped from deterministic snapshots...
+        assert_eq!(r.without_host_timing().simd_isa, "");
+        // ...and invisible to simulated-quantity equality.
+        assert_eq!(r, r.without_host_timing());
     }
 
     #[test]

@@ -444,7 +444,10 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                 cfg.backend,
                 grid.size(),
                 if runtime > 0.0 { wall / runtime } else { 0.0 },
-            ),
+            )
+            // Kernel-ISA provenance: which SIMD level the f32 GEMM engine
+            // dispatched to on this host.
+            .with_simd_isa(mxp_blas::kernel_info_f32().isa.name()),
         converged,
         scaled_residual: results[0].scaled,
         ir_iters: results[0].ir_iters,

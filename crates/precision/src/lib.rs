@@ -23,11 +23,13 @@
 
 mod bf16;
 mod f16;
+pub mod simd;
 mod traits;
 pub mod ulp;
 
 pub use bf16::B16;
 pub use f16::F16;
+pub use simd::Isa;
 pub use traits::{LowPrec, Real};
 
 /// Unit roundoff of IEEE binary16 (2^-11).

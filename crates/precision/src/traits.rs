@@ -142,6 +142,26 @@ pub trait LowPrec: Copy + Debug + Default + Send + Sync + 'static {
     fn unit_roundoff() -> f64;
     /// Short human-readable tag ("fp16", "bf16", "fp32") for reports.
     fn tag() -> &'static str;
+
+    /// Bulk widen: `dst[i] = src[i].to_f32()`, SIMD-accelerated where the
+    /// host allows (see [`crate::simd`]); bitwise identical to the scalar
+    /// loop on every path. Panics if the lengths differ.
+    fn widen_slice(src: &[Self], dst: &mut [f32]) {
+        assert_eq!(src.len(), dst.len(), "widen_slice: length mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.to_f32();
+        }
+    }
+
+    /// Bulk narrow: `dst[i] = Self::from_f32(src[i])`, SIMD-accelerated
+    /// where the host allows; bitwise identical to the scalar loop on every
+    /// path. Panics if the lengths differ.
+    fn narrow_slice(src: &[f32], dst: &mut [Self]) {
+        assert_eq!(src.len(), dst.len(), "narrow_slice: length mismatch");
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = Self::from_f32(s);
+        }
+    }
 }
 
 impl LowPrec for F16 {
@@ -159,6 +179,14 @@ impl LowPrec for F16 {
     }
     fn tag() -> &'static str {
         "fp16"
+    }
+    #[inline]
+    fn widen_slice(src: &[Self], dst: &mut [f32]) {
+        crate::simd::widen_f16_slice(src, dst);
+    }
+    #[inline]
+    fn narrow_slice(src: &[f32], dst: &mut [Self]) {
+        crate::simd::narrow_f16_slice(src, dst);
     }
 }
 
@@ -178,6 +206,14 @@ impl LowPrec for B16 {
     fn tag() -> &'static str {
         "bf16"
     }
+    #[inline]
+    fn widen_slice(src: &[Self], dst: &mut [f32]) {
+        crate::simd::widen_b16_slice(src, dst);
+    }
+    #[inline]
+    fn narrow_slice(src: &[f32], dst: &mut [Self]) {
+        crate::simd::narrow_b16_slice(src, dst);
+    }
 }
 
 impl LowPrec for f32 {
@@ -195,6 +231,14 @@ impl LowPrec for f32 {
     }
     fn tag() -> &'static str {
         "fp32"
+    }
+    #[inline]
+    fn widen_slice(src: &[Self], dst: &mut [f32]) {
+        dst.copy_from_slice(src);
+    }
+    #[inline]
+    fn narrow_slice(src: &[f32], dst: &mut [Self]) {
+        dst.copy_from_slice(src);
     }
 }
 
