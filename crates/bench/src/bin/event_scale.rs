@@ -25,7 +25,7 @@ use hplai_core::trace::comm_chrome_trace;
 use hplai_core::{
     run_with_backend, summit, Backend, CommTrace, PerfReport, ProcessGrid, RunConfig, SystemSpec,
 };
-use mxp_bench::{emit_perf_reports, gflops, results_dir, NamedPerf, Table};
+use mxp_bench::{emit_perf_reports, gflops, results_dir, NamedPerf, SchedPhases, Table};
 use mxp_msgsim::BcastAlgo;
 use serde::Serialize;
 use std::time::Instant;
@@ -65,6 +65,11 @@ struct ScalePoint {
     wall_vs_virtual_time: f64,
     /// Achieved GFLOPS/GCD of the simulated run.
     gflops_per_gcd: f64,
+    /// Scheduler shards (worker threads) the run used.
+    shards: usize,
+    /// Per-phase scheduler breakdown (absent if the run fell back to the
+    /// thread backend).
+    phases: Option<SchedPhases>,
 }
 
 /// Trajectory file schema.
@@ -157,6 +162,10 @@ fn run_extent(cfg: &RunConfig, label: &str) -> (ScalePoint, NamedPerf) {
     })
     .expect("the event backend hosts full-machine grids");
     let wall = started.elapsed().as_secs_f64();
+    let stats = mxp_msgsim::last_event_stats();
+    if let Some(s) = &stats {
+        eprintln!("{label}: {}", SchedPhases::from_stats(s).describe(s.shards));
+    }
 
     let runtime = outs.iter().map(|r| r.total).fold(0.0, f64::max);
     let factor_time = outs.iter().map(|r| r.factor).fold(0.0, f64::max);
@@ -167,7 +176,11 @@ fn run_extent(cfg: &RunConfig, label: &str) -> (ScalePoint, NamedPerf) {
     let perf = PerfReport::new(cfg.n, ranks, runtime, factor_time, ir_time)
         .with_overlap(hidden)
         .with_comm(bytes, wait)
-        .with_backend(Backend::EventTimed, ranks, wall / runtime);
+        .with_backend(Backend::EventTimed, ranks, wall / runtime)
+        .with_scheduler(
+            stats.map_or(0, |s| s.shards),
+            stats.as_ref().map_or(0.0, |s| s.sched_overhead()),
+        );
 
     let trace = outs[0].trace.as_ref().expect("rank 0 was tracing");
     let stem = label.to_lowercase().replace(' ', "_");
@@ -185,6 +198,8 @@ fn run_extent(cfg: &RunConfig, label: &str) -> (ScalePoint, NamedPerf) {
         virtual_secs: runtime,
         wall_vs_virtual_time: wall / runtime,
         gflops_per_gcd: perf.gflops_per_gcd,
+        shards: stats.map_or(0, |s| s.shards),
+        phases: stats.as_ref().map(SchedPhases::from_stats),
     };
     (point, NamedPerf::new(label, perf))
 }

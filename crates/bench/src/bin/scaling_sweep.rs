@@ -1,0 +1,254 @@
+//! `scaling_sweep` — strong- and weak-scaling series on the event backend.
+//!
+//! The sharded discrete-event scheduler exists so that scaling *sweeps* —
+//! many grid extents of the same machine, simulated back to back — finish
+//! in minutes instead of hours. This harness measures that claim and
+//! persists the trajectory to `BENCH_scaling.json` at the repository root:
+//!
+//! * **Strong scaling**: the machine's full-extent problem (fixed `N`,
+//!   paper block size) factored on a growing sub-machine grid, 4 points
+//!   per system from a few hundred ranks to the full extent.
+//! * **Weak scaling**: fixed per-rank work (`N/B = lcm(P_r, P_c)` keeps
+//!   the local tile count constant) on the same grid ladder, so the
+//!   simulated-virtual-time curve is the paper's Fig. 9 shape and the
+//!   host-wall curve measures scheduler throughput as rank count grows.
+//!
+//! ```text
+//! scaling_sweep [--quick]
+//! ```
+//!
+//! `--quick` runs the Summit series only (the CI smoke configuration);
+//! the default also runs Frontier, whose largest strong point is the full
+//! 75,264-rank extent.
+
+use hplai_core::factor::{factor, FactorConfig, Fidelity};
+use hplai_core::ir::ir_time_model;
+use hplai_core::{frontier, run_with_backend, summit, Backend, ProcessGrid, RunConfig, SystemSpec};
+use mxp_bench::{gflops, results_dir, SchedPhases, Table};
+use mxp_msgsim::BcastAlgo;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured grid extent in a scaling series.
+#[derive(Clone, Debug, Serialize)]
+struct SweepPoint {
+    /// Machine name.
+    system: String,
+    /// `"strong"` (fixed `N`) or `"weak"` (fixed per-rank work).
+    mode: String,
+    /// Ranks hosted in this process.
+    ranks: usize,
+    /// Process-grid shape.
+    grid: String,
+    /// Problem size.
+    n: usize,
+    /// Block size.
+    b: usize,
+    /// Factorization iterations simulated (`N/B`).
+    iterations: usize,
+    /// Host wall-clock seconds for the whole run.
+    wall_secs: f64,
+    /// Simulated ranks per wall-clock second.
+    ranks_per_sec: f64,
+    /// Simulated seconds of the slowest rank (the paper-facing number).
+    virtual_secs: f64,
+    /// Achieved GFLOPS/GCD of the simulated run.
+    gflops_per_gcd: f64,
+    /// Scheduler shards (worker threads) the run used.
+    shards: usize,
+    /// Per-phase scheduler breakdown.
+    phases: Option<SchedPhases>,
+}
+
+/// Trajectory file schema.
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    /// Schema tag for downstream tooling.
+    schema: String,
+    /// Measured points, strong series first, in grid order per series.
+    points: Vec<SweepPoint>,
+}
+
+fn gcd(mut a: usize, mut b: usize) -> usize {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// Runs one grid extent of `sys` with problem size `n` and returns its
+/// measurement. Mirrors `event_scale`'s driver without the comm trace:
+/// only the scalar totals are kept, so the sweep's memory footprint stays
+/// with the fibers.
+fn run_point(sys: &SystemSpec, grid: ProcessGrid, n: usize, b: usize, mode: &str) -> SweepPoint {
+    let cfg = RunConfig::timing(sys.clone(), grid, n, b)
+        .algo(BcastAlgo::Lib)
+        .backend(Backend::EventTimed)
+        .build_or_panic();
+    let ranks = grid.size();
+    let n_b = n / b;
+    eprintln!(
+        "{} {mode}: {ranks} ranks as {}x{}, N = {n} (B = {b}, {n_b} iterations)",
+        sys.name, grid.p_r, grid.p_c
+    );
+    let fcfg = FactorConfig {
+        n: cfg.n,
+        b: cfg.b,
+        algo: cfg.algo,
+        lookahead: cfg.lookahead,
+        fidelity: Fidelity::Timing,
+        seed: cfg.seed,
+        prec: cfg.prec,
+    };
+    let sys_c = sys.clone();
+    let started = Instant::now();
+    let totals = run_with_backend(&cfg, |ctx| {
+        let out = factor(ctx, &sys_c, &fcfg, 1.0);
+        let ir = ir_time_model(&sys_c, fcfg.n, ctx.grid().size(), 3);
+        ctx.charge(ir);
+        out.elapsed + ir
+    })
+    .expect("the event backend hosts every sweep extent");
+    let wall = started.elapsed().as_secs_f64();
+    let stats = mxp_msgsim::last_event_stats();
+    if let Some(s) = &stats {
+        eprintln!("  {}", SchedPhases::from_stats(s).describe(s.shards));
+    }
+    let virtual_secs = totals.iter().copied().fold(0.0, f64::max);
+    SweepPoint {
+        system: sys.name.to_string(),
+        mode: mode.to_string(),
+        ranks,
+        grid: format!("{}x{}", grid.p_r, grid.p_c),
+        n,
+        b,
+        iterations: n_b,
+        wall_secs: wall,
+        ranks_per_sec: ranks as f64 / wall,
+        virtual_secs,
+        gflops_per_gcd: hplai_core::gflops_per_gcd(n, ranks, virtual_secs),
+        shards: stats.map_or(0, |s| s.shards),
+        phases: stats.as_ref().map(SchedPhases::from_stats),
+    }
+}
+
+/// The 4-point grid ladder for `sys`, oriented by the paper's node-local
+/// grid (`q_r`×`q_c` ranks per node) and ending at the machine's
+/// full-extent min-lcm split (matching `event_scale`). Every rung keeps
+/// `lcm/gcd` of the grid shape constant, so the weak series' per-rank
+/// tile count is identical at every point; ranks grow 4× per rung.
+fn ladder(sys: &SystemSpec, q_r: usize, q_c: usize) -> Vec<ProcessGrid> {
+    let shapes: &[(usize, usize)] = match sys.name {
+        "Summit" => &[(12, 36), (24, 72), (48, 144), (96, 288)],
+        // 42x28 (not 28x42): the column count must tile by the 4-wide
+        // node shape, and 42 % 4 != 0.
+        "Frontier" => &[(42, 28), (56, 84), (112, 168), (224, 336)],
+        other => panic!("no ladder defined for {other}"),
+    };
+    let grids: Vec<ProcessGrid> = shapes
+        .iter()
+        .map(|&(p_r, p_c)| ProcessGrid::node_local(p_r, p_c, q_r, q_c))
+        .collect();
+    let full = grids.last().expect("ladder is non-empty");
+    assert_eq!(
+        full.size(),
+        sys.total_gcds(),
+        "ladder top must be the full machine"
+    );
+    let ratio = lcm(full.p_r, full.p_c) / gcd(full.p_r, full.p_c);
+    for g in &grids {
+        assert_eq!(
+            lcm(g.p_r, g.p_c) / gcd(g.p_r, g.p_c),
+            ratio,
+            "weak series needs constant per-rank work across the ladder"
+        );
+    }
+    grids
+}
+
+/// Both series for one system: strong (fixed full-extent `N`) and weak
+/// (fixed per-rank tile count) over the same ladder.
+fn sweep_system(sys: &SystemSpec, q_r: usize, q_c: usize, points: &mut Vec<SweepPoint>) {
+    let b = sys.paper_b;
+    let grids = ladder(sys, q_r, q_c);
+    let full = *grids.last().expect("ladder is non-empty");
+    let n_full = lcm(full.p_r, full.p_c) * b;
+    for g in &grids {
+        assert!(
+            (n_full / b).is_multiple_of(lcm(g.p_r, g.p_c)),
+            "strong-scaling N must tile every ladder grid"
+        );
+        points.push(run_point(sys, *g, n_full, b, "strong"));
+    }
+    for g in &grids {
+        let n = lcm(g.p_r, g.p_c) * b;
+        points.push(run_point(sys, *g, n, b, "weak"));
+    }
+}
+
+fn repo_root() -> std::path::PathBuf {
+    results_dir()
+        .parent()
+        .expect("results dir has a parent")
+        .to_path_buf()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    let mut points = Vec::new();
+    // Summit: 4608 nodes × 6 V100, 3x2 node-local grid.
+    sweep_system(&summit(), 3, 2, &mut points);
+    if !quick {
+        // Frontier: 9408 nodes × 8 GCDs, 2x4 node-local grid.
+        sweep_system(&frontier(), 2, 4, &mut points);
+    }
+
+    let mut t = Table::new(
+        "Event-backend scaling sweep",
+        "BENCH_scaling",
+        &[
+            "system",
+            "mode",
+            "ranks",
+            "grid",
+            "N",
+            "iters",
+            "wall s",
+            "ranks/s",
+            "virtual s",
+            "GFLOPS/GCD",
+        ],
+    );
+    for p in &points {
+        t.row(&[
+            &p.system,
+            &p.mode,
+            &p.ranks,
+            &p.grid,
+            &p.n,
+            &p.iterations,
+            &format!("{:.1}", p.wall_secs),
+            &format!("{:.0}", p.ranks_per_sec),
+            &format!("{:.3}", p.virtual_secs),
+            &gflops(p.gflops_per_gcd),
+        ]);
+    }
+    t.emit("scaling_sweep");
+
+    let report = Report {
+        schema: "event-scaling-v1".into(),
+        points,
+    };
+    let path = repo_root().join("BENCH_scaling.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_scaling.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -113,6 +113,72 @@ impl Table {
     }
 }
 
+/// Scheduler-phase breakdown of one event-backend run, from
+/// [`mxp_msgsim::last_event_stats`]: where the host wall-clock went, so a
+/// throughput regression is attributable to fiber switching, delivery, or
+/// rank compute rather than a single opaque number. Serialized by the
+/// scale and scaling-sweep bins alongside their headline points.
+#[derive(Clone, Debug, Serialize)]
+pub struct SchedPhases {
+    /// Worker seconds inside rank fibers (rank compute + switches).
+    pub run_secs: f64,
+    /// Worker seconds draining cross-shard inboxes.
+    pub deliver_secs: f64,
+    /// Worker seconds parked idle.
+    pub idle_secs: f64,
+    /// Estimated context-switch seconds (calibrated cost × resumes).
+    pub switch_secs_est: f64,
+    /// Fiber resumes performed.
+    pub resumes: u64,
+    /// Same-shard envelope deliveries.
+    pub local_msgs: u64,
+    /// Cross-shard envelope deliveries.
+    pub cross_msgs: u64,
+    /// Fiber stacks recycled from the pool.
+    pub stacks_reused: u64,
+    /// Fiber stacks freshly allocated.
+    pub stacks_allocated: u64,
+    /// Fraction of worker time that was scheduling overhead.
+    pub sched_overhead: f64,
+}
+
+impl SchedPhases {
+    /// Captures the breakdown of one [`mxp_msgsim::EventStats`].
+    pub fn from_stats(s: &mxp_msgsim::EventStats) -> Self {
+        SchedPhases {
+            run_secs: s.run_secs,
+            deliver_secs: s.deliver_secs,
+            idle_secs: s.idle_secs,
+            switch_secs_est: s.switch_secs_est,
+            resumes: s.resumes,
+            local_msgs: s.local_msgs,
+            cross_msgs: s.cross_msgs,
+            stacks_reused: s.stacks_reused,
+            stacks_allocated: s.stacks_allocated,
+            sched_overhead: s.sched_overhead(),
+        }
+    }
+
+    /// One-line human rendering (the bins' progress output).
+    pub fn describe(&self, shards: usize) -> String {
+        format!(
+            "{shards} shard(s); run {:.1}s, deliver {:.1}s, idle {:.1}s, switch est {:.1}s \
+             over {} resumes; {} local + {} cross msgs; stacks {} reused / {} new; \
+             sched overhead {:.1}%",
+            self.run_secs,
+            self.deliver_secs,
+            self.idle_secs,
+            self.switch_secs_est,
+            self.resumes,
+            self.local_msgs,
+            self.cross_msgs,
+            self.stacks_reused,
+            self.stacks_allocated,
+            100.0 * self.sched_overhead
+        )
+    }
+}
+
 /// A labelled [`PerfReport`] — the shared headline-number schema every
 /// harness persists, so downstream tooling parses one format regardless of
 /// which driver (emergent run, critical path, supervised rerun) produced

@@ -48,6 +48,16 @@ pub struct PerfReport {
     /// cross-host comparison of measured numbers. Empty when unrecorded or
     /// stripped for deterministic snapshots (see [`Self::without_host_timing`]).
     pub simd_isa: &'static str,
+    /// How many shards (worker threads) the event scheduler partitioned
+    /// the rank space into (0 for the thread backend or when unrecorded).
+    /// Host provenance: any shard count produces identical simulated
+    /// results, so like `simd_isa` it is excluded from equality and
+    /// stripped by [`Self::without_host_timing`].
+    pub event_shards: usize,
+    /// Fraction of host worker time the event scheduler spent on
+    /// scheduling itself (delivery, idling, fiber switches) rather than
+    /// rank execution. Host provenance; 0.0 when unmeasured.
+    pub sched_overhead: f64,
 }
 
 /// Equality covers the *simulated* quantities only: `wall_vs_virtual_time`
@@ -87,6 +97,8 @@ impl PerfReport {
             simulated_ranks: 0,
             wall_vs_virtual_time: 0.0,
             simd_isa: "",
+            event_shards: 0,
+            sched_overhead: 0.0,
         }
     }
 
@@ -120,6 +132,15 @@ impl PerfReport {
         self
     }
 
+    /// Records the event scheduler's host provenance: the shard count the
+    /// run was partitioned into and the fraction of worker time spent on
+    /// scheduling rather than rank execution.
+    pub fn with_scheduler(mut self, shards: usize, sched_overhead: f64) -> Self {
+        self.event_shards = shards;
+        self.sched_overhead = sched_overhead;
+        self
+    }
+
     /// The same report with the host-dependent columns cleared.
     /// Deterministic consumers — the supervision event log, golden
     /// snapshots — carry only simulated quantities; `wall_vs_virtual_time`
@@ -128,6 +149,8 @@ impl PerfReport {
     pub fn without_host_timing(mut self) -> Self {
         self.wall_vs_virtual_time = 0.0;
         self.simd_isa = "";
+        self.event_shards = 0;
+        self.sched_overhead = 0.0;
         self
     }
 
@@ -211,6 +234,26 @@ mod tests {
         assert_eq!(r.without_host_timing().simd_isa, "");
         // ...and invisible to simulated-quantity equality.
         assert_eq!(r, r.without_host_timing());
+    }
+
+    #[test]
+    fn scheduler_stats_are_provenance_only() {
+        let r = PerfReport::new(1024, 4, 1.0, 0.8, 0.2).with_scheduler(4, 0.05);
+        // Serialized for humans and tools...
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"event_shards\":4"));
+        assert!(json.contains("\"sched_overhead\":0.05"));
+        // ...stripped from deterministic snapshots...
+        let bare = r.without_host_timing();
+        assert_eq!((bare.event_shards, bare.sched_overhead), (0, 0.0));
+        // ...and invisible to simulated-quantity equality: any shard count
+        // must compare equal, or determinism checks would depend on the
+        // host's worker count.
+        assert_eq!(r, r.without_host_timing());
+        assert_eq!(
+            r,
+            PerfReport::new(1024, 4, 1.0, 0.8, 0.2).with_scheduler(7, 0.5)
+        );
     }
 
     #[test]

@@ -54,6 +54,12 @@ pub struct RunConfig {
     /// jobs differing only in algorithm/precision/backend reuse the same
     /// generated input). `None` — the default — generates per run.
     pub cache: Option<Arc<MatrixCache>>,
+    /// Event-backend shard (worker-thread) count: 0 — the default — means
+    /// automatic (the `HPLAI_EVENT_SHARDS` environment variable, else the
+    /// host's parallelism). Purely a host-execution knob: simulated
+    /// clocks, signatures, and solutions are bitwise identical at any
+    /// value. Ignored by the thread backend.
+    pub event_shards: usize,
 }
 
 /// A configuration error detected by [`RunConfigBuilder::build`].
@@ -185,6 +191,14 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Pins the event-backend shard count (0 = automatic). A host
+    /// execution knob like [`Self::cache`]: any value produces bitwise
+    /// identical simulated results.
+    pub fn event_shards(mut self, shards: usize) -> Self {
+        self.cfg.event_shards = shards;
+        self
+    }
+
     /// Validates the configuration, returning a typed error instead of a
     /// mid-run panic.
     pub fn build(self) -> Result<RunConfig, ConfigError> {
@@ -253,6 +267,7 @@ impl RunConfig {
                 prec: TrailingPrecision::Fp16,
                 faults: FaultPlan::new(),
                 cache: None,
+                event_shards: 0,
             },
         }
     }
@@ -285,6 +300,7 @@ impl RunConfig {
         spec.locs = grid.locs();
         spec.tuning = self.sys.tuning;
         spec.faults = self.faults.link.clone();
+        spec.event_shards = self.event_shards;
         spec
     }
 }
@@ -423,6 +439,9 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
     })
     .unwrap_or_else(|e| panic!("run: {e}"));
     let wall = started.elapsed().as_secs_f64();
+    // Event-scheduler host provenance (shards, overhead fraction) when the
+    // run just completed on the event backend from this thread.
+    let sched = mxp_msgsim::last_event_stats().filter(|_| cfg.backend == Backend::EventTimed);
 
     let runtime = results.iter().map(|r| r.total).fold(0.0, f64::max);
     let factor_time = results.iter().map(|r| r.factor).fold(0.0, f64::max);
@@ -447,7 +466,11 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
             )
             // Kernel-ISA provenance: which SIMD level the f32 GEMM engine
             // dispatched to on this host.
-            .with_simd_isa(mxp_blas::kernel_info_f32().isa.name()),
+            .with_simd_isa(mxp_blas::kernel_info_f32().isa.name())
+            .with_scheduler(
+                sched.map_or(0, |s| s.shards),
+                sched.map_or(0.0, |s| s.sched_overhead()),
+            ),
         converged,
         scaled_residual: results[0].scaled,
         ir_iters: results[0].ir_iters,

@@ -861,8 +861,13 @@ impl Group {
     }
 
     /// The worst (slowest) p2p path from this rank to any other member —
-    /// used to price the modeled vendor broadcast conservatively.
-    fn worst_cost<M: Send + 'static>(&self, comm: &Comm<M>) -> P2pCost {
+    /// used to price the modeled vendor broadcast conservatively. Memoized
+    /// in the group: membership and the network model never change, and a
+    /// full-machine run prices millions of broadcasts on the same groups.
+    fn worst_cost<M: Send + 'static>(&mut self, comm: &Comm<M>) -> P2pCost {
+        if let Some(c) = self.worst_cost {
+            return c;
+        }
         let me = comm.loc_of(self.member(self.my_idx()));
         let mut worst = P2pCost {
             latency: 0.0,
@@ -874,6 +879,7 @@ impl Group {
                 worst = c;
             }
         }
+        self.worst_cost = Some(worst);
         worst
     }
 }

@@ -9,6 +9,11 @@ pub struct Group {
     my_idx: usize,
     color: u32,
     seq: u32,
+    /// Memoized worst member-to-member path cost (see
+    /// `Group::worst_cost`): membership and the network model are fixed
+    /// for the group's lifetime, and rescanning every member on each
+    /// broadcast root was measurable at full-machine extents.
+    pub(crate) worst_cost: Option<mxp_netsim::P2pCost>,
 }
 
 impl Group {
@@ -24,6 +29,7 @@ impl Group {
             my_idx,
             color,
             seq: 0,
+            worst_cost: None,
         })
     }
 

@@ -55,10 +55,12 @@ mod event;
 pub mod fault;
 pub mod fiber;
 mod group;
+mod hash;
 pub mod request;
 mod world;
 
 pub use collectives::{BcastAlgo, BcastInfo, BcastRequest, CollectiveTuning, PendingBcast};
+pub use event::{last_event_stats, EventStats};
 pub use fault::{LinkFault, LinkScope};
 pub use group::Group;
 pub use request::{RecvRequest, SendRequest};

@@ -2,13 +2,12 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use mxp_netsim::{GcdLoc, NetworkConfig};
-use std::collections::HashMap;
-use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::collectives::CollectiveTuning;
-use crate::event::{EventWorld, Want};
+use crate::event::EventWorld;
 use crate::fault::{fault_effect, LinkFault};
+use crate::hash::FxHashMap;
 use crate::request::{RecvRequest, SendRequest};
 
 /// Description of a job: how many ranks, where each lives, and how the
@@ -28,6 +27,11 @@ pub struct WorldSpec {
     /// Injected link-level faults (latency spikes, bandwidth collapse);
     /// empty for a healthy fabric. Applied by every matching send.
     pub faults: Vec<LinkFault>,
+    /// Shard (worker-thread) count for the event backend: 0 = automatic
+    /// (the `HPLAI_EVENT_SHARDS` environment variable, else the machine's
+    /// parallelism). Purely a host-execution knob — simulated clocks,
+    /// event signatures, and solutions are bitwise identical at any value.
+    pub event_shards: usize,
 }
 
 impl WorldSpec {
@@ -49,6 +53,7 @@ impl WorldSpec {
             recv_overhead: 0.5e-6,
             tuning: CollectiveTuning::default(),
             faults: Vec::new(),
+            event_shards: 0,
         }
     }
 
@@ -162,8 +167,9 @@ pub(crate) enum Endpoint<M> {
         senders: Arc<Vec<Sender<Envelope<M>>>>,
         inbox: Receiver<Envelope<M>>,
     },
-    /// Fiber-per-rank transport; single-threaded by construction.
-    Event(Rc<EventWorld<M>>),
+    /// Fiber-per-rank transport: the sharded event world routes envelopes
+    /// between shard workers and keeps a per-rank indexed mailbox.
+    Event(Arc<EventWorld<M>>),
 }
 
 /// One rank's endpoint: point-to-point messaging plus the simulated clock.
@@ -173,9 +179,9 @@ pub struct Comm<M> {
     endpoint: Endpoint<M>,
     pending: Vec<Envelope<M>>,
     /// Next sequence number per outgoing `(dst, tag)` stream.
-    send_seq: HashMap<(usize, u32), u64>,
+    send_seq: FxHashMap<(usize, u32), u64>,
     /// Next sequence number per posted-receive `(src, tag)` stream.
-    recv_seq: HashMap<(usize, u32), u64>,
+    recv_seq: FxHashMap<(usize, u32), u64>,
     clock: f64,
     /// Time the NIC finishes serializing the last posted (non-blocking)
     /// injection — back-to-back `isend`s queue here instead of magically
@@ -195,8 +201,8 @@ impl<M: Send + 'static> Comm<M> {
             spec,
             endpoint,
             pending: Vec::new(),
-            send_seq: HashMap::new(),
-            recv_seq: HashMap::new(),
+            send_seq: FxHashMap::default(),
+            recv_seq: FxHashMap::default(),
             clock: 0.0,
             nic_free: 0.0,
             wait_total: 0.0,
@@ -209,7 +215,7 @@ impl<M: Send + 'static> Comm<M> {
 
     /// Builds the event-backend endpoint for `rank` (called from the
     /// scheduler's per-rank fiber).
-    pub(crate) fn event(rank: usize, spec: Arc<WorldSpec>, world: Rc<EventWorld<M>>) -> Self {
+    pub(crate) fn event(rank: usize, spec: Arc<WorldSpec>, world: Arc<EventWorld<M>>) -> Self {
         Comm::with_endpoint(rank, spec, Endpoint::Event(world))
     }
 
@@ -235,48 +241,43 @@ impl<M: Send + 'static> Comm<M> {
     }
 
     /// Removes and returns the `(src, tag, seq)` envelope, blocking (on
-    /// the transport's terms) until it has been sent.
+    /// the transport's terms) until it has been sent. The event world
+    /// keeps its own per-rank (src, tag)-indexed mailbox, so only the
+    /// thread transport goes through the flat pending buffer.
     fn obtain(&mut self, src: usize, tag: u32, seq: u64) -> Envelope<M> {
         let matches = |e: &Envelope<M>| e.src == src && e.tag == tag && e.seq == seq;
-        if let Some(pos) = self.pending.iter().position(matches) {
-            return self.pending.remove(pos);
-        }
-        let rank = self.rank;
-        let Comm {
-            endpoint, pending, ..
-        } = self;
-        match endpoint {
-            Endpoint::Thread { inbox, .. } => loop {
-                let env = inbox.recv().expect("world torn down mid-recv");
-                if matches(&env) {
-                    return env;
-                }
-                pending.push(env);
-            },
-            Endpoint::Event(world) => loop {
-                pending.extend(world.take_mailbox(rank));
-                if let Some(pos) = pending.iter().position(matches) {
-                    return pending.remove(pos);
-                }
-                world.block_until(rank, Want { src, tag, seq });
-            },
-        }
-    }
-
-    /// Moves every envelope the transport has already produced into the
-    /// local pending buffer, without blocking.
-    fn drain_available(&mut self) {
         let rank = self.rank;
         let Comm {
             endpoint, pending, ..
         } = self;
         match endpoint {
             Endpoint::Thread { inbox, .. } => {
-                while let Ok(env) = inbox.try_recv() {
+                if let Some(pos) = pending.iter().position(matches) {
+                    return pending.remove(pos);
+                }
+                loop {
+                    let env = inbox.recv().expect("world torn down mid-recv");
+                    if matches(&env) {
+                        return env;
+                    }
                     pending.push(env);
                 }
             }
-            Endpoint::Event(world) => pending.extend(world.take_mailbox(rank)),
+            Endpoint::Event(world) => world.obtain(rank, src, tag, seq),
+        }
+    }
+
+    /// Moves every envelope the thread transport has already produced into
+    /// the local pending buffer, without blocking. A no-op on the event
+    /// transport, whose mailboxes are queried in place.
+    fn drain_available(&mut self) {
+        let Comm {
+            endpoint, pending, ..
+        } = self;
+        if let Endpoint::Thread { inbox, .. } = endpoint {
+            while let Ok(env) = inbox.try_recv() {
+                pending.push(env);
+            }
         }
     }
     /// This rank's index.
@@ -459,6 +460,11 @@ impl<M: Send + 'static> Comm<M> {
     /// not executed yet in real time — deterministic control flow must
     /// come from `wait_recv`, not from polling.
     pub fn test_recv(&mut self, req: &RecvRequest) -> bool {
+        if let Endpoint::Event(world) = &self.endpoint {
+            return world
+                .peek_arrive(self.rank, req.src, req.tag, req.seq)
+                .is_some_and(|arrive| arrive <= self.clock);
+        }
         self.drain_available();
         self.pending.iter().any(|e| {
             e.src == req.src && e.tag == req.tag && e.seq == req.seq && e.arrive <= self.clock

@@ -19,24 +19,32 @@ use hplai_core::{
     run, run_with_backend, testbed, Backend, CommScope, PerfReport, ProcessGrid, RunConfig,
 };
 use mxp_msgsim::BcastAlgo;
+use proptest::prelude::*;
 
 /// One traced comm event, reduced to the comparable fields: op label,
 /// scope, payload bytes, and the clock columns as bits.
 type EventSig = (&'static str, Option<CommScope>, u64, u64, u64);
 
 /// Runs a timing-fidelity factorization on the given backend and returns
-/// (per-rank final clocks as bits, per-rank event signatures).
+/// (per-rank final clocks as bits, per-rank event signatures). `shards`
+/// fixes the event scheduler's partition count (0 = automatic; ignored by
+/// the thread backend).
 fn timing_signature(
     grid: ProcessGrid,
     algo: BcastAlgo,
     backend: Backend,
+    shards: usize,
 ) -> (Vec<u64>, Vec<Vec<EventSig>>) {
-    let (n, b) = (8192, 512);
+    let b = 512;
+    // Smallest valid N at or past 8192: grids whose lcm does not divide
+    // 16 blocks (e.g. 6x4) round up instead of failing validation.
+    let n = hplai_core::adjust_n(8192, &grid, b);
     let nodes = grid.size() / grid.gcds_per_node();
     let sys = testbed(nodes, grid.gcds_per_node());
     let cfg = RunConfig::timing(sys.clone(), grid, n, b)
         .algo(algo)
         .backend(backend)
+        .event_shards(shards)
         .build()
         .expect("valid differential config");
     let fcfg = FactorConfig {
@@ -80,8 +88,8 @@ fn backends_trace_identical_comm_sequences() {
     ];
     for grid in grids {
         for algo in [BcastAlgo::Lib, BcastAlgo::Ring2M] {
-            let (t_clocks, t_events) = timing_signature(grid, algo, Backend::Functional);
-            let (e_clocks, e_events) = timing_signature(grid, algo, Backend::EventTimed);
+            let (t_clocks, t_events) = timing_signature(grid, algo, Backend::Functional, 0);
+            let (e_clocks, e_events) = timing_signature(grid, algo, Backend::EventTimed, 0);
             assert_eq!(
                 t_clocks, e_clocks,
                 "{}x{} {algo:?}: final clocks diverged across backends",
@@ -95,6 +103,77 @@ fn backends_trace_identical_comm_sequences() {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shard invariance: every shard count — including counts that do not
+    /// divide the rank count (7) and counts exceeding some shards' load —
+    /// must reproduce the thread backend's clocks and comm signatures
+    /// bitwise, on both broadcast algorithms. The scheduler partitions
+    /// *host work*, never simulated semantics, and matching is exact on
+    /// (src, tag, seq), so arrival interleaving cannot leak into clocks.
+    #[test]
+    fn sharded_scheduler_is_bitwise_shard_invariant(
+        kr in 1usize..4,
+        kc in 1usize..4,
+        shards_idx in 0usize..4,
+        ring in any::<bool>(),
+    ) {
+        let grid = ProcessGrid::node_local(2 * kr, 2 * kc, 2, 2);
+        let algo = if ring { BcastAlgo::Ring2M } else { BcastAlgo::Lib };
+        let shards = [1usize, 2, 4, 7][shards_idx];
+        let reference = timing_signature(grid, algo, Backend::Functional, 0);
+        let sharded = timing_signature(grid, algo, Backend::EventTimed, shards);
+        prop_assert_eq!(
+            &reference.0, &sharded.0,
+            "{}x{} {:?} @ {} shards: clocks diverged", grid.p_r, grid.p_c, algo, shards
+        );
+        prop_assert_eq!(
+            &reference.1, &sharded.1,
+            "{}x{} {:?} @ {} shards: comm signatures diverged", grid.p_r, grid.p_c, algo, shards
+        );
+    }
+}
+
+/// A receive that can never be satisfied across a shard boundary must be
+/// diagnosed, not hung: the termination protocol has to tell "every shard
+/// idle because the job is done" from "every shard idle because a rank
+/// blocks on a message nobody will send", and the panic must name the
+/// blocked rank, what it waits for, and which shards own both ends — the
+/// operator's first question when a multi-worker run wedges.
+#[test]
+fn cross_shard_deadlock_is_diagnosed_with_shard_ownership() {
+    let mut spec = mxp_msgsim::WorldSpec::cluster(2, 4, mxp_netsim::frontier_network());
+    spec.event_shards = 2; // ranks 0-3 on shard 0, ranks 4-7 on shard 1
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        spec.run_event::<(), _, _>(|mut c| {
+            if c.rank() == 0 {
+                // Rank 7 lives on the other shard and never sends tag 0x77.
+                c.recv(7, 0x77);
+            }
+        });
+    }))
+    .expect_err("a never-satisfiable recv must panic, not hang");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .expect("deadlock panic carries a message");
+    for needle in [
+        "deadlock",
+        "1 of 8 ranks",
+        "2 shard(s)",
+        "rank 0 (shard 0)",
+        "src 7 @ shard 1",
+        "tag 0x77",
+    ] {
+        assert!(
+            msg.contains(needle),
+            "deadlock diagnosis missing {needle:?}: {msg}"
+        );
     }
 }
 
@@ -160,6 +239,11 @@ fn assert_golden(actual: &str, name: &str) {
 /// 75,264 rank fibers, 672 factorization iterations at the paper's
 /// B = 3072. The wall-clock column is zeroed before snapshotting (host
 /// timing is not deterministic); everything else is.
+///
+/// The run is pinned to **4 shards**: the golden was produced by the
+/// serial scheduler, so passing here proves the parallel cross-shard
+/// delivery path reproduces it bitwise at full machine scale (the 1-shard
+/// case is covered by the proptest matrix above at small scale).
 #[test]
 #[ignore = "full-machine extent: run in release via CI's event-scale job"]
 fn full_frontier_extent_matches_golden_report() {
@@ -170,6 +254,7 @@ fn full_frontier_extent_matches_golden_report() {
     let n = hplai_core::adjust_n(1, &grid, b); // minimum N tiling the grid
     let cfg = RunConfig::timing(sys.clone(), grid, n, b)
         .backend(Backend::EventTimed)
+        .event_shards(4)
         .build()
         .unwrap();
     let fcfg = FactorConfig {
