@@ -14,12 +14,21 @@
 //!   host-wall curve measures scheduler throughput as rank count grows.
 //!
 //! ```text
-//! scaling_sweep [--quick]
+//! scaling_sweep [--quick] [--best-of N]
 //! ```
 //!
 //! `--quick` runs the Summit series only (the CI smoke configuration);
 //! the default also runs Frontier, whose largest strong point is the full
 //! 75,264-rank extent.
+//!
+//! `--best-of N` exists because host wall-clock numbers from shared boxes
+//! spread by more than 2× run to run (391–829 s observed for the same
+//! full-Frontier point). The sweep is re-measured in `N` fresh processes
+//! — the parent's own in-process pass is sample 1, then it re-executes
+//! itself `N - 1` times with a child marker — and each point keeps its
+//! best (minimum) wall time, recording `N` and the max/min spread in the
+//! schema. Simulated results are bit-identical across samples, so only
+//! the host-side timings differ.
 
 use hplai_core::factor::{factor, FactorConfig, Fidelity};
 use hplai_core::ir::ir_time_model;
@@ -56,6 +65,11 @@ struct SweepPoint {
     gflops_per_gcd: f64,
     /// Scheduler shards (worker threads) the run used.
     shards: usize,
+    /// Fresh-process samples this point's wall time is the best of.
+    best_of: usize,
+    /// Max/min host wall time across the samples (1.0 for a single
+    /// sample); the shared-box noise the best-of mode exists to tame.
+    wall_spread: f64,
     /// Per-phase scheduler breakdown.
     phases: Option<SchedPhases>,
 }
@@ -132,7 +146,55 @@ fn run_point(sys: &SystemSpec, grid: ProcessGrid, n: usize, b: usize, mode: &str
         virtual_secs,
         gflops_per_gcd: hplai_core::gflops_per_gcd(n, ranks, virtual_secs),
         shards: stats.map_or(0, |s| s.shards),
+        best_of: 1,
+        wall_spread: 1.0,
         phases: stats.as_ref().map(SchedPhases::from_stats),
+    }
+}
+
+/// Marker environment variable: set on re-executed children, which run
+/// the identical sweep and report only their per-point wall times.
+const CHILD_ENV: &str = "HPLAI_SCALING_CHILD";
+
+/// Re-measures the sweep in `best_of - 1` fresh child processes and folds
+/// the samples into `points`: each point keeps its minimum wall time and
+/// records the sample count and max/min spread.
+fn fold_best_of(points: &mut [SweepPoint], best_of: usize, quick: bool) {
+    let mut samples: Vec<Vec<f64>> = points.iter().map(|p| vec![p.wall_secs]).collect();
+    let exe = std::env::current_exe().expect("own executable path");
+    for sample in 1..best_of {
+        eprintln!("best-of sample {}/{best_of}: fresh process", sample + 1);
+        let mut cmd = std::process::Command::new(&exe);
+        if quick {
+            cmd.arg("--quick");
+        }
+        let out = cmd
+            .env(CHILD_ENV, "1")
+            .stderr(std::process::Stdio::inherit())
+            .output()
+            .expect("spawn scaling_sweep child");
+        assert!(out.status.success(), "child sweep failed: {}", out.status);
+        let stdout = String::from_utf8(out.stdout).expect("child stdout is UTF-8");
+        let walls: Vec<f64> = stdout
+            .lines()
+            .rev()
+            .find_map(|l| l.strip_prefix("WALLS "))
+            .expect("child reports a WALLS line")
+            .split_whitespace()
+            .map(|w| w.parse().expect("wall seconds"))
+            .collect();
+        assert_eq!(walls.len(), points.len(), "child measured the same sweep");
+        for (s, w) in samples.iter_mut().zip(walls) {
+            s.push(w);
+        }
+    }
+    for (p, s) in points.iter_mut().zip(&samples) {
+        let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = s.iter().copied().fold(0.0, f64::max);
+        p.wall_secs = min;
+        p.ranks_per_sec = p.ranks as f64 / min;
+        p.best_of = best_of;
+        p.wall_spread = max / min;
     }
 }
 
@@ -198,7 +260,13 @@ fn repo_root() -> std::path::PathBuf {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let best_of: usize = args
+        .iter()
+        .position(|a| a == "--best-of")
+        .map_or(1, |i| args[i + 1].parse().expect("--best-of takes a count"));
+    let child = std::env::var_os(CHILD_ENV).is_some();
 
     let mut points = Vec::new();
     // Summit: 4608 nodes × 6 V100, 3x2 node-local grid.
@@ -206,6 +274,20 @@ fn main() {
     if !quick {
         // Frontier: 9408 nodes × 8 GCDs, 2x4 node-local grid.
         sweep_system(&frontier(), 2, 4, &mut points);
+    }
+
+    if child {
+        // Re-executed sample: report wall times to the parent and stop —
+        // the simulated numbers are bit-identical to the parent's.
+        let walls: Vec<String> = points
+            .iter()
+            .map(|p| format!("{:.6}", p.wall_secs))
+            .collect();
+        println!("WALLS {}", walls.join(" "));
+        return;
+    }
+    if best_of > 1 {
+        fold_best_of(&mut points, best_of, quick);
     }
 
     let mut t = Table::new(
@@ -219,6 +301,7 @@ fn main() {
             "N",
             "iters",
             "wall s",
+            "spread",
             "ranks/s",
             "virtual s",
             "GFLOPS/GCD",
@@ -233,6 +316,7 @@ fn main() {
             &p.n,
             &p.iterations,
             &format!("{:.1}", p.wall_secs),
+            &format!("{:.2}x/{}", p.wall_spread, p.best_of),
             &format!("{:.0}", p.ranks_per_sec),
             &format!("{:.3}", p.virtual_secs),
             &gflops(p.gflops_per_gcd),
@@ -241,7 +325,7 @@ fn main() {
     t.emit("scaling_sweep");
 
     let report = Report {
-        schema: "event-scaling-v1".into(),
+        schema: "event-scaling-v2".into(),
         points,
     };
     let path = repo_root().join("BENCH_scaling.json");

@@ -19,10 +19,12 @@
 //! functional runs produce the same simulated clocks the timing runs do.
 
 use crate::cache::{MatrixCache, MatrixKey};
+use crate::checkpoint::{self, ByteReader, Snapshot, SnapshotError};
 use crate::grid::ProcessGrid;
 use crate::local::LocalMatrix;
 use crate::msg::{PanelData, TrailingPrecision};
 use crate::runtime::{CommScope, PanelBcast, RankCtx};
+use crate::solve::Stepper;
 use crate::systems::SystemSpec;
 use mxp_blas::{Diag, Side, Uplo};
 use mxp_gpusim::{BlasShim, GcdModel, GcdSpeed, Workspace};
@@ -225,32 +227,203 @@ pub fn factor_cached(
     speed: impl Into<GcdSpeed>,
     cache: Option<&MatrixCache>,
 ) -> FactorOutput {
-    let speed: GcdSpeed = speed.into();
-    let grid = *ctx.grid();
-    let (my_r, my_c) = ctx.coords();
-    let dev = &sys.gcd;
-    let shim = BlasShim::new(dev.vendor);
-    let mut ws = Workspace::default();
-    let b = cfg.b;
-    let n_b = cfg.n / b;
-    let gen = MatrixGen::new(cfg.seed, cfg.n, MatrixKind::DiagDominant);
+    let state = FactorState::new(ctx, sys, cfg, speed.into(), cache);
+    crate::solve::step_until_done(ctx, state, None).0
+}
 
-    // Setup: materialize (functional) and ship the local matrix to the
-    // device, then synchronize — benchmark time starts after this barrier.
-    let mut local = match cfg.fidelity {
-        Fidelity::Functional => Some(materialize(&grid, (my_r, my_c), cfg, &gen, cache)),
-        Fidelity::Timing => None,
-    };
-    let n_loc_r = cfg.n / grid.p_r;
-    let n_loc_c = cfg.n / grid.p_c;
-    ctx.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(0));
-    ctx.barrier(CommScope::World);
-    let t0 = ctx.now();
+/// The factorization as an explicit resumable stepper: the distributed
+/// panel cursor, local tiles, in-flight look-ahead posture, and per-rank
+/// timing records, advanced one panel iteration at a time by
+/// [`crate::solve::step_until_done`].
+///
+/// The monolithic [`factor`] loop is this state machine driven to
+/// completion; panel-boundary checkpointing drives it with a
+/// [`crate::checkpoint::RunCheckpointer`] instead, draining the look-ahead
+/// posture ([`Stepper::drain`]) and encoding a snapshot section
+/// ([`Stepper::encode`]) at every boundary, and a restarted run rebuilds
+/// the state with [`FactorState::resume`] and steps on bit-identically.
+pub struct FactorState<'a> {
+    sys: &'a SystemSpec,
+    cfg: FactorConfig,
+    speed: GcdSpeed,
+    grid: ProcessGrid,
+    my_r: usize,
+    my_c: usize,
+    shim: BlasShim,
+    ws: Workspace,
+    n_b: usize,
+    n_loc_r: usize,
+    n_loc_c: usize,
+    local: Option<LocalMatrix>,
+    records: Vec<IterRecord>,
+    prev: Option<Panels>,
+    t0: f64,
+    k: usize,
+}
 
-    let mut records: Vec<IterRecord> = Vec::with_capacity(n_b);
-    let mut prev: Option<Panels> = None;
+impl<'a> FactorState<'a> {
+    /// Builds the stepper at panel cursor 0: materializes the local share
+    /// (functional runs), charges the host-to-device copy, and
+    /// synchronizes — benchmark time starts after this barrier.
+    pub fn new(
+        ctx: &mut RankCtx,
+        sys: &'a SystemSpec,
+        cfg: &FactorConfig,
+        speed: GcdSpeed,
+        cache: Option<&MatrixCache>,
+    ) -> Self {
+        let grid = *ctx.grid();
+        let (my_r, my_c) = ctx.coords();
+        let dev = &sys.gcd;
+        let gen = MatrixGen::new(cfg.seed, cfg.n, MatrixKind::DiagDominant);
+        let local = match cfg.fidelity {
+            Fidelity::Functional => Some(materialize(&grid, (my_r, my_c), cfg, &gen, cache)),
+            Fidelity::Timing => None,
+        };
+        let n_loc_r = cfg.n / grid.p_r;
+        let n_loc_c = cfg.n / grid.p_c;
+        ctx.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(0));
+        ctx.barrier(CommScope::World);
+        let t0 = ctx.now();
+        let n_b = cfg.n / cfg.b;
+        FactorState {
+            sys,
+            cfg: cfg.clone(),
+            speed,
+            grid,
+            my_r,
+            my_c,
+            shim: BlasShim::new(dev.vendor),
+            ws: Workspace::default(),
+            n_b,
+            n_loc_r,
+            n_loc_c,
+            local,
+            records: Vec::with_capacity(n_b),
+            prev: None,
+            t0,
+            k: 0,
+        }
+    }
 
-    for k in 0..n_b {
+    /// Rebuilds the stepper from this rank's section of a panel-boundary
+    /// snapshot and jumps the rank's clock to the drained boundary.
+    ///
+    /// A fresh context sits at simulated time 0, so the clock charge is an
+    /// exact `f64` and the restarted run's clocks — and therefore its
+    /// message schedule and event signatures — are bit-identical from the
+    /// boundary on to the run that drained the snapshot. Timing records
+    /// restart empty: a resumed run reports the tail it actually executed.
+    pub fn resume(
+        ctx: &mut RankCtx,
+        sys: &'a SystemSpec,
+        cfg: &FactorConfig,
+        speed: GcdSpeed,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        let grid = *ctx.grid();
+        let (my_r, my_c) = ctx.coords();
+        let rank = ctx.rank();
+        let n_loc_r = cfg.n / grid.p_r;
+        let n_loc_c = cfg.n / grid.p_c;
+        let section = snap
+            .sections
+            .get(rank)
+            .ok_or(SnapshotError::ConfigMismatch("rank count"))?;
+        let mut r = ByteReader::new(section);
+        let t0 = r.f64()?;
+        let has_local = r.u8()? != 0;
+        let mut local = None;
+        if has_local {
+            let len = r.u64()? as usize;
+            if len != n_loc_r * n_loc_c {
+                return Err(SnapshotError::ConfigMismatch("local matrix extent"));
+            }
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(f32::from_bits(r.u32()?));
+            }
+            local = Some(LocalMatrix::from_data(
+                &grid,
+                (my_r, my_c),
+                cfg.n,
+                cfg.b,
+                data,
+            ));
+        }
+        if !r.is_done() {
+            return Err(SnapshotError::Truncated);
+        }
+        match cfg.fidelity {
+            Fidelity::Functional if local.is_none() => {
+                return Err(SnapshotError::ConfigMismatch("fidelity"))
+            }
+            // A functional snapshot can seed a timing resume; the tiles
+            // are simply not carried.
+            Fidelity::Timing => local = None,
+            Fidelity::Functional => {}
+        }
+        let clock = snap.clocks[rank];
+        debug_assert_eq!(ctx.now(), 0.0, "resume requires a fresh rank context");
+        ctx.charge(clock - ctx.now());
+        ctx.restore_wait_total(
+            *snap
+                .waits
+                .get(rank)
+                .ok_or(SnapshotError::ConfigMismatch("rank count"))?,
+        );
+        Ok(FactorState {
+            sys,
+            cfg: cfg.clone(),
+            speed,
+            grid,
+            my_r,
+            my_c,
+            shim: BlasShim::new(sys.gcd.vendor),
+            ws: Workspace::default(),
+            n_b: cfg.n / cfg.b,
+            n_loc_r,
+            n_loc_c,
+            local,
+            records: Vec::new(),
+            prev: None,
+            t0,
+            k: snap.header.k as usize,
+        })
+    }
+}
+
+impl Stepper for FactorState<'_> {
+    type Output = FactorOutput;
+
+    fn cursor(&self) -> usize {
+        self.k
+    }
+
+    fn done(&self) -> bool {
+        self.k >= self.n_b
+    }
+
+    fn step(&mut self, ctx: &mut RankCtx) {
+        debug_assert!(!self.done());
+        let k = self.k;
+        let (my_r, my_c) = (self.my_r, self.my_c);
+        let (n_loc_r, n_loc_c) = (self.n_loc_r, self.n_loc_c);
+        let FactorState {
+            sys,
+            cfg,
+            speed,
+            grid,
+            shim,
+            ws,
+            local,
+            records,
+            prev,
+            ..
+        } = self;
+        let grid = *grid;
+        let dev = &sys.gcd;
+        let b = cfg.b;
         let (kr, kc) = grid.owner_of_block(k, k);
         let in_row = my_r == kr;
         let in_col = my_c == kc;
@@ -352,8 +525,8 @@ pub fn factor_cached(
                 let (lr, lc) = (loc.row_of_block(k), loc.col_of_block(k));
                 let off = loc.idx(lr, lc);
                 let lda = loc.lda();
-                shim.sgetrf_buffer_size(b, &mut ws);
-                shim.sgetrf(b, &mut loc.data[off..], lda, &mut ws)
+                shim.sgetrf_buffer_size(b, ws);
+                shim.sgetrf(b, &mut loc.data[off..], lda, ws)
                     .expect("diagonally dominant block must factor");
                 diag = Some(loc.pack_block(lr, lc));
             }
@@ -543,7 +716,7 @@ pub fn factor_cached(
                     );
                 }
             }
-            prev = Some(Panels {
+            *prev = Some(Panels {
                 k,
                 l: l_slot,
                 u: u_slot,
@@ -575,12 +748,36 @@ pub fn factor_cached(
 
         rec.wait = ctx.wait_total() - wait_at_start;
         records.push(rec);
+        self.k = k + 1;
     }
-    // Look-ahead leaves the last panels pending; their trailing region is
-    // empty (k = n_b - 1 has no blocks after it), so nothing to flush.
-    // Ranks still owing a join on the final (zero-extent) broadcasts must
-    // complete it so every posted message is consumed.
-    if let Some(p) = prev.as_mut() {
+
+    /// Quiesces the look-ahead posture at a panel boundary: joins any
+    /// in-flight panel broadcasts and applies the pending panels to this
+    /// rank's whole trailing region — the union of the strip and remainder
+    /// updates the next iterations would have applied — so the local tiles
+    /// are a pure function of the cursor and can be snapshotted.
+    fn drain(&mut self, ctx: &mut RankCtx) {
+        if self.prev.is_none() {
+            return;
+        }
+        let k = self.k;
+        let (my_r, my_c) = (self.my_r, self.my_c);
+        let n_loc_r = self.n_loc_r;
+        let FactorState {
+            sys,
+            cfg,
+            speed,
+            grid,
+            local,
+            records,
+            prev,
+            ..
+        } = self;
+        let grid = *grid;
+        let dev = &sys.gcd;
+        let b = cfg.b;
+        let mut p = prev.take().expect("checked above");
+        debug_assert!(p.k + 1 == k);
         resolve_slot(
             ctx,
             &mut p.u,
@@ -597,17 +794,204 @@ pub fn factor_cached(
             cfg.prec,
             records.last_mut(),
         );
+        let lr_prev = trailing_row(&grid, my_r, p.k, b);
+        let lc_prev = trailing_col(&grid, my_c, p.k, b);
+        let dt = gemm_update(
+            ctx,
+            dev,
+            cfg.prec,
+            local.as_mut(),
+            speed.at(k),
+            lr_prev,
+            lc_prev,
+            p.m_loc,
+            p.n_loc,
+            p.l.data(),
+            0,
+            p.m_loc,
+            p.u.data(),
+            0,
+            p.n_loc,
+            b,
+            n_loc_r,
+        );
+        if let Some(r) = records.last_mut() {
+            r.gemm += dt;
+        }
     }
 
-    // Copy factors back to the host for iterative refinement (§III-C).
-    ctx.charge(dev.h2d_time(4 * n_loc_r as u64 * n_loc_c as u64) / speed.at(n_b));
-
-    let elapsed = ctx.now() - t0;
-    FactorOutput {
-        local,
-        records,
-        elapsed,
+    /// Encodes this rank's section of a panel-boundary snapshot: the
+    /// synchronized start time and (functional runs) the raw bits of the
+    /// local tiles. Look-ahead state is never encoded — [`Self::drain`]
+    /// ran first, so there is none.
+    fn encode(&self, out: &mut Vec<u8>) {
+        debug_assert!(self.prev.is_none(), "encode requires a drained stepper");
+        checkpoint::put_f64(out, self.t0);
+        match &self.local {
+            Some(loc) => {
+                out.push(1);
+                checkpoint::put_u64(out, loc.data.len() as u64);
+                out.reserve(4 * loc.data.len());
+                for &v in &loc.data {
+                    out.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+            }
+            None => out.push(0),
+        }
     }
+
+    fn checkpoint_bytes(&self) -> u64 {
+        // The modeled drain: the FP32 local tiles leave the device,
+        // whichever fidelity hosts them — functional and timing clocks
+        // must agree under identical checkpoint configs.
+        4 * self.n_loc_r as u64 * self.n_loc_c as u64
+    }
+
+    fn finish(mut self, ctx: &mut RankCtx) -> FactorOutput {
+        // Look-ahead leaves the last panels pending; their trailing region
+        // is empty (k = n_b - 1 has no blocks after it), so nothing to
+        // flush. Ranks still owing a join on the final (zero-extent)
+        // broadcasts must complete it so every posted message is consumed.
+        let FactorState {
+            cfg, records, prev, ..
+        } = &mut self;
+        if let Some(p) = prev.as_mut() {
+            resolve_slot(
+                ctx,
+                &mut p.u,
+                cfg.fidelity,
+                p.n_loc,
+                cfg.prec,
+                records.last_mut(),
+            );
+            resolve_slot(
+                ctx,
+                &mut p.l,
+                cfg.fidelity,
+                p.m_loc,
+                cfg.prec,
+                records.last_mut(),
+            );
+        }
+
+        // Copy factors back to the host for iterative refinement (§III-C).
+        ctx.charge(
+            self.sys
+                .gcd
+                .h2d_time(4 * self.n_loc_r as u64 * self.n_loc_c as u64)
+                / self.speed.at(self.n_b),
+        );
+
+        let elapsed = ctx.now() - self.t0;
+        FactorOutput {
+            local: self.local,
+            records: self.records,
+            elapsed,
+        }
+    }
+}
+
+/// Re-grids a factorization snapshot onto a new (smaller) process grid —
+/// the elastic recovery path. Every block column/row of the checkpointed
+/// matrix is re-dealt block-cyclically to its owner under `new_grid`, and
+/// every surviving rank resumes from the *latest* checkpointed clock (the
+/// re-deal is a synchronizing redistribution). The result is a snapshot
+/// whose header describes the new grid, loadable by a run configured for
+/// it.
+///
+/// Elastic restarts change the communication schedule, so unlike same-grid
+/// restarts they are *not* bit-identical to the uninterrupted run — they
+/// are the "finish on the survivors" path, verified by convergence.
+pub fn regrid_snapshot(
+    snap: &Snapshot,
+    old_grid: &ProcessGrid,
+    new_grid: &ProcessGrid,
+) -> Result<Snapshot, SnapshotError> {
+    let n = snap.header.n as usize;
+    let b = snap.header.b as usize;
+    if snap.header.driver != checkpoint::DRIVER_FACTOR {
+        return Err(SnapshotError::ConfigMismatch("driver"));
+    }
+    if old_grid.p_r != snap.header.p_r as usize || old_grid.p_c != snap.header.p_c as usize {
+        return Err(SnapshotError::ConfigMismatch("old grid"));
+    }
+    if !n.is_multiple_of(new_grid.p_r * b) || !n.is_multiple_of(new_grid.p_c * b) {
+        return Err(SnapshotError::ConfigMismatch("new grid divisibility"));
+    }
+    // Decode every old rank's section.
+    let mut t0 = 0.0_f64;
+    let mut olds: Vec<(Option<LocalMatrix>, (usize, usize))> = Vec::new();
+    for (rank, section) in snap.sections.iter().enumerate() {
+        let coord = old_grid.coord_of(rank);
+        let mut r = ByteReader::new(section);
+        t0 = t0.max(r.f64()?);
+        let has_local = r.u8()? != 0;
+        let local = if has_local {
+            let len = r.u64()? as usize;
+            let mut data = Vec::with_capacity(len);
+            for _ in 0..len {
+                data.push(f32::from_bits(r.u32()?));
+            }
+            Some(LocalMatrix::from_data(old_grid, coord, n, b, data))
+        } else {
+            None
+        };
+        olds.push((local, coord));
+    }
+    let functional = olds.iter().any(|(l, _)| l.is_some());
+    if functional && olds.iter().any(|(l, _)| l.is_none()) {
+        return Err(SnapshotError::ConfigMismatch("mixed section fidelity"));
+    }
+    // Re-deal the tiles to their new owners.
+    let n_b = n / b;
+    let clock = snap.max_clock();
+    let mut sections = Vec::with_capacity(new_grid.size());
+    for rank in 0..new_grid.size() {
+        let (r, c) = new_grid.coord_of(rank);
+        let mut out = Vec::new();
+        checkpoint::put_f64(&mut out, t0);
+        if functional {
+            let mut mine = LocalMatrix::new(new_grid, (r, c), n, b);
+            for jb in (c..n_b).step_by(new_grid.p_c) {
+                for ib in (r..n_b).step_by(new_grid.p_r) {
+                    let (or, oc) = old_grid.owner_of_block(ib, jb);
+                    let src_rank = old_grid.rank_of(or, oc);
+                    let src = olds[src_rank].0.as_ref().expect("checked functional");
+                    let (slr, slc) = (src.row_of_block(ib), src.col_of_block(jb));
+                    let (dlr, dlc) = (mine.row_of_block(ib), mine.col_of_block(jb));
+                    for j in 0..b {
+                        for i in 0..b {
+                            let v = src.data[src.idx(slr + i, slc + j)];
+                            let di = mine.idx(dlr + i, dlc + j);
+                            mine.data[di] = v;
+                        }
+                    }
+                }
+            }
+            out.push(1);
+            checkpoint::put_u64(&mut out, mine.data.len() as u64);
+            out.reserve(4 * mine.data.len());
+            for &v in &mine.data {
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        } else {
+            out.push(0);
+        }
+        sections.push(out);
+    }
+    let mut header = snap.header;
+    header.p_r = new_grid.p_r as u64;
+    header.p_c = new_grid.p_c as u64;
+    header.ranks = new_grid.size() as u64;
+    Ok(Snapshot {
+        header,
+        clocks: vec![clock; new_grid.size()],
+        // Re-gridded restarts change the communication schedule and give
+        // up bitwise equivalence anyway; survivors start a fresh wait
+        // accumulator.
+        waits: vec![0.0; new_grid.size()],
+        sections,
+    })
 }
 
 /// Extracts a reduced-precision panel from a broadcast result (empty in

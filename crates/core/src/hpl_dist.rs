@@ -16,8 +16,11 @@
 //! [`TagRange`]s, and every operation lands in the context's
 //! [`crate::runtime::CommTrace`].
 
+use crate::checkpoint::{self, ByteReader, Snapshot, SnapshotError, SnapshotHeader, DRIVER_HPL};
+use crate::grid::ProcessGrid;
 use crate::local::{count_owned, LocalMat};
 use crate::runtime::{CommScope, RankCtx, TagRange};
+use crate::solve::Stepper;
 use crate::systems::SystemSpec;
 use mxp_blas::{gemm, trsm, trsv, vec_inf_norm, Diag, Side, Trans, Uplo};
 use mxp_lcg::{MatrixGen, MatrixKind};
@@ -52,28 +55,243 @@ pub fn hpl_dist_solve(
     kind: MatrixKind,
     speed: f64,
 ) -> HplDistOutcome {
-    let grid = *ctx.grid();
-    let (my_r, my_c) = ctx.coords();
-    let n_b = n / b;
-    let dev = &sys.gcd;
-    let gen = MatrixGen::new(seed, n, kind);
+    let state = HplDistState::new(ctx, sys, n, b, seed, kind, speed);
+    crate::solve::step_until_done(ctx, state, None).0
+}
 
-    // Point-to-point tag namespaces, one tag per global row / block.
-    let panel_swap = ctx.alloc_tags("hpl-panel-swap", n as u32);
-    let trail_swap = ctx.alloc_tags("hpl-trail-swap", n as u32);
-    let fwd_tags = ctx.alloc_tags("hpl-fanin-fwd", n_b as u32);
-    let bwd_tags = ctx.alloc_tags("hpl-fanin-bwd", n_b as u32);
+/// The snapshot header a checkpointed distributed-HPL run stamps on its
+/// snapshots (driver [`DRIVER_HPL`], functional fidelity, `k = 0`).
+pub fn hpl_snapshot_header(
+    grid: &ProcessGrid,
+    n: usize,
+    b: usize,
+    seed: u64,
+    kind: MatrixKind,
+) -> SnapshotHeader {
+    SnapshotHeader {
+        driver: DRIVER_HPL,
+        fidelity: 0,
+        k: 0,
+        n: n as u64,
+        b: b as u64,
+        p_r: grid.p_r as u64,
+        p_c: grid.p_c as u64,
+        ranks: grid.size() as u64,
+        seed,
+        config_tag: checkpoint::fnv1a(format!("{kind:?}").as_bytes()),
+    }
+}
 
-    let mut local: LocalMat<f64> = LocalMat::new(&grid, (my_r, my_c), n, b);
-    local.fill_from_f64(&gen);
-    let lda = local.lda();
-    ctx.barrier(CommScope::World);
-    let t0 = ctx.now();
+/// The resumable-stepper form of [`hpl_dist_solve`]: one [`Stepper::step`]
+/// eliminates one block column (pivoted panel, swap application, TRSM,
+/// panel broadcasts, FP64 trailing update), and [`Stepper::finish`] runs
+/// the fan-in solve plus the residual check.
+///
+/// HPL has no look-ahead: nothing is in flight at a panel boundary, so
+/// [`Stepper::drain`] keeps its no-op default and a snapshot section is
+/// just the start-of-run clock, the pivot record so far, and this rank's
+/// FP64 tiles.
+pub struct HplDistState<'a> {
+    sys: &'a SystemSpec,
+    n: usize,
+    b: usize,
+    n_b: usize,
+    speed: f64,
+    grid: ProcessGrid,
+    my_r: usize,
+    my_c: usize,
+    gen: MatrixGen,
+    panel_swap: TagRange,
+    trail_swap: TagRange,
+    fwd_tags: TagRange,
+    bwd_tags: TagRange,
+    local: LocalMat<f64>,
+    /// Global pivot record (every rank learns every panel's pivots).
+    ipiv: Vec<usize>,
+    t0: f64,
+    k: usize,
+}
 
-    // Global pivot record (every rank learns every panel's pivots).
-    let mut ipiv = vec![0usize; n];
+impl<'a> HplDistState<'a> {
+    /// Materializes the local FP64 tiles and synchronizes the start clock.
+    pub fn new(
+        ctx: &mut RankCtx,
+        sys: &'a SystemSpec,
+        n: usize,
+        b: usize,
+        seed: u64,
+        kind: MatrixKind,
+        speed: f64,
+    ) -> Self {
+        let grid = *ctx.grid();
+        let (my_r, my_c) = ctx.coords();
+        let n_b = n / b;
+        let gen = MatrixGen::new(seed, n, kind);
 
-    for k in 0..n_b {
+        // Point-to-point tag namespaces, one tag per global row / block.
+        let panel_swap = ctx.alloc_tags("hpl-panel-swap", n as u32);
+        let trail_swap = ctx.alloc_tags("hpl-trail-swap", n as u32);
+        let fwd_tags = ctx.alloc_tags("hpl-fanin-fwd", n_b as u32);
+        let bwd_tags = ctx.alloc_tags("hpl-fanin-bwd", n_b as u32);
+
+        let mut local: LocalMat<f64> = LocalMat::new(&grid, (my_r, my_c), n, b);
+        local.fill_from_f64(&gen);
+        ctx.barrier(CommScope::World);
+        let t0 = ctx.now();
+
+        HplDistState {
+            sys,
+            n,
+            b,
+            n_b,
+            speed,
+            grid,
+            my_r,
+            my_c,
+            gen,
+            panel_swap,
+            trail_swap,
+            fwd_tags,
+            bwd_tags,
+            local,
+            ipiv: vec![0usize; n],
+            t0,
+            k: 0,
+        }
+    }
+
+    /// Rebuilds a rank's state from a checkpoint section, restoring its
+    /// simulated clock to the snapshot's value exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume(
+        ctx: &mut RankCtx,
+        sys: &'a SystemSpec,
+        n: usize,
+        b: usize,
+        seed: u64,
+        kind: MatrixKind,
+        speed: f64,
+        snap: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        let grid = *ctx.grid();
+        let (my_r, my_c) = ctx.coords();
+        let expect = hpl_snapshot_header(&grid, n, b, seed, kind);
+        let h = snap.header;
+        if h.driver != expect.driver {
+            return Err(SnapshotError::ConfigMismatch("driver"));
+        }
+        if h.fidelity != expect.fidelity {
+            return Err(SnapshotError::ConfigMismatch("fidelity"));
+        }
+        if (h.n, h.b) != (expect.n, expect.b) {
+            return Err(SnapshotError::ConfigMismatch("problem size"));
+        }
+        if (h.p_r, h.p_c, h.ranks) != (expect.p_r, expect.p_c, expect.ranks) {
+            return Err(SnapshotError::ConfigMismatch("process grid"));
+        }
+        if (h.seed, h.config_tag) != (expect.seed, expect.config_tag) {
+            return Err(SnapshotError::ConfigMismatch("matrix class"));
+        }
+        let n_b = n / b;
+        if h.k as usize >= n_b {
+            return Err(SnapshotError::ConfigMismatch("panel cursor"));
+        }
+        let rank = ctx.rank();
+        let clock = snap.clocks[rank];
+        let mut r = ByteReader::new(&snap.sections[rank]);
+        let t0 = r.f64()?;
+        let mut ipiv = vec![0usize; n];
+        for p in ipiv.iter_mut() {
+            *p = r.u64()? as usize;
+        }
+        let gen = MatrixGen::new(seed, n, kind);
+        let panel_swap = ctx.alloc_tags("hpl-panel-swap", n as u32);
+        let trail_swap = ctx.alloc_tags("hpl-trail-swap", n as u32);
+        let fwd_tags = ctx.alloc_tags("hpl-fanin-fwd", n_b as u32);
+        let bwd_tags = ctx.alloc_tags("hpl-fanin-bwd", n_b as u32);
+        let mut local: LocalMat<f64> = LocalMat::new(&grid, (my_r, my_c), n, b);
+        let len = r.u64()? as usize;
+        if len != local.data.len() {
+            return Err(SnapshotError::ConfigMismatch("local matrix extent"));
+        }
+        for v in local.data.iter_mut() {
+            *v = r.f64()?;
+        }
+        if !r.is_done() {
+            return Err(SnapshotError::Truncated);
+        }
+        // A fresh context sits at t = 0, so one charge lands the clock on
+        // the snapshot value bit-exactly.
+        debug_assert_eq!(ctx.now(), 0.0);
+        ctx.charge(clock - ctx.now());
+        ctx.restore_wait_total(
+            *snap
+                .waits
+                .get(rank)
+                .ok_or(SnapshotError::ConfigMismatch("rank count"))?,
+        );
+        Ok(HplDistState {
+            sys,
+            n,
+            b,
+            n_b,
+            speed,
+            grid,
+            my_r,
+            my_c,
+            gen,
+            panel_swap,
+            trail_swap,
+            fwd_tags,
+            bwd_tags,
+            local,
+            ipiv,
+            t0,
+            k: h.k as usize,
+        })
+    }
+}
+
+impl Stepper for HplDistState<'_> {
+    type Output = HplDistOutcome;
+
+    fn cursor(&self) -> usize {
+        self.k
+    }
+
+    fn done(&self) -> bool {
+        self.k >= self.n_b
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        checkpoint::put_f64(out, self.t0);
+        for &p in &self.ipiv {
+            checkpoint::put_u64(out, p as u64);
+        }
+        checkpoint::put_u64(out, self.local.data.len() as u64);
+        for &v in &self.local.data {
+            checkpoint::put_f64(out, v);
+        }
+    }
+
+    fn checkpoint_bytes(&self) -> u64 {
+        // Modeled drain: this rank's FP64 tiles plus the pivot record.
+        8 * (self.local.data.len() as u64 + self.n as u64)
+    }
+
+    fn step(&mut self, ctx: &mut RankCtx) {
+        let k = self.k;
+        let (n, b, n_b) = (self.n, self.b, self.n_b);
+        let grid = self.grid;
+        let (my_r, my_c) = (self.my_r, self.my_c);
+        let speed = self.speed;
+        let (panel_swap, trail_swap) = (self.panel_swap, self.trail_swap);
+        let HplDistState {
+            sys, local, ipiv, ..
+        } = self;
+        let dev = &sys.gcd;
+        let lda = local.lda();
+
         let kr = k % grid.p_r;
         let kc = k % grid.p_c;
         let in_col = my_c == kc;
@@ -109,7 +327,7 @@ pub fn hpl_dist_solve(
                 ipiv[g_diag] = piv_row;
                 if piv_row != g_diag {
                     swap_rows_panel(
-                        ctx, &mut local, lc_panel, b, g_diag, piv_row, panel_swap, my_r, my_c,
+                        ctx, local, lc_panel, b, g_diag, piv_row, panel_swap, my_r, my_c,
                     );
                 }
                 // Broadcast the pivot row's panel segment [j..b) from its
@@ -160,7 +378,7 @@ pub fn hpl_dist_solve(
             let r2 = ipiv[r1];
             if r1 != r2 {
                 swap_rows_trailing(
-                    ctx, &mut local, in_col, lc_panel, b, r1, r2, trail_swap, my_r, my_c,
+                    ctx, local, in_col, lc_panel, b, r1, r2, trail_swap, my_r, my_c,
                 );
             }
         }
@@ -173,7 +391,7 @@ pub fn hpl_dist_solve(
 
         // L11 (unit-lower part of the factored diagonal block) to the row.
         let l11 = if in_row {
-            let mine = in_col.then(|| pack_f64_block(&local, k));
+            let mine = in_col.then(|| pack_f64_block(local, k));
             Some(ctx.bcast_f64(CommScope::Row, kc, mine, 8 * (b * b) as u64))
         } else {
             None
@@ -201,7 +419,7 @@ pub fn hpl_dist_solve(
         let u12 = in_row.then(|| {
             if n_loc > 0 {
                 let lr = local.row_of_block(k);
-                pack_rows_f64(&local, lr, b, lc_k1, n_loc)
+                pack_rows_f64(local, lr, b, lc_k1, n_loc)
             } else {
                 Vec::new()
             }
@@ -209,7 +427,7 @@ pub fn hpl_dist_solve(
         let u12 = ctx.bcast_f64(CommScope::Col, kr, u12, 8 * (b * n_loc) as u64);
         let l21 = in_col.then(|| {
             if m_loc > 0 {
-                pack_rows_f64(&local, lr_k1, m_loc, lc_panel, b)
+                pack_rows_f64(local, lr_k1, m_loc, lc_panel, b)
             } else {
                 Vec::new()
             }
@@ -237,31 +455,42 @@ pub fn hpl_dist_solve(
             let flops = 2.0 * (m_loc * n_loc * b) as f64;
             ctx.charge(flops / crate::hpl::dgemm_rate(dev, b) / speed);
         }
+
+        self.k = k + 1;
     }
 
-    // ---- solve with the factors (fan-in, as in iterative refinement) ----
-    let mut b_vec = vec![0.0f64; n];
-    gen.fill_rhs(0..n, &mut b_vec);
-    let b_norm = vec_inf_norm(&b_vec);
-    let mut rhs = b_vec.clone();
-    // Apply the pivots in elimination order.
-    for (j, &p) in ipiv.iter().enumerate() {
-        if p != j {
-            rhs.swap(j, p);
+    fn finish(self, ctx: &mut RankCtx) -> HplDistOutcome {
+        let (n, b) = (self.n, self.b);
+
+        // ---- solve with the factors (fan-in, as in iterative refinement) -
+        let mut b_vec = vec![0.0f64; n];
+        self.gen.fill_rhs(0..n, &mut b_vec);
+        let b_norm = vec_inf_norm(&b_vec);
+        let mut rhs = b_vec.clone();
+        // Apply the pivots in elimination order.
+        for (j, &p) in self.ipiv.iter().enumerate() {
+            if p != j {
+                rhs.swap(j, p);
+            }
         }
-    }
-    let x = fan_in_solve(ctx, &local, &rhs, n, b, fwd_tags, bwd_tags);
+        let x = fan_in_solve(ctx, &self.local, &rhs, n, b, self.fwd_tags, self.bwd_tags);
 
-    // ---- verification -----------------------------------------------------
-    let (r_inf, a_norm, x_norm) = residual_check(ctx, &gen, &x, &b_vec, n, b);
-    let scaled = r_inf / (f64::EPSILON * (a_norm * x_norm + b_norm) * n as f64);
+        // ---- verification -------------------------------------------------
+        let (r_inf, a_norm, x_norm) = residual_check(ctx, &self.gen, &x, &b_vec, n, b);
+        let scaled = r_inf / (f64::EPSILON * (a_norm * x_norm + b_norm) * n as f64);
 
-    HplDistOutcome {
-        x,
-        scaled_residual: scaled,
-        swaps: ipiv.iter().enumerate().filter(|(j, &p)| p != *j).count(),
-        ipiv,
-        elapsed: ctx.now() - t0,
+        HplDistOutcome {
+            x,
+            scaled_residual: scaled,
+            swaps: self
+                .ipiv
+                .iter()
+                .enumerate()
+                .filter(|(j, &p)| p != *j)
+                .count(),
+            ipiv: self.ipiv,
+            elapsed: ctx.now() - self.t0,
+        }
     }
 }
 
@@ -657,6 +886,54 @@ mod tests {
         for o in &tall {
             assert_eq!(o.x, tall[0].x);
         }
+    }
+
+    #[test]
+    fn checkpoint_restart_reproduces_solution() {
+        use crate::checkpoint::{latest_in, CheckpointSpec, RunCheckpointer, Snapshot};
+        use crate::solve::step_until_done;
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let sys = testbed(1, 4);
+        let (n, b) = (48usize, 8usize);
+        let dir = std::env::temp_dir().join(format!("hplai-hpl-ckpt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let rcfg = RunConfig::functional(sys.clone(), grid, n, b).build_or_panic();
+        let header = hpl_snapshot_header(&grid, n, b, 4242, MatrixKind::Uniform);
+        let ck = RunCheckpointer::new(CheckpointSpec::new(&dir, 2), header).unwrap();
+        let full = run_with_backend(&rcfg, |ctx| {
+            let st = HplDistState::new(ctx, &sys, n, b, 4242, MatrixKind::Uniform, 1.0);
+            step_until_done(ctx, st, Some(&ck)).0
+        })
+        .unwrap();
+        // Resume every rank from the last snapshot and drive to completion:
+        // the FP64 pivoted path must reproduce the uninterrupted run
+        // bit-for-bit — solution, pivot record, and simulated clock.
+        let path = latest_in(&dir, usize::MAX).expect("a checkpoint was written");
+        let snap = Snapshot::load(&path).unwrap();
+        let resumed = run_with_backend(&rcfg, |ctx| {
+            let st = HplDistState::resume(ctx, &sys, n, b, 4242, MatrixKind::Uniform, 1.0, &snap)
+                .unwrap();
+            step_until_done(ctx, st, None).0
+        })
+        .unwrap();
+        for (a, r) in full.iter().zip(&resumed) {
+            assert_eq!(a.x, r.x);
+            assert_eq!(a.ipiv, r.ipiv);
+            assert_eq!(a.swaps, r.swaps);
+            assert_eq!(a.elapsed.to_bits(), r.elapsed.to_bits());
+        }
+        // A mismatched matrix class is a typed config error, not a crash.
+        let err = run_with_backend(&rcfg, |ctx| {
+            HplDistState::resume(ctx, &sys, n, b, 4242, MatrixKind::DiagDominant, 1.0, &snap)
+                .err()
+                .unwrap()
+        })
+        .unwrap();
+        assert!(matches!(
+            err[0],
+            crate::checkpoint::SnapshotError::ConfigMismatch("matrix class")
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -17,8 +17,10 @@
 //!   `‖r‖∞ < 8·N·ε·(2·‖diag(A)‖∞·‖x‖∞ + ‖b‖∞)`.
 
 use crate::factor::FactorConfig;
+use crate::grid::ProcessGrid;
 use crate::local::LocalMatrix;
 use crate::runtime::{CommScope, RankCtx, TagRange};
+use crate::solve::Stepper;
 use crate::systems::SystemSpec;
 use mxp_blas::{gemv, trsv, vec_inf_norm, Diag, Trans, Uplo};
 use mxp_lcg::{MatrixGen, MatrixKind};
@@ -54,66 +56,158 @@ pub fn refine(
     local: &LocalMatrix,
     speed: f64,
 ) -> IrOutcome {
-    let t_start = ctx.now();
-    let n = cfg.n;
-    let b = cfg.b;
-    let n_b = n / b;
-    let grid = *ctx.grid();
-    let (my_r, my_c) = ctx.coords();
-    let gen = MatrixGen::new(cfg.seed, n, MatrixKind::DiagDominant);
+    let state = IrState::new(ctx, sys, cfg, local, speed);
+    crate::solve::step_until_done(ctx, state, None).0
+}
 
-    // Contribution tags carry the *target* block index, one tag per block
-    // per direction; the allocator keeps the two ranges disjoint from every
-    // other claim in this context's lifetime.
-    let fwd_tags = ctx.alloc_tags("ir-fanin-fwd", n_b as u32);
-    let bwd_tags = ctx.alloc_tags("ir-fanin-bwd", n_b as u32);
+/// The resumable-stepper form of [`refine`]: one [`Stepper::step`] is one
+/// refinement sweep (residual, stopping criterion, and — when not yet
+/// converged — the two fan-in solves plus the correction update).
+///
+/// Refinement opts out of checkpointing (`checkpoint_bytes` keeps its `0`
+/// default): sweeps are cheap relative to the factorization, so the
+/// recovery path simply re-runs IR from the factored matrix. Running
+/// under [`crate::solve::step_until_done`] still gives the phase the same
+/// ownership model as the factorization drivers.
+pub struct IrState<'a> {
+    sys: &'a SystemSpec,
+    local: &'a LocalMatrix,
+    speed: f64,
+    n: usize,
+    b: usize,
+    n_b: usize,
+    grid: ProcessGrid,
+    my_r: usize,
+    my_c: usize,
+    gen: MatrixGen,
+    fwd_tags: TagRange,
+    bwd_tags: TagRange,
+    b_vec: Vec<f64>,
+    diag_norm: f64,
+    b_norm: f64,
+    x: Vec<f64>,
+    /// Widened FP64 copies of the diagonal blocks this rank owns (for the
+    /// fan-in TRSVs), keyed by global block index.
+    my_diag_blocks: Vec<(usize, Vec<f64>)>,
+    iters: usize,
+    converged: bool,
+    residual_inf: f64,
+    // All per-sweep work buffers are hoisted into the state and reused
+    // across sweeps; the only `Vec`s created inside a sweep are message
+    // payloads, whose ownership moves into the comm layer. The vectors
+    // consumed by Allreduce come back as the reduced result, so their
+    // capacity is reclaimed for the next sweep.
+    col_buf: Vec<f64>,
+    ax: Vec<f64>,
+    r: Vec<f64>,
+    y_seg: Vec<f64>, // solved L-segments (owners only)
+    d_seg: Vec<f64>, // solved U-segments (owners only)
+    t_start: f64,
+}
 
-    // Replicated right-hand side and initial guess x = b / diag(A).
-    let mut b_vec = vec![0.0f64; n];
-    gen.fill_rhs(0..n, &mut b_vec);
-    let diag_norm = gen.diag_inf_norm();
-    let mut x: Vec<f64> = b_vec.iter().map(|&v| v / gen.diag_value()).collect();
-    let b_norm = vec_inf_norm(&b_vec);
+impl<'a> IrState<'a> {
+    /// Builds the per-rank refinement state: contribution tags, the
+    /// replicated right-hand side, the initial guess `x = b / diag(A)`,
+    /// and the widened diagonal blocks this rank owns.
+    pub fn new(
+        ctx: &mut RankCtx,
+        sys: &'a SystemSpec,
+        cfg: &FactorConfig,
+        local: &'a LocalMatrix,
+        speed: f64,
+    ) -> Self {
+        let t_start = ctx.now();
+        let n = cfg.n;
+        let b = cfg.b;
+        let n_b = n / b;
+        let grid = *ctx.grid();
+        let (my_r, my_c) = ctx.coords();
+        let gen = MatrixGen::new(cfg.seed, n, MatrixKind::DiagDominant);
 
-    // Widened FP64 copies of the diagonal blocks this rank owns (for the
-    // fan-in TRSVs), keyed by global block index.
-    let my_diag_blocks: Vec<(usize, Vec<f64>)> = (0..n_b)
-        .filter(|&k| grid.owner_of_block(k, k) == (my_r, my_c))
-        .map(|k| {
-            let lr = local.row_of_block(k);
-            let lc = local.col_of_block(k);
-            let mut d = vec![0.0f64; b * b];
-            for j in 0..b {
-                for i in 0..b {
-                    d[j * b + i] = local.data[local.idx(lr + i, lc + j)] as f64;
+        // Contribution tags carry the *target* block index, one tag per
+        // block per direction; the allocator keeps the two ranges disjoint
+        // from every other claim in this context's lifetime.
+        let fwd_tags = ctx.alloc_tags("ir-fanin-fwd", n_b as u32);
+        let bwd_tags = ctx.alloc_tags("ir-fanin-bwd", n_b as u32);
+
+        // Replicated right-hand side and initial guess x = b / diag(A).
+        let mut b_vec = vec![0.0f64; n];
+        gen.fill_rhs(0..n, &mut b_vec);
+        let diag_norm = gen.diag_inf_norm();
+        let x: Vec<f64> = b_vec.iter().map(|&v| v / gen.diag_value()).collect();
+        let b_norm = vec_inf_norm(&b_vec);
+
+        let my_diag_blocks: Vec<(usize, Vec<f64>)> = (0..n_b)
+            .filter(|&k| grid.owner_of_block(k, k) == (my_r, my_c))
+            .map(|k| {
+                let lr = local.row_of_block(k);
+                let lc = local.col_of_block(k);
+                let mut d = vec![0.0f64; b * b];
+                for j in 0..b {
+                    for i in 0..b {
+                        d[j * b + i] = local.data[local.idx(lr + i, lc + j)] as f64;
+                    }
                 }
-            }
-            (k, d)
-        })
-        .collect();
+                (k, d)
+            })
+            .collect();
 
-    let mut iters = 0;
-    let mut converged = false;
-    let mut residual_inf = f64::INFINITY;
-    // All per-sweep work buffers are hoisted out of the refinement loop and
-    // reused across sweeps; the only `Vec`s created inside the loop are
-    // message payloads, whose ownership moves into the comm layer. The
-    // vectors consumed by Allreduce come back as the reduced result, so
-    // their capacity is reclaimed for the next sweep.
-    let mut col_buf = vec![0.0f64; n * b];
-    let mut ax = vec![0.0f64; n];
-    let mut r = vec![0.0f64; n];
-    let mut y_seg = vec![0.0f64; n]; // solved L-segments (owners only)
-    let mut d_seg = vec![0.0f64; n]; // solved U-segments (owners only)
+        IrState {
+            sys,
+            local,
+            speed,
+            n,
+            b,
+            n_b,
+            grid,
+            my_r,
+            my_c,
+            gen,
+            fwd_tags,
+            bwd_tags,
+            b_vec,
+            diag_norm,
+            b_norm,
+            x,
+            my_diag_blocks,
+            iters: 0,
+            converged: false,
+            residual_inf: f64::INFINITY,
+            col_buf: vec![0.0f64; n * b],
+            ax: vec![0.0f64; n],
+            r: vec![0.0f64; n],
+            y_seg: vec![0.0f64; n],
+            d_seg: vec![0.0f64; n],
+            t_start,
+        }
+    }
+}
 
-    while iters < MAX_IR_ITERS {
+impl Stepper for IrState<'_> {
+    type Output = IrOutcome;
+
+    fn cursor(&self) -> usize {
+        self.iters
+    }
+
+    fn done(&self) -> bool {
+        self.converged || self.iters >= MAX_IR_ITERS
+    }
+
+    fn step(&mut self, ctx: &mut RankCtx) {
+        let (n, b, n_b) = (self.n, self.b, self.n_b);
+        let grid = self.grid;
+        let (my_r, my_c) = (self.my_r, self.my_c);
+        let (sys, speed) = (self.sys, self.speed);
+
         // ---- residual r = b - A·x via regenerated block columns ---------
-        ax.fill(0.0);
+        self.ax.fill(0.0);
         for k in 0..n_b {
             if grid.owner_of_block(k, k) != (my_r, my_c) {
                 continue;
             }
-            gen.fill_tile(0..n, k * b..(k + 1) * b, n, &mut col_buf);
+            self.gen
+                .fill_tile(0..n, k * b..(k + 1) * b, n, &mut self.col_buf);
             ctx.charge((n * b) as f64 / sys.cpu.gen_rate / speed);
             // ax += A(:, k-block) · x(k-block): the (parallel) GEMV kernel
             // replaces the old handwritten scalar column sweep.
@@ -122,27 +216,28 @@ pub fn refine(
                 n,
                 b,
                 1.0,
-                &col_buf,
+                &self.col_buf,
                 n,
-                &x[k * b..(k + 1) * b],
+                &self.x[k * b..(k + 1) * b],
                 1.0,
-                &mut ax,
+                &mut self.ax,
             );
             ctx.charge(2.0 * (n * b) as f64 / sys.cpu.flop_rate / speed);
         }
-        ctx.allreduce_f64(CommScope::World, &mut ax);
-        for (ri, (bv, av)) in r.iter_mut().zip(b_vec.iter().zip(&ax)) {
+        ctx.allreduce_f64(CommScope::World, &mut self.ax);
+        for (ri, (bv, av)) in self.r.iter_mut().zip(self.b_vec.iter().zip(&self.ax)) {
             *ri = bv - av;
         }
-        residual_inf = vec_inf_norm(&r);
-        iters += 1;
+        self.residual_inf = vec_inf_norm(&self.r);
+        self.iters += 1;
 
         // ---- the paper's stopping criterion (line 44) --------------------
-        let x_norm = vec_inf_norm(&x);
-        let threshold = 8.0 * n as f64 * f64::EPSILON * (2.0 * diag_norm * x_norm + b_norm);
-        if residual_inf < threshold {
-            converged = true;
-            break;
+        let x_norm = vec_inf_norm(&self.x);
+        let threshold =
+            8.0 * n as f64 * f64::EPSILON * (2.0 * self.diag_norm * x_norm + self.b_norm);
+        if self.residual_inf < threshold {
+            self.converged = true;
+            return;
         }
 
         // ---- forward fan-in solve: L̃·y = r ------------------------------
@@ -153,7 +248,7 @@ pub fn refine(
         // descending). Sweeps can share tags because the Allreduce between
         // them is a data-flow barrier and every message is consumed within
         // its sweep.
-        y_seg.fill(0.0);
+        self.y_seg.fill(0.0);
         for k in 0..n_b {
             let (kr, kc) = grid.owner_of_block(k, k);
             let i_own = (my_r, my_c) == (kr, kc);
@@ -161,18 +256,18 @@ pub fn refine(
                 continue; // only column-k owners participate in step k
             }
             let solved: Option<Vec<f64>> = if i_own {
-                let mut y: Vec<f64> = r[k * b..(k + 1) * b].to_vec();
+                let mut y: Vec<f64> = self.r[k * b..(k + 1) * b].to_vec();
                 for j in 0..k {
                     let src = grid.rank_of(kr, j % grid.p_c);
-                    let got = ctx.recv_f64(src, fwd_tags.at(k));
+                    let got = ctx.recv_f64(src, self.fwd_tags.at(k));
                     for (yi, ui) in y.iter_mut().zip(got) {
                         *yi -= ui;
                     }
                 }
-                let dk = diag_block(&my_diag_blocks, k);
+                let dk = diag_block(&self.my_diag_blocks, k);
                 trsv(Uplo::Lower, Diag::Unit, b, dk, b, &mut y);
                 ctx.charge((b * b) as f64 / sys.cpu.flop_rate / speed);
-                y_seg[k * b..(k + 1) * b].copy_from_slice(&y);
+                self.y_seg[k * b..(k + 1) * b].copy_from_slice(&y);
                 Some(y)
             } else {
                 None
@@ -181,10 +276,10 @@ pub fn refine(
             // Push L(k', k)·y_k to every later diagonal owner.
             push_contribs(
                 ctx,
-                local,
+                self.local,
                 sys,
                 speed,
-                fwd_tags,
+                self.fwd_tags,
                 b,
                 &dk,
                 ((k + 1)..n_b).filter(|kp| kp % grid.p_r == my_r),
@@ -193,7 +288,7 @@ pub fn refine(
         }
 
         // ---- backward fan-in solve: Ũ·d = y ------------------------------
-        d_seg.fill(0.0);
+        self.d_seg.fill(0.0);
         for k in (0..n_b).rev() {
             let (kr, kc) = grid.owner_of_block(k, k);
             let i_own = (my_r, my_c) == (kr, kc);
@@ -201,18 +296,18 @@ pub fn refine(
                 continue;
             }
             let solved: Option<Vec<f64>> = if i_own {
-                let mut y: Vec<f64> = y_seg[k * b..(k + 1) * b].to_vec();
+                let mut y: Vec<f64> = self.y_seg[k * b..(k + 1) * b].to_vec();
                 for j in k + 1..n_b {
                     let src = grid.rank_of(kr, j % grid.p_c);
-                    let got = ctx.recv_f64(src, bwd_tags.at(k));
+                    let got = ctx.recv_f64(src, self.bwd_tags.at(k));
                     for (yi, ui) in y.iter_mut().zip(got) {
                         *yi -= ui;
                     }
                 }
-                let dk = diag_block(&my_diag_blocks, k);
+                let dk = diag_block(&self.my_diag_blocks, k);
                 trsv(Uplo::Upper, Diag::NonUnit, b, dk, b, &mut y);
                 ctx.charge((b * b) as f64 / sys.cpu.flop_rate / speed);
-                d_seg[k * b..(k + 1) * b].copy_from_slice(&y);
+                self.d_seg[k * b..(k + 1) * b].copy_from_slice(&y);
                 Some(y)
             } else {
                 None
@@ -221,10 +316,10 @@ pub fn refine(
             // Push U(k', k)·x_k to every earlier diagonal owner.
             push_contribs(
                 ctx,
-                local,
+                self.local,
                 sys,
                 speed,
-                bwd_tags,
+                self.bwd_tags,
                 b,
                 &xk,
                 (0..k).filter(|kp| kp % grid.p_r == my_r),
@@ -233,24 +328,27 @@ pub fn refine(
         }
 
         // ---- x ← x + d (assemble the correction everywhere) -------------
-        ctx.allreduce_f64(CommScope::World, &mut d_seg);
-        for (xi, di) in x.iter_mut().zip(&d_seg) {
+        ctx.allreduce_f64(CommScope::World, &mut self.d_seg);
+        for (xi, di) in self.x.iter_mut().zip(&self.d_seg) {
             *xi += di;
         }
     }
 
-    let x_norm = vec_inf_norm(&x);
-    // ‖A‖∞ upper bound: the dominant diagonal plus the off-diagonal row sum
-    // bound (entries are U(-0.5, 0.5)).
-    let a_norm = diag_norm + 0.5 * (n as f64 - 1.0);
-    let scaled = residual_inf / (f64::EPSILON * (a_norm * x_norm + b_norm) * n as f64);
-    IrOutcome {
-        x,
-        iters,
-        converged,
-        residual_inf,
-        scaled_residual: scaled,
-        elapsed: ctx.now() - t_start,
+    fn finish(self, ctx: &mut RankCtx) -> IrOutcome {
+        let x_norm = vec_inf_norm(&self.x);
+        // ‖A‖∞ upper bound: the dominant diagonal plus the off-diagonal row
+        // sum bound (entries are U(-0.5, 0.5)).
+        let a_norm = self.diag_norm + 0.5 * (self.n as f64 - 1.0);
+        let scaled =
+            self.residual_inf / (f64::EPSILON * (a_norm * x_norm + self.b_norm) * self.n as f64);
+        IrOutcome {
+            x: self.x,
+            iters: self.iters,
+            converged: self.converged,
+            residual_inf: self.residual_inf,
+            scaled_residual: scaled,
+            elapsed: ctx.now() - self.t_start,
+        }
     }
 }
 

@@ -54,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod critical;
 pub mod factor;
 pub mod fault;
@@ -75,6 +76,7 @@ pub mod systems;
 pub mod trace;
 
 pub use cache::{CacheStats, MatrixCache, MatrixKey};
+pub use checkpoint::{CheckpointSpec, Snapshot, SnapshotError, SnapshotHeader};
 pub use factor::{FactorConfig, Fidelity, IterRecord};
 pub use fault::FaultPlan;
 pub use grid::{ProcessGrid, RankOrder};
@@ -91,8 +93,10 @@ pub use service::{
     ServiceReport, ServiceSummary, SolveService,
 };
 pub use solve::{
-    adjust_n, run, run_sequence, run_with_backend, try_adjust_n, ConfigError, RunConfig,
-    RunConfigBuilder, RunOutcome,
+    adjust_n, run, run_sequence, run_with_backend, snapshot_header, step_until_done, try_adjust_n,
+    CkptMeter, ConfigError, RunConfig, RunConfigBuilder, RunOutcome, Stepper,
 };
-pub use supervisor::{RecoveryPolicy, RunEvent, SupervisedOutcome, Supervisor};
+pub use supervisor::{
+    cost_recovery_ratio, recovery_ratio, RecoveryPolicy, RunEvent, SupervisedOutcome, Supervisor,
+};
 pub use systems::{frontier, summit, testbed, SystemSpec};

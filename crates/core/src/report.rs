@@ -58,6 +58,18 @@ pub struct PerfReport {
     /// scheduling itself (delivery, idling, fiber switches) rather than
     /// rank execution. Host provenance; 0.0 when unmeasured.
     pub sched_overhead: f64,
+    /// Modeled bytes drained to panel-boundary checkpoints, summed over
+    /// all ranks (0 when checkpointing was off). Provenance like
+    /// `sched_overhead`: a restarted run re-drains only its tail, so the
+    /// field is excluded from simulated-quantity equality and stripped by
+    /// [`Self::without_host_timing`].
+    pub checkpoint_bytes: u64,
+    /// Simulated seconds the slowest rank spent draining checkpoints
+    /// (0.0 when checkpointing was off). Provenance like `sched_overhead`.
+    pub checkpoint_time: f64,
+    /// How many times this outcome resumed from a snapshot (0 = ran from
+    /// panel 0). Provenance like `sched_overhead`.
+    pub restart_count: usize,
 }
 
 /// Equality covers the *simulated* quantities only: `wall_vs_virtual_time`
@@ -99,6 +111,9 @@ impl PerfReport {
             simd_isa: "",
             event_shards: 0,
             sched_overhead: 0.0,
+            checkpoint_bytes: 0,
+            checkpoint_time: 0.0,
+            restart_count: 0,
         }
     }
 
@@ -141,6 +156,16 @@ impl PerfReport {
         self
     }
 
+    /// Records checkpoint/restart provenance: modeled drain bytes (all
+    /// ranks), slowest-rank drain seconds, and how many snapshot resumes
+    /// produced this outcome.
+    pub fn with_checkpoint(mut self, bytes: u64, time: f64, restarts: usize) -> Self {
+        self.checkpoint_bytes = bytes;
+        self.checkpoint_time = time;
+        self.restart_count = restarts;
+        self
+    }
+
     /// The same report with the host-dependent columns cleared.
     /// Deterministic consumers — the supervision event log, golden
     /// snapshots — carry only simulated quantities; `wall_vs_virtual_time`
@@ -151,6 +176,9 @@ impl PerfReport {
         self.simd_isa = "";
         self.event_shards = 0;
         self.sched_overhead = 0.0;
+        self.checkpoint_bytes = 0;
+        self.checkpoint_time = 0.0;
+        self.restart_count = 0;
         self
     }
 
@@ -253,6 +281,34 @@ mod tests {
         assert_eq!(
             r,
             PerfReport::new(1024, 4, 1.0, 0.8, 0.2).with_scheduler(7, 0.5)
+        );
+    }
+
+    #[test]
+    fn checkpoint_stats_are_provenance_only() {
+        let r = PerfReport::new(1024, 4, 1.0, 0.8, 0.2).with_checkpoint(4096, 0.25, 1);
+        // Serialized for humans and tools...
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"checkpoint_bytes\":4096"));
+        assert!(json.contains("\"checkpoint_time\":0.25"));
+        assert!(json.contains("\"restart_count\":1"));
+        // ...stripped from deterministic snapshots...
+        let bare = r.without_host_timing();
+        assert_eq!(
+            (
+                bare.checkpoint_bytes,
+                bare.checkpoint_time,
+                bare.restart_count
+            ),
+            (0, 0.0, 0)
+        );
+        // ...and invisible to simulated-quantity equality: a restarted run
+        // re-drains only its tail, so the determinism suites comparing
+        // restarted against uninterrupted outcomes must not see these.
+        assert_eq!(r, r.without_host_timing());
+        assert_eq!(
+            r,
+            PerfReport::new(1024, 4, 1.0, 0.8, 0.2).with_checkpoint(9999, 7.5, 3)
         );
     }
 

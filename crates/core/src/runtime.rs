@@ -441,6 +441,10 @@ pub enum CommOp {
     Allreduce,
     /// Barrier.
     Barrier,
+    /// Checkpoint I/O: draining a panel-boundary snapshot of the local
+    /// factorization state to stable storage (modeled, charged to the
+    /// rank's clock so the cost shows up in the Chrome timeline).
+    Checkpoint,
 }
 
 impl CommOp {
@@ -452,6 +456,7 @@ impl CommOp {
             CommOp::Bcast => "bcast",
             CommOp::Allreduce => "allreduce",
             CommOp::Barrier => "barrier",
+            CommOp::Checkpoint => "checkpoint",
         }
     }
 }
@@ -649,6 +654,14 @@ impl RankCtx {
         self.comm.wait_total()
     }
 
+    /// Re-seats the cumulative wait counter from a checkpoint. Per-op
+    /// waits are reported as `wait_total()` deltas; a resumed rank must
+    /// accumulate onto the snapshot's bit pattern or those deltas drift
+    /// by ULPs from the uninterrupted run's.
+    pub fn restore_wait_total(&mut self, w: f64) {
+        self.comm.restore_wait_total(w);
+    }
+
     /// Cumulative hidden-overlap seconds credited to this rank.
     pub fn hidden_total(&self) -> f64 {
         self.comm.hidden_total()
@@ -663,6 +676,26 @@ impl RankCtx {
     /// Advances this rank's simulated clock by `dt` seconds of local work.
     pub fn charge(&mut self, dt: f64) {
         self.comm.charge(dt);
+    }
+
+    /// Charges `dt` seconds of checkpoint I/O for a `bytes`-sized local
+    /// snapshot and records it as a [`CommOp::Checkpoint`] event, so the
+    /// drain cost is visible in the Chrome timeline next to the
+    /// communication lanes it competes with.
+    pub fn charge_checkpoint(&mut self, bytes: u64, dt: f64) {
+        let ts = self.comm.now();
+        self.comm.charge(dt);
+        if self.tracing {
+            self.trace.push(CommEvent {
+                op: CommOp::Checkpoint,
+                scope: None,
+                ts,
+                busy: dt,
+                waited: 0.0,
+                hidden: 0.0,
+                bytes,
+            });
+        }
     }
 
     /// Allocates a named range of point-to-point tags; every rank

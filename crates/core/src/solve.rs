@@ -7,13 +7,16 @@
 //! a typed [`ConfigError`] instead of panicking mid-run.
 
 use crate::cache::MatrixCache;
-use crate::factor::{factor_cached, FactorConfig, Fidelity, IterRecord};
+use crate::checkpoint::{
+    fnv1a, CheckpointSpec, RunCheckpointer, Snapshot, SnapshotHeader, DRIVER_FACTOR,
+};
+use crate::factor::{FactorConfig, FactorState, Fidelity, IterRecord};
 use crate::fault::FaultPlan;
 use crate::grid::ProcessGrid;
 use crate::ir::{ir_time_model, refine};
 use crate::msg::TrailingPrecision;
 use crate::report::PerfReport;
-use crate::runtime::{Backend, BackendError, CommBackend, RankCtx};
+use crate::runtime::{Backend, BackendError, CommBackend, CommScope, RankCtx};
 use crate::systems::SystemSpec;
 use mxp_gpusim::GcdFleet;
 use mxp_msgsim::{BcastAlgo, WorldSpec};
@@ -60,6 +63,14 @@ pub struct RunConfig {
     /// clocks, signatures, and solutions are bitwise identical at any
     /// value. Ignored by the thread backend.
     pub event_shards: usize,
+    /// Panel-boundary checkpointing: where, how often, at what modeled
+    /// bandwidth. `None` — the default — takes no snapshots and leaves
+    /// the schedule byte-identical to builds without this feature.
+    pub checkpoint: Option<CheckpointSpec>,
+    /// Resume from this validated panel-boundary snapshot instead of
+    /// panel 0. Restarted runs are bit-identical, from the boundary on,
+    /// to the (same checkpoint-configured) run that drained the snapshot.
+    pub restart: Option<Arc<Snapshot>>,
 }
 
 /// A configuration error detected by [`RunConfigBuilder::build`].
@@ -100,6 +111,12 @@ pub enum ConfigError {
         /// Ranks in the grid.
         ranks: usize,
     },
+    /// A restart snapshot belongs to a different run: the named header
+    /// field disagrees with this configuration.
+    SnapshotMismatch {
+        /// Which snapshot/config field disagrees.
+        field: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -126,6 +143,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::FaultTargetOutOfRange { gcd, ranks } => {
                 write!(f, "fault targets GCD {gcd} outside the {ranks}-rank grid")
+            }
+            ConfigError::SnapshotMismatch { field } => {
+                write!(
+                    f,
+                    "restart snapshot does not match this run config: {field}"
+                )
             }
         }
     }
@@ -199,6 +222,20 @@ impl RunConfigBuilder {
         self
     }
 
+    /// Enables panel-boundary checkpointing.
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.cfg.checkpoint = Some(spec);
+        self
+    }
+
+    /// Resumes the run from a validated panel-boundary snapshot.
+    /// [`Self::build`] cross-checks the snapshot header against the
+    /// configuration and rejects mismatches with a typed error.
+    pub fn restart_from(mut self, snap: Arc<Snapshot>) -> Self {
+        self.cfg.restart = Some(snap);
+        self
+    }
+
     /// Validates the configuration, returning a typed error instead of a
     /// mid-run panic.
     pub fn build(self) -> Result<RunConfig, ConfigError> {
@@ -239,6 +276,35 @@ impl RunConfigBuilder {
                 return Err(ConfigError::FaultTargetOutOfRange { gcd: f.gcd, ranks });
             }
         }
+        if let Some(snap) = cfg.restart.as_deref() {
+            let h = &snap.header;
+            let mismatch = |field| Err(ConfigError::SnapshotMismatch { field });
+            if h.driver != DRIVER_FACTOR {
+                return mismatch("driver");
+            }
+            if h.fidelity != fidelity_tag(cfg.fidelity) {
+                return mismatch("fidelity");
+            }
+            if h.n != cfg.n as u64 || h.b != cfg.b as u64 {
+                return mismatch("problem size");
+            }
+            if h.p_r != grid.p_r as u64 || h.p_c != grid.p_c as u64 {
+                return mismatch("process grid");
+            }
+            if h.ranks != ranks as u64 || snap.clocks.len() != ranks || snap.sections.len() != ranks
+            {
+                return mismatch("rank count");
+            }
+            if h.seed != cfg.seed {
+                return mismatch("seed");
+            }
+            if h.config_tag != config_tag(&cfg) {
+                return mismatch("algorithm knobs");
+            }
+            if h.k as usize >= cfg.n / cfg.b {
+                return mismatch("panel cursor");
+            }
+        }
         Ok(cfg)
     }
 
@@ -268,6 +334,8 @@ impl RunConfig {
                 faults: FaultPlan::new(),
                 cache: None,
                 event_shards: 0,
+                checkpoint: None,
+                restart: None,
             },
         }
     }
@@ -303,6 +371,142 @@ impl RunConfig {
         spec.event_shards = self.event_shards;
         spec
     }
+}
+
+/// Fidelity tag stored in snapshot headers (0 functional, 1 timing).
+pub(crate) fn fidelity_tag(f: Fidelity) -> u8 {
+    match f {
+        Fidelity::Functional => 0,
+        Fidelity::Timing => 1,
+    }
+}
+
+/// FNV-1a tag over the run knobs a restart must agree on beyond the
+/// dimensioned header fields: broadcast algorithm, look-ahead, and panel
+/// precision all change the schedule (and the panel bits), so resuming
+/// under different ones would silently break the bitwise contract.
+pub(crate) fn config_tag(cfg: &RunConfig) -> u64 {
+    let desc = format!("{:?}|{}|{:?}", cfg.algo, cfg.lookahead, cfg.prec);
+    fnv1a(desc.as_bytes())
+}
+
+/// The snapshot-header template (cursor 0) describing `cfg`'s
+/// factorization run — what [`run`] hands the checkpointer, and what a
+/// harness driving [`step_until_done`] directly needs to build its own
+/// [`crate::checkpoint::RunCheckpointer`].
+pub fn snapshot_header(cfg: &RunConfig) -> SnapshotHeader {
+    SnapshotHeader {
+        driver: DRIVER_FACTOR,
+        fidelity: fidelity_tag(cfg.fidelity),
+        k: 0,
+        n: cfg.n as u64,
+        b: cfg.b as u64,
+        p_r: cfg.grid.p_r as u64,
+        p_c: cfg.grid.p_c as u64,
+        ranks: cfg.grid.size() as u64,
+        seed: cfg.seed,
+        config_tag: config_tag(cfg),
+    }
+}
+
+/// A distributed driver decomposed into explicit, resumable panel steps.
+///
+/// "Run to completion" is [`step_until_done`]; checkpointing and restart
+/// ride on the same seam: at a panel boundary the shared loop calls
+/// [`Stepper::drain`] (quiesce in-flight communication posture), charges
+/// the modeled drain cost, and collects [`Stepper::encode`] sections into
+/// a [`Snapshot`]. Drivers own their algorithm; the loop owns the
+/// boundary protocol — steppers never talk to the checkpointer directly.
+pub trait Stepper {
+    /// What the driven-to-completion driver produces on this rank.
+    type Output;
+
+    /// Steps completed so far (the distributed panel cursor).
+    fn cursor(&self) -> usize;
+
+    /// `true` when no steps remain and [`Stepper::finish`] may run.
+    fn done(&self) -> bool;
+
+    /// Advances one panel step, charging the rank's clock through `ctx`.
+    fn step(&mut self, ctx: &mut RankCtx);
+
+    /// Quiesces in-flight state (joins posted broadcasts, applies pending
+    /// look-ahead panels) so [`Stepper::encode`] observes a pure function
+    /// of the cursor. Default: nothing is ever in flight.
+    fn drain(&mut self, _ctx: &mut RankCtx) {}
+
+    /// Appends this rank's resumable state to a snapshot section. Called
+    /// only at a boundary, after [`Stepper::drain`].
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    /// Modeled bytes of one checkpoint drain on this rank; `0` — the
+    /// default — opts the driver out of checkpointing entirely.
+    fn checkpoint_bytes(&self) -> u64 {
+        0
+    }
+
+    /// Consumes the stepper: completes trailing work (final joins,
+    /// copy-backs, solves) and produces the rank's output.
+    fn finish(self, ctx: &mut RankCtx) -> Self::Output
+    where
+        Self: Sized;
+}
+
+/// Checkpoint activity of one rank over one driven run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CkptMeter {
+    /// Modeled bytes drained by this rank.
+    pub bytes: u64,
+    /// Simulated seconds this rank's clock was charged for drains.
+    pub time: f64,
+    /// Snapshots this rank contributed to.
+    pub count: usize,
+}
+
+/// Drives a [`Stepper`] to completion — the shared loop all three
+/// distributed drivers now run under.
+///
+/// With a checkpointer attached, every boundary the spec's interval
+/// selects (and that is not the final cursor) runs the drain protocol:
+/// quiesce, charge the modeled drain at the spec bandwidth (traced as a
+/// [`crate::CommOp::Checkpoint`] event), synchronize, then deposit this
+/// rank's encoded section — the last rank to deposit writes the snapshot
+/// file atomically. The charge is identical on every rank and at both
+/// fidelities, so checkpoint-configured runs keep all determinism
+/// invariants (backends, shard counts, functional-vs-timing clocks).
+pub fn step_until_done<S: Stepper>(
+    ctx: &mut RankCtx,
+    mut state: S,
+    ckpt: Option<&RunCheckpointer>,
+) -> (S::Output, CkptMeter) {
+    let mut meter = CkptMeter::default();
+    while !state.done() {
+        state.step(ctx);
+        if let Some(ck) = ckpt {
+            if !state.done() && ck.due(state.cursor()) {
+                let bytes = state.checkpoint_bytes();
+                if bytes > 0 {
+                    state.drain(ctx);
+                    let dt = bytes as f64 / ck.io_bw();
+                    ctx.charge_checkpoint(bytes, dt);
+                    ctx.barrier(CommScope::World);
+                    let mut section = Vec::new();
+                    state.encode(&mut section);
+                    ck.deposit(
+                        state.cursor(),
+                        ctx.rank(),
+                        ctx.now(),
+                        ctx.wait_total(),
+                        section,
+                    );
+                    meter.bytes += bytes;
+                    meter.time += dt;
+                    meter.count += 1;
+                }
+            }
+        }
+    }
+    (state.finish(ctx), meter)
 }
 
 /// Runs `f` once per rank of `cfg`'s grid on the configured backend,
@@ -369,6 +573,7 @@ struct RankResult {
     records: Vec<IterRecord>,
     comm_bytes: u64,
     comm_wait: f64,
+    ckpt: CkptMeter,
 }
 
 /// Executes a full benchmark run and aggregates the outcome.
@@ -384,6 +589,11 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         prec: cfg.prec,
     };
     let n_b = cfg.n / cfg.b;
+    let ckpt: Option<Arc<RunCheckpointer>> = cfg.checkpoint.as_ref().map(|spec| {
+        let ck = RunCheckpointer::new(spec.clone(), snapshot_header(cfg))
+            .unwrap_or_else(|e| panic!("checkpoint dir {}: {e}", spec.dir.display()));
+        Arc::new(ck)
+    });
 
     let started = std::time::Instant::now();
     let mut results: Vec<RankResult> = run_with_backend(cfg, |ctx| {
@@ -396,7 +606,15 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         // IR runs after the factorization: charge it at the end-of-run
         // effective speed.
         let ir_speed = speed.at(n_b);
-        let out = factor_cached(ctx, &cfg.sys, &fcfg, speed, cfg.cache.as_deref());
+        let state = match cfg.restart.as_deref() {
+            // The builder validated the header; a section that still fails
+            // to decode is a corrupted file that somehow passed its
+            // checksum — loud is better than subtly wrong.
+            Some(snap) => FactorState::resume(ctx, &cfg.sys, &fcfg, speed, snap)
+                .unwrap_or_else(|e| panic!("resume from snapshot: {e}")),
+            None => FactorState::new(ctx, &cfg.sys, &fcfg, speed, cfg.cache.as_deref()),
+        };
+        let (out, ckpt_meter) = step_until_done(ctx, state, ckpt.as_deref());
         let mut result = match cfg.fidelity {
             Fidelity::Functional => {
                 let local = out.local.as_ref().expect("functional run keeps factors");
@@ -412,6 +630,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                     records: out.records,
                     comm_bytes: 0,
                     comm_wait: 0.0,
+                    ckpt: ckpt_meter,
                 }
             }
             Fidelity::Timing => {
@@ -430,6 +649,7 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
                     records: out.records,
                     comm_bytes: 0,
                     comm_wait: 0.0,
+                    ckpt: ckpt_meter,
                 }
             }
         };
@@ -455,10 +675,13 @@ pub fn run(cfg: &RunConfig) -> RunOutcome {
         / results.len() as f64;
     let comm_bytes = results.iter().map(|r| r.comm_bytes).sum::<u64>();
     let comm_wait = results.iter().map(|r| r.comm_wait).fold(0.0, f64::max);
+    let ckpt_bytes = results.iter().map(|r| r.ckpt.bytes).sum::<u64>();
+    let ckpt_time = results.iter().map(|r| r.ckpt.time).fold(0.0, f64::max);
     RunOutcome {
         perf: PerfReport::new(cfg.n, grid.size(), runtime, factor_time, ir_time)
             .with_overlap(hidden)
             .with_comm(comm_bytes, comm_wait)
+            .with_checkpoint(ckpt_bytes, ckpt_time, usize::from(cfg.restart.is_some()))
             .with_backend(
                 cfg.backend,
                 grid.size(),

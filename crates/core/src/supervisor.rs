@@ -19,6 +19,9 @@
 //! truncated cost — exactly the time a real early termination would have
 //! saved.
 
+use crate::checkpoint::{latest_in, Snapshot};
+use crate::factor::regrid_snapshot;
+use crate::grid::ProcessGrid;
 use crate::progress::ProgressMonitor;
 use crate::report::PerfReport;
 use crate::scan::scan_fleet;
@@ -26,6 +29,7 @@ use crate::solve::{run, RunConfig, RunOutcome};
 use mxp_gpusim::GcdFleet;
 use serde::{write_json_string, Serialize};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// What the supervisor does when the monitor demands termination.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +44,27 @@ pub enum RecoveryPolicy {
         scan_threshold: f64,
         /// Maximum rerun attempts before giving up.
         max_reruns: usize,
+    },
+    /// Abort, scan and exclude slow GCDs as in
+    /// [`RecoveryPolicy::AbortAndRerun`], but resume the rerun from the
+    /// last panel-boundary checkpoint written before the abort instead of
+    /// restarting from scratch. Requires the run to be configured with
+    /// [`crate::solve::RunConfigBuilder::checkpoint`]; when no loadable
+    /// snapshot exists (none written yet, or the file is corrupt) the
+    /// rerun falls back to a full restart and says so in the event log.
+    RestartFromCheckpoint {
+        /// Relative-to-median gate of the post-incident scan (e.g. 1.15).
+        scan_threshold: f64,
+        /// Maximum restart attempts before giving up.
+        max_restarts: usize,
+        /// Re-grid the survivors instead of swapping in spares: the
+        /// faulted rank's process-grid column is dropped, the checkpointed
+        /// tiles are re-dealt block-cyclically onto the shrunken grid
+        /// ([`regrid_snapshot`]), and the run finishes on what is left.
+        /// Falls back to a same-grid restart when the new grid cannot hold
+        /// the matrix (block-divisibility) or the grid has a single
+        /// column.
+        elastic: bool,
     },
     /// Abort and resubmit the identical job after a backoff, hoping the
     /// fault was transient (at most `max_retries` times).
@@ -103,6 +128,34 @@ pub enum RunEvent {
         /// The excluded GCD indices.
         gcds: Vec<usize>,
     },
+    /// A panel-boundary checkpoint was located and validated for restart.
+    CheckpointLoaded {
+        /// Attempt the load follows (the aborted one).
+        attempt: usize,
+        /// Panel cursor the snapshot was taken at.
+        k: usize,
+        /// Path of the snapshot file.
+        path: String,
+    },
+    /// No usable checkpoint: none on disk, the file failed validation
+    /// (corrupt, truncated), or an elastic re-grid was infeasible — the
+    /// rerun starts from scratch.
+    CheckpointRejected {
+        /// Attempt the rejection follows.
+        attempt: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The rerun resumes mid-factorization from a checkpoint.
+    Restarted {
+        /// The new attempt number.
+        attempt: usize,
+        /// Panel cursor the attempt resumes at.
+        from_k: usize,
+        /// Ranks of the resumed grid (smaller than the original after an
+        /// elastic re-grid).
+        ranks: usize,
+    },
     /// The identical job was resubmitted after a backoff.
     Retried {
         /// The new attempt number.
@@ -142,6 +195,9 @@ impl RunEvent {
             RunEvent::EarlyTermination { .. } => "early_termination",
             RunEvent::ScanCompleted { .. } => "scan_completed",
             RunEvent::Excluded { .. } => "excluded",
+            RunEvent::CheckpointLoaded { .. } => "checkpoint_loaded",
+            RunEvent::CheckpointRejected { .. } => "checkpoint_rejected",
+            RunEvent::Restarted { .. } => "restarted",
             RunEvent::Retried { .. } => "retried",
             RunEvent::Degraded { .. } => "degraded",
             RunEvent::RunCompleted { .. } => "run_completed",
@@ -178,6 +234,24 @@ impl Serialize for RunEvent {
             }
             RunEvent::Excluded { attempt, gcds } => {
                 let _ = write!(out, ",\"attempt\":{attempt},\"gcds\":{gcds:?}");
+            }
+            RunEvent::CheckpointLoaded { attempt, k, path } => {
+                let _ = write!(out, ",\"attempt\":{attempt},\"k\":{k},\"path\":");
+                write_json_string(path, out);
+            }
+            RunEvent::CheckpointRejected { attempt, reason } => {
+                let _ = write!(out, ",\"attempt\":{attempt},\"reason\":");
+                write_json_string(reason, out);
+            }
+            RunEvent::Restarted {
+                attempt,
+                from_k,
+                ranks,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"attempt\":{attempt},\"from_k\":{from_k},\"ranks\":{ranks}"
+                );
             }
             RunEvent::Retried { attempt, backoff } => {
                 let _ = write!(out, ",\"attempt\":{attempt},\"backoff\":{backoff}");
@@ -265,6 +339,20 @@ impl Supervisor {
         }
     }
 
+    /// A supervisor that recovers by resuming from the last panel-boundary
+    /// checkpoint (the resilience workflow; set `elastic` to finish on the
+    /// surviving ranks instead of swapping in spares).
+    pub fn with_restart(scan_threshold: f64, max_restarts: usize, elastic: bool) -> Self {
+        Supervisor {
+            monitor: ProgressMonitor::default(),
+            policy: RecoveryPolicy::RestartFromCheckpoint {
+                scan_threshold,
+                max_restarts,
+                elastic,
+            },
+        }
+    }
+
     fn analyze(&self, cfg: &RunConfig, out: &RunOutcome, attempt: usize) -> Analysis {
         let dev = &cfg.sys.gcd;
         let mut alerts: Vec<(usize, RunEvent)> = Vec::new();
@@ -326,6 +414,10 @@ impl Supervisor {
         let mut attempt = 1;
         let mut total_cost = 0.0;
         let mut detection_iter = None;
+        // Simulated clock a restarted attempt resumes at: its completed
+        // runtime *includes* the restored pre-checkpoint clock, which the
+        // aborted attempt already paid for, so only the tail is charged.
+        let mut restart_offset = 0.0;
         let mut backoff = match self.policy {
             RecoveryPolicy::RetryWithBackoff { backoff, .. } => backoff,
             _ => 0.0,
@@ -346,7 +438,7 @@ impl Supervisor {
             events.extend(analysis.alerts.iter().cloned());
 
             if !analysis.terminate {
-                total_cost += out.perf.runtime;
+                total_cost += out.perf.runtime - restart_offset;
                 events.push(RunEvent::RunCompleted {
                     attempt,
                     perf: out.perf.without_host_timing(),
@@ -464,6 +556,168 @@ impl Supervisor {
                     });
                     attempt += 1;
                 }
+                RecoveryPolicy::RestartFromCheckpoint {
+                    scan_threshold,
+                    max_restarts,
+                    elastic,
+                } => {
+                    if attempt > max_restarts {
+                        events.push(RunEvent::GaveUp { attempts: attempt });
+                        return SupervisedOutcome {
+                            events,
+                            outcome: out,
+                            attempts: attempt,
+                            detection_iter,
+                            total_cost,
+                            recovered: false,
+                        };
+                    }
+                    // Scan and identify the sick hardware, exactly as the
+                    // full-rerun workflow does.
+                    let effective = cfg.faults.effective_fleet(
+                        cfg.fleet.as_ref(),
+                        cfg.grid.size(),
+                        analysis.abort_k,
+                    );
+                    let scan =
+                        scan_fleet(&cfg.sys.gcd, &effective, 8 * cfg.b, cfg.b, scan_threshold);
+                    total_cost += scan.median_time;
+                    events.push(RunEvent::ScanCompleted {
+                        attempt,
+                        flagged: scan.slow.clone(),
+                    });
+                    if scan.slow.is_empty() {
+                        events.push(RunEvent::GaveUp { attempts: attempt });
+                        return SupervisedOutcome {
+                            events,
+                            outcome: out,
+                            attempts: attempt,
+                            detection_iter,
+                            total_cost,
+                            recovered: false,
+                        };
+                    }
+
+                    // Locate the newest snapshot taken before the abort —
+                    // faults are virtual, so files written *after* the
+                    // fault bit also sit on disk and must be skipped.
+                    restart_offset = 0.0;
+                    cfg.restart = None;
+                    let located = cfg
+                        .checkpoint
+                        .as_ref()
+                        .and_then(|spec| latest_in(&spec.dir, analysis.abort_k))
+                        .map(|path| (Snapshot::load(&path), path));
+                    let mut snap = match located {
+                        Some((Ok(s), path)) => {
+                            events.push(RunEvent::CheckpointLoaded {
+                                attempt,
+                                k: s.header.k as usize,
+                                path: path.display().to_string(),
+                            });
+                            Some(s)
+                        }
+                        Some((Err(e), path)) => {
+                            events.push(RunEvent::CheckpointRejected {
+                                attempt,
+                                reason: format!("{}: {e}", path.display()),
+                            });
+                            None
+                        }
+                        None => {
+                            events.push(RunEvent::CheckpointRejected {
+                                attempt,
+                                reason: "no checkpoint on disk before the abort".into(),
+                            });
+                            None
+                        }
+                    };
+
+                    let mut regridded = false;
+                    if elastic {
+                        if let Some(s) = snap.take() {
+                            // Drop the faulted rank's process-grid column
+                            // and re-deal the checkpointed tiles onto the
+                            // survivors.
+                            let fail_col = cfg.grid.coord_of(scan.slow[0]).1;
+                            let attempt_regrid = if cfg.grid.p_c > 1 {
+                                let new_size = cfg.grid.p_r * (cfg.grid.p_c - 1);
+                                let q = cfg.grid.gcds_per_node();
+                                let q2 = if q > 0 && new_size.is_multiple_of(q) {
+                                    q
+                                } else {
+                                    1
+                                };
+                                let new_grid =
+                                    ProcessGrid::col_major(cfg.grid.p_r, cfg.grid.p_c - 1, q2);
+                                regrid_snapshot(&s, &cfg.grid, &new_grid).map(|rs| (rs, new_grid))
+                            } else {
+                                Err(crate::checkpoint::SnapshotError::ConfigMismatch(
+                                    "single-column grid",
+                                ))
+                            };
+                            match attempt_regrid {
+                                Ok((rs, new_grid)) => {
+                                    let dropped: Vec<usize> = (0..cfg.grid.size())
+                                        .filter(|&r| cfg.grid.coord_of(r).1 == fail_col)
+                                        .collect();
+                                    cfg.faults = cfg.faults.without_gcds(&dropped);
+                                    events.push(RunEvent::Excluded {
+                                        attempt,
+                                        gcds: dropped,
+                                    });
+                                    cfg.grid = new_grid;
+                                    cfg.fleet = None;
+                                    restart_offset = rs.max_clock();
+                                    let from_k = rs.header.k as usize;
+                                    cfg.restart = Some(Arc::new(rs));
+                                    events.push(RunEvent::Restarted {
+                                        attempt: attempt + 1,
+                                        from_k,
+                                        ranks: cfg.grid.size(),
+                                    });
+                                    regridded = true;
+                                }
+                                Err(e) => {
+                                    events.push(RunEvent::CheckpointRejected {
+                                        attempt,
+                                        reason: format!(
+                                            "elastic re-grid infeasible ({e}); same-grid restart"
+                                        ),
+                                    });
+                                    snap = Some(s);
+                                }
+                            }
+                        }
+                    }
+
+                    if !regridded {
+                        // Same-grid restart: swap the slow GCDs for spares
+                        // (the full-rerun exclusion), then resume from the
+                        // snapshot if one survived validation.
+                        let base = cfg
+                            .fleet
+                            .clone()
+                            .unwrap_or_else(|| GcdFleet::uniform(cfg.grid.size()));
+                        cfg.fleet = Some(base.replacing(&scan.slow));
+                        cfg.faults = cfg.faults.without_gcds(&scan.slow);
+                        events.push(RunEvent::Excluded {
+                            attempt,
+                            gcds: scan.slow,
+                        });
+                        if let Some(s) = snap {
+                            restart_offset = s.max_clock();
+                            let from_k = s.header.k as usize;
+                            cfg.restart = Some(Arc::new(s));
+                            events.push(RunEvent::Restarted {
+                                attempt: attempt + 1,
+                                from_k,
+                                ranks: cfg.grid.size(),
+                            });
+                        }
+                    }
+                    attempt += 1;
+                }
                 RecoveryPolicy::RetryWithBackoff { max_retries, .. } => {
                     if attempt > max_retries {
                         events.push(RunEvent::GaveUp { attempts: attempt });
@@ -490,6 +744,16 @@ impl Supervisor {
 /// outcome recovered (1.0 = full recovery).
 pub fn recovery_ratio(supervised: &SupervisedOutcome, baseline: &RunOutcome) -> f64 {
     supervised.outcome.perf.gflops_per_gcd / baseline.perf.gflops_per_gcd
+}
+
+/// Cost-based recovery ratio: the fault-free baseline runtime divided by
+/// everything the supervised campaign actually spent — truncated attempts,
+/// scans, backoffs, and restarted tails. `1.0` means the incident was free;
+/// a checkpoint restart must score strictly above a full rerun of the same
+/// incident because its final attempt pays only for the panels after the
+/// snapshot.
+pub fn cost_recovery_ratio(supervised: &SupervisedOutcome, baseline: &RunOutcome) -> f64 {
+    baseline.perf.runtime / supervised.total_cost
 }
 
 #[cfg(test)]
@@ -590,6 +854,98 @@ mod tests {
             .any(|e| matches!(e, RunEvent::GaveUp { .. })));
         // Backoff is charged: 60 + 120.
         assert!(out.total_cost > 180.0);
+    }
+
+    fn ckpt_cfg(dir: &std::path::Path, spec: Option<&str>) -> RunConfig {
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let mut bld = RunConfig::timing(testbed(1, 4), grid, 2048, 128)
+            .checkpoint(crate::checkpoint::CheckpointSpec::new(dir, 4));
+        if let Some(s) = spec {
+            bld = bld.faults(FaultPlan::new().parse_spec(s, 0).unwrap());
+        }
+        bld.build().unwrap()
+    }
+
+    #[test]
+    fn checkpoint_restart_beats_full_rerun() {
+        let dir = std::env::temp_dir().join(format!("hplai-sup-restart-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = ckpt_cfg(&dir, Some("degrade:4x:k8:g2"));
+        let restart = Supervisor::with_restart(1.15, 2, false).supervise(&cfg);
+        assert!(restart.recovered, "events: {:?}", restart.events);
+        assert!(restart
+            .events
+            .iter()
+            .any(|e| matches!(e, RunEvent::CheckpointLoaded { .. })));
+        assert!(restart
+            .events
+            .iter()
+            .any(|e| matches!(e, RunEvent::Restarted { from_k, .. } if *from_k > 0)));
+        // The same incident handled by the from-scratch rerun workflow.
+        let rerun = Supervisor::with_rerun(1.15, 2).supervise(&cfg);
+        assert!(rerun.recovered, "events: {:?}", rerun.events);
+        assert!(
+            restart.total_cost < rerun.total_cost,
+            "restart cost {} must beat full-rerun cost {}",
+            restart.total_cost,
+            rerun.total_cost
+        );
+        let baseline = run(&clean_cfg());
+        assert!(cost_recovery_ratio(&restart, &baseline) > cost_recovery_ratio(&rerun, &baseline));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_full_rerun() {
+        let dir = std::env::temp_dir().join(format!("hplai-sup-corrupt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // Plant a corrupt snapshot; interval 0 keeps the attempts from
+        // atomically writing fresh (valid) files over it.
+        let mut junk = b"HPLAICKP".to_vec();
+        junk.extend_from_slice(&[0x55u8; 64]);
+        std::fs::write(dir.join("ckpt_000004.bin"), junk).unwrap();
+        let grid = ProcessGrid::col_major(2, 2, 4);
+        let cfg = RunConfig::timing(testbed(1, 4), grid, 2048, 128)
+            .checkpoint(crate::checkpoint::CheckpointSpec::new(&dir, 0))
+            .faults(FaultPlan::new().parse_spec("degrade:4x:k8:g2", 0).unwrap())
+            .build()
+            .unwrap();
+        let out = Supervisor::with_restart(1.15, 2, false).supervise(&cfg);
+        // The snapshot is rejected with a typed reason, and recovery still
+        // succeeds via the full-rerun fallback.
+        assert!(
+            out.events
+                .iter()
+                .any(|e| matches!(e, RunEvent::CheckpointRejected { .. })),
+            "events: {:?}",
+            out.events
+        );
+        assert!(
+            !out.events
+                .iter()
+                .any(|e| matches!(e, RunEvent::Restarted { .. })),
+            "a corrupt snapshot must not be resumed from"
+        );
+        assert!(out.recovered, "events: {:?}", out.events);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn elastic_restart_finishes_on_survivors() {
+        let dir = std::env::temp_dir().join(format!("hplai-sup-elastic-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = ckpt_cfg(&dir, Some("degrade:4x:k8:g2"));
+        let out = Supervisor::with_restart(1.15, 2, true).supervise(&cfg);
+        assert!(out.recovered, "events: {:?}", out.events);
+        // GCD 2 sits in grid column 1 (col-major 2×2): that column is
+        // dropped and the run finishes on the surviving 2 ranks.
+        assert!(out
+            .events
+            .iter()
+            .any(|e| matches!(e, RunEvent::Restarted { ranks: 2, from_k, .. } if *from_k > 0)));
+        assert_eq!(out.outcome.perf.simulated_ranks, 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

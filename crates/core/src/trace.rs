@@ -140,11 +140,13 @@ pub fn comm_chrome_trace(events: &[CommEvent], rank: usize) -> String {
             CommOp::Send => 7,
             CommOp::Recv => 8,
             CommOp::Barrier => 9,
+            CommOp::Checkpoint => 10,
         };
         let scope = match ev.scope {
             Some(CommScope::Row) => "row",
             Some(CommScope::Col) => "col",
             Some(CommScope::World) => "world",
+            None if ev.op == CommOp::Checkpoint => "local",
             None => "p2p",
         };
         if !first {

@@ -316,6 +316,16 @@ impl<M: Send + 'static> Comm<M> {
         self.wait_total
     }
 
+    /// Re-seats the accumulated wait counter to a checkpointed value.
+    /// Per-op waits are extracted as `wait_total() - w0` deltas, and
+    /// floating-point subtraction is not associative — a resumed rank must
+    /// accumulate onto the same bit pattern as the run that drained the
+    /// snapshot, or its deltas drift by ULPs from the uninterrupted run.
+    #[inline]
+    pub fn restore_wait_total(&mut self, w: f64) {
+        self.wait_total = w;
+    }
+
     /// Accumulated overlap-hidden time: transfer flight time covered by
     /// local work between a request's post and its wait (§IV-B look-ahead
     /// earns its keep here).
